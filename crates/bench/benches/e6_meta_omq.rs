@@ -1,0 +1,50 @@
+//! E6 — Theorem 5.1: deciding UCQ_k-equivalence of guarded OMQs
+//! (the 2ExpTime meta problem, exercised on the Example 4.4 family).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtgd_chase::parse_tgds;
+use gtgd_core::{omq_ucqk_equivalent, EvalConfig, GroundingPolicy, Omq};
+use gtgd_query::parse_ucq;
+
+fn example_4_4(extra: usize) -> Omq {
+    let mut atoms = vec![
+        "P(X2,X1)".to_string(),
+        "P(X4,X1)".to_string(),
+        "P(X2,X3)".to_string(),
+        "P(X4,X3)".to_string(),
+        "R1(X1)".to_string(),
+        "R2(X2)".to_string(),
+        "R3(X3)".to_string(),
+        "R4(X4)".to_string(),
+    ];
+    for i in 0..extra {
+        atoms.push(format!("S{i}(X1)"));
+    }
+    Omq::full_schema(
+        parse_tgds("R2(X) -> R4(X)").unwrap(),
+        parse_ucq(&format!("Q() :- {}", atoms.join(", "))).unwrap(),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_meta_omq");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(900));
+    let cfg = EvalConfig::default();
+    let policy = GroundingPolicy::default();
+    for &extra in &[0usize, 2, 4] {
+        let q = example_4_4(extra);
+        group.bench_with_input(BenchmarkId::new("decide_ucq1_equiv", extra), &q, |b, q| {
+            b.iter(|| omq_ucqk_equivalent(q, 1, &policy, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

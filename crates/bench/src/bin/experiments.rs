@@ -1,0 +1,46 @@
+//! Regenerates the experiment tables (DESIGN.md §4 / EXPERIMENTS.md).
+//!
+//! Usage:
+//! ```text
+//! experiments            # run everything
+//! experiments E4 E6      # run selected experiments
+//! experiments --json out.json E1
+//! ```
+
+use gtgd_bench::{run_experiment, ExperimentTable};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--json" {
+            json_path = args.get(i + 1).cloned();
+            i += 2;
+        } else {
+            ids.push(args[i].clone());
+            i += 1;
+        }
+    }
+    if ids.is_empty() {
+        ids = (1..=14).map(|i| format!("E{i}")).collect();
+    }
+    let mut tables: Vec<ExperimentTable> = Vec::new();
+    for id in &ids {
+        match run_experiment(id) {
+            Some(t) => {
+                println!("{}", t.render());
+                tables.push(t);
+            }
+            None => eprintln!("unknown experiment id: {id}"),
+        }
+    }
+    if let Some(path) = json_path {
+        let mut f = std::fs::File::create(&path).expect("create json output");
+        let body = serde_json::to_string_pretty(&tables).expect("serialize");
+        f.write_all(body.as_bytes()).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Workload generators and the experiment harness that reproduces the
+//! paper's complexity shapes (see DESIGN.md §4 for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured).
+
+pub mod experiments;
+pub mod workloads;
+
+pub use experiments::{all_experiments, run_experiment, ExperimentTable};

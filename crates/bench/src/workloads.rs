@@ -1,0 +1,250 @@
+//! Deterministic workload generators for the experiments: databases
+//! (paths, grids, random graphs), query families (paths, ladders, grids,
+//! cliques), and scalable guarded ontologies.
+
+use gtgd_chase::{parse_tgds, Tgd};
+use gtgd_data::{GroundAtom, Instance, Predicate, Value};
+use gtgd_query::{Cq, QAtom, Term, Ucq, Var};
+use gtgd_treewidth::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A path database `E(n0,n1), …, E(n_{len-1}, n_len)`.
+pub fn path_db(len: usize) -> Instance {
+    Instance::from_atoms(
+        (0..len).map(|i| GroundAtom::named("E", &[&format!("n{i}"), &format!("n{}", i + 1)])),
+    )
+}
+
+/// A cycle database over `n` nodes.
+pub fn cycle_db(n: usize) -> Instance {
+    Instance::from_atoms(
+        (0..n).map(|i| GroundAtom::named("E", &[&format!("c{i}"), &format!("c{}", (i + 1) % n)])),
+    )
+}
+
+/// A grid database with `H` (horizontal) and `V` (vertical) edge relations.
+pub fn grid_db(rows: usize, cols: usize) -> Instance {
+    let name = |r: usize, c: usize| format!("g{r}_{c}");
+    let mut atoms = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                atoms.push(GroundAtom::named("H", &[&name(r, c), &name(r, c + 1)]));
+            }
+            if r + 1 < rows {
+                atoms.push(GroundAtom::named("V", &[&name(r, c), &name(r + 1, c)]));
+            }
+        }
+    }
+    Instance::from_atoms(atoms)
+}
+
+/// An Erdős–Rényi random graph `G(n, p)`, deterministic per seed.
+pub fn random_graph(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A random graph as a symmetric `E`-relation database.
+pub fn graph_db(g: &Graph) -> Instance {
+    let mut atoms = Vec::new();
+    for (u, v) in g.edges() {
+        atoms.push(GroundAtom::named(
+            "E",
+            &[&format!("v{u}"), &format!("v{v}")],
+        ));
+        atoms.push(GroundAtom::named(
+            "E",
+            &[&format!("v{v}"), &format!("v{u}")],
+        ));
+    }
+    Instance::from_atoms(atoms)
+}
+
+/// The Boolean path CQ of the given length (treewidth 1).
+pub fn path_cq(len: usize) -> Cq {
+    let names: Vec<String> = (0..=len).map(|i| format!("P{i}")).collect();
+    let vars: Vec<Var> = (0..=len as u32).map(Var).collect();
+    let e = Predicate::new("E");
+    let atoms = (0..len)
+        .map(|i| QAtom::new(e, vec![Term::Var(vars[i]), Term::Var(vars[i + 1])]))
+        .collect();
+    Cq::new(names, atoms, vec![])
+}
+
+/// The Boolean `rows × cols` grid CQ over `H`/`V` (treewidth
+/// `min(rows, cols)`).
+pub fn grid_query(rows: usize, cols: usize) -> Cq {
+    let mut names = Vec::new();
+    for i in 0..rows {
+        for j in 0..cols {
+            names.push(format!("G{i}_{j}"));
+        }
+    }
+    let vars: Vec<Var> = (0..(rows * cols) as u32).map(Var).collect();
+    let at = |i: usize, j: usize| vars[i * cols + j];
+    let h = Predicate::new("H");
+    let vp = Predicate::new("V");
+    let mut atoms = Vec::new();
+    for i in 0..rows {
+        for j in 0..cols {
+            if j + 1 < cols {
+                atoms.push(QAtom::new(
+                    h,
+                    vec![Term::Var(at(i, j)), Term::Var(at(i, j + 1))],
+                ));
+            }
+            if i + 1 < rows {
+                atoms.push(QAtom::new(
+                    vp,
+                    vec![Term::Var(at(i, j)), Term::Var(at(i + 1, j))],
+                ));
+            }
+        }
+    }
+    Cq::new(names, atoms, vec![])
+}
+
+/// The Boolean `k`-clique CQ over a symmetric `E` (treewidth `k − 1`).
+pub fn clique_cq(k: usize) -> Cq {
+    let names: Vec<String> = (0..k).map(|i| format!("C{i}")).collect();
+    let vars: Vec<Var> = (0..k as u32).map(Var).collect();
+    let e = Predicate::new("E");
+    let mut atoms = Vec::new();
+    for i in 0..k {
+        for j in 0..k {
+            if i != j {
+                atoms.push(QAtom::new(e, vec![Term::Var(vars[i]), Term::Var(vars[j])]));
+            }
+        }
+    }
+    Cq::new(names, atoms, vec![])
+}
+
+/// The ladder (2 × `n` grid) Boolean CQ: treewidth 2.
+pub fn ladder_cq(n: usize) -> Cq {
+    grid_query(2, n)
+}
+
+/// A scalable guarded ontology with existential heads (infinite chase):
+/// the org-chart of Section 3's running flavor, `depth` mutually recursive
+/// levels.
+pub fn org_ontology() -> Vec<Tgd> {
+    parse_tgds(
+        "Emp(X) -> WorksIn(X,D), Dept(D). \
+         Dept(D) -> HasMgr(D,M), Emp(M). \
+         HasMgr(D,M) -> Reports(M,D). \
+         WorksIn(X,D) -> Member(X)",
+    )
+    .unwrap()
+}
+
+/// A linear (inclusion-dependency-like) ontology chain of `n` rules:
+/// `A0(x) → A1(x) → … → An(x)`.
+pub fn chain_ontology(n: usize) -> Vec<Tgd> {
+    let src: Vec<String> = (0..n)
+        .map(|i| format!("A{i}(X) -> A{}(X)", i + 1))
+        .collect();
+    parse_tgds(&src.join(". ")).unwrap()
+}
+
+/// A full-TGD transitive-closure ontology.
+pub fn tc_ontology() -> Vec<Tgd> {
+    parse_tgds("E(X,Y), E(Y,Z) -> E(X,Z)").unwrap()
+}
+
+/// An `Emp`-population database for the org ontology.
+pub fn org_db(n: usize) -> Instance {
+    let mut atoms: Vec<GroundAtom> = (0..n)
+        .map(|i| GroundAtom::named("Emp", &[&format!("e{i}")]))
+        .collect();
+    for i in 0..n / 2 {
+        atoms.push(GroundAtom::named(
+            "WorksIn",
+            &[&format!("e{i}"), &format!("d{}", i % 5)],
+        ));
+    }
+    Instance::from_atoms(atoms)
+}
+
+/// A UCQ wrapper.
+pub fn boolean_ucq(q: Cq) -> Ucq {
+    Ucq::single(q)
+}
+
+/// Plants a `k`-clique into a graph (for yes-instances).
+pub fn plant_clique(g: &mut Graph, k: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.vertex_count();
+    assert!(n >= k);
+    let mut chosen: Vec<usize> = Vec::new();
+    while chosen.len() < k {
+        let v = rng.gen_range(0..n);
+        if !chosen.contains(&v) {
+            chosen.push(v);
+        }
+    }
+    g.make_clique(&chosen);
+}
+
+/// Named-value helper.
+pub fn val(s: &str) -> Value {
+    Value::named(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtgd_query::{holds_boolean, tw::cq_treewidth};
+
+    #[test]
+    fn databases_have_expected_sizes() {
+        assert_eq!(path_db(10).len(), 10);
+        assert_eq!(cycle_db(10).len(), 10);
+        assert_eq!(grid_db(3, 4).len(), 3 * 3 + 2 * 4);
+    }
+
+    #[test]
+    fn query_treewidths() {
+        assert_eq!(cq_treewidth(&path_cq(5)), 1);
+        assert_eq!(cq_treewidth(&ladder_cq(4)), 2);
+        assert_eq!(cq_treewidth(&grid_query(3, 3)), 3);
+        assert_eq!(cq_treewidth(&clique_cq(4)), 3);
+    }
+
+    #[test]
+    fn queries_match_where_expected() {
+        assert!(holds_boolean(&path_cq(3), &path_db(5)));
+        assert!(!holds_boolean(&path_cq(6), &path_db(5)));
+        assert!(holds_boolean(&grid_query(2, 2), &grid_db(3, 3)));
+        let mut g = random_graph(10, 0.2, 7);
+        plant_clique(&mut g, 4, 3);
+        assert!(holds_boolean(&clique_cq(4), &graph_db(&g)));
+    }
+
+    #[test]
+    fn random_graph_is_deterministic() {
+        let a = random_graph(12, 0.3, 42);
+        let b = random_graph(12, 0.3, 42);
+        assert_eq!(a, b);
+        let c = random_graph(12, 0.3, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ontologies_parse_and_classify() {
+        use gtgd_chase::TgdClass;
+        assert!(org_ontology().iter().all(|t| t.is_in(TgdClass::Guarded)));
+        assert!(chain_ontology(5).iter().all(|t| t.is_in(TgdClass::Linear)));
+        assert_eq!(chain_ontology(5).len(), 5);
+    }
+}

@@ -1,0 +1,168 @@
+//! Weak acyclicity of TGD sets (Fagin et al. [22]): the standard sufficient
+//! condition for chase termination, used to decide when the chase itself can
+//! serve as a finite universal model (see `witness`).
+
+use crate::tgd::Tgd;
+use gtgd_data::Predicate;
+use gtgd_query::Term;
+use std::collections::{HashMap, HashSet};
+
+/// A position `(R, i)` in the dependency graph.
+type Position = (Predicate, usize);
+
+/// Whether the TGD set is weakly acyclic: its position dependency graph has
+/// no cycle through a *special* edge (an edge into a position holding an
+/// existentially quantified variable).
+pub fn is_weakly_acyclic(tgds: &[Tgd]) -> bool {
+    // Collect positions and edges.
+    let mut positions: HashSet<Position> = HashSet::new();
+    let mut regular: HashSet<(Position, Position)> = HashSet::new();
+    let mut special: HashSet<(Position, Position)> = HashSet::new();
+    for tgd in tgds {
+        let frontier: HashSet<_> = tgd.frontier().into_iter().collect();
+        let exist: HashSet<_> = tgd.existential_vars().into_iter().collect();
+        for a in tgd.body.iter().chain(tgd.head.iter()) {
+            for i in 0..a.args.len() {
+                positions.insert((a.predicate, i));
+            }
+        }
+        for body_atom in &tgd.body {
+            for (bi, bt) in body_atom.args.iter().enumerate() {
+                let Term::Var(x) = *bt else { continue };
+                if !frontier.contains(&x) {
+                    continue;
+                }
+                let from = (body_atom.predicate, bi);
+                for head_atom in &tgd.head {
+                    for (hi, ht) in head_atom.args.iter().enumerate() {
+                        let Term::Var(y) = *ht else { continue };
+                        let to = (head_atom.predicate, hi);
+                        if y == x {
+                            regular.insert((from, to));
+                        } else if exist.contains(&y) {
+                            special.insert((from, to));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if special.is_empty() {
+        return true;
+    }
+    // Weakly acyclic iff no strongly connected component contains a special
+    // edge. Compute SCCs (iterative Tarjan) over the combined graph.
+    let nodes: Vec<Position> = positions.into_iter().collect();
+    let index_of: HashMap<Position, usize> =
+        nodes.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for &(a, b) in regular.iter().chain(special.iter()) {
+        adj[index_of[&a]].push(index_of[&b]);
+    }
+    let scc = tarjan_scc(&adj);
+    special
+        .iter()
+        .all(|&(a, b)| scc[index_of[&a]] != scc[index_of[&b]])
+}
+
+/// Iterative Tarjan SCC; returns the component id of each node.
+fn tarjan_scc(adj: &[Vec<usize>]) -> Vec<usize> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp = vec![usize::MAX; n];
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+    // Explicit call stack: (node, child iterator position).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+            if *ci == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *ci < adj[v].len() {
+                let w = adj[v][*ci];
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("scc stack");
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+                call.pop();
+                if let Some(&mut (u, _)) = call.last_mut() {
+                    low[u] = low[u].min(low[v]);
+                }
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tgd::parse_tgds;
+
+    #[test]
+    fn full_tgds_are_weakly_acyclic() {
+        let t = parse_tgds("E(X,Y), E(Y,Z) -> E(X,Z)").unwrap();
+        assert!(is_weakly_acyclic(&t));
+    }
+
+    #[test]
+    fn self_feeding_existential_is_not() {
+        let t = parse_tgds("Person(X) -> Parent(X,Y), Person(Y)").unwrap();
+        assert!(!is_weakly_acyclic(&t));
+    }
+
+    #[test]
+    fn acyclic_existential_chain_is() {
+        let t = parse_tgds("A(X) -> R(X,Y). R(X,Y) -> B(Y)").unwrap();
+        assert!(is_weakly_acyclic(&t));
+    }
+
+    #[test]
+    fn two_rule_existential_cycle_detected() {
+        let t = parse_tgds("A(X) -> B(X,Y). B(X,Y) -> A(Y)").unwrap();
+        assert!(!is_weakly_acyclic(&t));
+    }
+
+    #[test]
+    fn inclusion_dependencies_without_cycles() {
+        let t = parse_tgds("Emp(X,D) -> Dept(D). Dept(D) -> Unit(D)").unwrap();
+        assert!(is_weakly_acyclic(&t));
+    }
+
+    #[test]
+    fn regular_cycle_alone_is_fine() {
+        // A(x) → B(x), B(x) → A(x): a regular cycle, no special edges.
+        let t = parse_tgds("A(X) -> B(X). B(X) -> A(X)").unwrap();
+        assert!(is_weakly_acyclic(&t));
+    }
+
+    #[test]
+    fn empty_set_is_weakly_acyclic() {
+        assert!(is_weakly_acyclic(&[]));
+    }
+}

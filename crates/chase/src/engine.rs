@@ -1,0 +1,328 @@
+//! The oblivious chase (Section 2), with level tracking and budgets.
+//!
+//! The oblivious chase fires every trigger `(σ, h)` exactly once, whether or
+//! not the head is already satisfied, so every chase sequence yields the same
+//! result up to isomorphism and level structure is well defined: the level
+//! of an atom is `1 +` the maximum level of the body atoms that produced it
+//! (0 for database atoms).
+//!
+//! Trigger discovery is *semi-naive*: after round `ℓ`, only triggers whose
+//! body uses at least one atom created in round `ℓ` are searched, by pinning
+//! each body atom in turn to the round-`ℓ` delta.
+
+use crate::tgd::Tgd;
+use gtgd_data::{GroundAtom, Instance, Value};
+use gtgd_query::{HomSearch, Var};
+use std::collections::{HashMap, HashSet};
+use std::ops::ControlFlow;
+
+/// Resource limits for a chase run. The chase of a database under TGDs with
+/// existential heads is infinite in general, so callers choose how much of
+/// it to materialize.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaseBudget {
+    /// Stop after materializing all atoms of this level.
+    pub max_level: Option<usize>,
+    /// Stop once at least this many atoms exist (checked between rounds).
+    pub max_atoms: Option<usize>,
+}
+
+impl ChaseBudget {
+    /// No limits: run to a fixpoint (only safe for terminating chases —
+    /// full or weakly acyclic TGD sets).
+    pub fn unbounded() -> ChaseBudget {
+        ChaseBudget::default()
+    }
+
+    /// Limit by level only.
+    pub fn levels(max_level: usize) -> ChaseBudget {
+        ChaseBudget {
+            max_level: Some(max_level),
+            max_atoms: None,
+        }
+    }
+
+    /// Limit by atom count only.
+    pub fn atoms(max_atoms: usize) -> ChaseBudget {
+        ChaseBudget {
+            max_level: None,
+            max_atoms: Some(max_atoms),
+        }
+    }
+}
+
+/// The materialized prefix of a chase.
+#[derive(Debug, Clone)]
+pub struct ChaseResult {
+    /// The atoms materialized so far (includes the input database).
+    pub instance: Instance,
+    /// `levels[i]` is the chase level of `instance.atom(i)`.
+    pub levels: Vec<usize>,
+    /// Whether a fixpoint was reached (the result is the full
+    /// `chase(D, Σ)`), as opposed to stopping on a budget.
+    pub complete: bool,
+    /// The highest level materialized.
+    pub max_level: usize,
+}
+
+impl ChaseResult {
+    /// The atoms up to and including `level` (the instance
+    /// `chase^ℓ_s(D, Σ)` of Appendix A).
+    pub fn up_to_level(&self, level: usize) -> Instance {
+        Instance::from_atoms(
+            self.instance
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| self.levels[i] <= level)
+                .map(|(_, a)| a.clone()),
+        )
+    }
+}
+
+/// Runs the oblivious chase of `db` under `tgds` within `budget`.
+pub fn chase(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget) -> ChaseResult {
+    let mut instance = db.clone();
+    let mut levels = vec![0usize; instance.len()];
+    let mut fired: HashSet<(usize, Vec<Value>)> = HashSet::new();
+    let mut complete = true;
+    let mut max_level = 0usize;
+
+    // Round 0: triggers over the database (and empty-body TGDs, which fire
+    // exactly once each).
+    let mut delta: Vec<GroundAtom> = instance.iter().cloned().collect();
+    let mut level = 0usize;
+    loop {
+        if let Some(max) = budget.max_level {
+            if level >= max {
+                complete = false;
+                break;
+            }
+        }
+        if let Some(max) = budget.max_atoms {
+            if instance.len() >= max {
+                complete = false;
+                break;
+            }
+        }
+        let mut new_atoms: Vec<GroundAtom> = Vec::new();
+        for (ti, tgd) in tgds.iter().enumerate() {
+            if tgd.body.is_empty() {
+                if level == 0 && fired.insert((ti, Vec::new())) {
+                    fire(tgd, &HashMap::new(), &instance, &mut new_atoms);
+                }
+                continue;
+            }
+            // Semi-naive: require some body atom to match a delta atom.
+            // At level 0 the delta is the whole database, which covers all
+            // initial triggers.
+            let body_vars = tgd.body_vars();
+            for pin in 0..tgd.body.len() {
+                let pinned = &tgd.body[pin];
+                for d in &delta {
+                    if d.predicate != pinned.predicate || d.args.len() != pinned.args.len() {
+                        continue;
+                    }
+                    // Unify the pinned atom with the delta atom.
+                    let mut seed: HashMap<Var, Value> = HashMap::new();
+                    let mut ok = true;
+                    for (t, &gv) in pinned.args.iter().zip(d.args.iter()) {
+                        match *t {
+                            gtgd_query::Term::Const(c) => {
+                                if c != gv {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            gtgd_query::Term::Var(v) => match seed.get(&v) {
+                                Some(&b) if b != gv => {
+                                    ok = false;
+                                    break;
+                                }
+                                _ => {
+                                    seed.insert(v, gv);
+                                }
+                            },
+                        }
+                    }
+                    if !ok {
+                        continue;
+                    }
+                    let rest: Vec<gtgd_query::QAtom> = tgd
+                        .body
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != pin)
+                        .map(|(_, a)| a.clone())
+                        .collect();
+                    HomSearch::new(&rest, &instance)
+                        .fix(seed.iter().map(|(&v, &x)| (v, x)))
+                        .for_each(|h| {
+                            let trigger: Vec<Value> = body_vars.iter().map(|v| h[v]).collect();
+                            if fired.insert((ti, trigger)) {
+                                fire(tgd, h, &instance, &mut new_atoms);
+                            }
+                            ControlFlow::Continue(())
+                        });
+                }
+            }
+        }
+        if new_atoms.is_empty() {
+            break;
+        }
+        level += 1;
+        max_level = level;
+        delta = Vec::new();
+        for a in new_atoms {
+            if instance.insert(a.clone()) {
+                levels.push(level);
+                delta.push(a);
+            }
+        }
+        if delta.is_empty() {
+            // All "new" atoms were already present (possible when a full TGD
+            // re-derives existing atoms); fixpoint.
+            max_level = level - 1;
+            break;
+        }
+    }
+    ChaseResult {
+        instance,
+        levels,
+        complete,
+        max_level,
+    }
+}
+
+/// Fires a trigger: instantiate the head, replacing each existential
+/// variable with a fresh null.
+fn fire(tgd: &Tgd, h: &HashMap<Var, Value>, _instance: &Instance, out: &mut Vec<GroundAtom>) {
+    let mut assignment = h.clone();
+    for z in tgd.existential_vars() {
+        assignment.insert(z, Value::fresh_null());
+    }
+    for atom in &tgd.head {
+        out.push(atom.ground(&assignment));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tgd::{parse_tgds, satisfies_all};
+    use gtgd_query::{holds_boolean, parse_cq};
+
+    fn db(atoms: &[(&str, &[&str])]) -> Instance {
+        Instance::from_atoms(atoms.iter().map(|(p, args)| GroundAtom::named(p, args)))
+    }
+
+    #[test]
+    fn full_tgds_reach_fixpoint() {
+        // Transitive closure.
+        let tgds = parse_tgds("E(X,Y), E(Y,Z) -> E(X,Z)").unwrap();
+        let d = db(&[("E", &["a", "b"]), ("E", &["b", "c"]), ("E", &["c", "d"])]);
+        let r = chase(&d, &tgds, &ChaseBudget::unbounded());
+        assert!(r.complete);
+        assert_eq!(r.instance.len(), 6); // all pairs (a,b),(b,c),(c,d),(a,c),(b,d),(a,d)
+        assert!(satisfies_all(&r.instance, &tgds));
+    }
+
+    #[test]
+    fn levels_track_derivation_depth() {
+        let tgds = parse_tgds("A(X) -> B(X). B(X) -> C(X).").unwrap();
+        let d = db(&[("A", &["a"])]);
+        let r = chase(&d, &tgds, &ChaseBudget::unbounded());
+        assert!(r.complete);
+        assert_eq!(r.max_level, 2);
+        let l1 = r.up_to_level(1);
+        assert!(l1.contains(&GroundAtom::named("B", &["a"])));
+        assert!(!l1.contains(&GroundAtom::named("C", &["a"])));
+    }
+
+    #[test]
+    fn existential_heads_create_nulls() {
+        let tgds = parse_tgds("Person(X) -> HasParent(X,Y), Person(Y)").unwrap();
+        let d = db(&[("Person", &["alice"])]);
+        let r = chase(&d, &tgds, &ChaseBudget::levels(3));
+        assert!(!r.complete); // infinite chase cut off
+        assert_eq!(r.max_level, 3);
+        // Levels 1..3 each add HasParent + Person.
+        assert_eq!(r.instance.len(), 1 + 2 * 3);
+        let parents = r
+            .instance
+            .iter()
+            .filter(|a| a.predicate == gtgd_data::Predicate::new("HasParent"))
+            .count();
+        assert_eq!(parents, 3);
+    }
+
+    #[test]
+    fn oblivious_fires_even_if_satisfied() {
+        // D already satisfies the TGD, but the oblivious chase still fires.
+        let tgds = parse_tgds("P(X) -> R(X,Y)").unwrap();
+        let d = db(&[("P", &["a"]), ("R", &["a", "b"])]);
+        let r = chase(&d, &tgds, &ChaseBudget::unbounded());
+        assert!(r.complete);
+        // A fresh null was invented despite R(a,b) existing.
+        assert_eq!(r.instance.len(), 3);
+    }
+
+    #[test]
+    fn triggers_fire_once() {
+        let tgds = parse_tgds("P(X) -> R(X,Y)").unwrap();
+        let d = db(&[("P", &["a"])]);
+        let r = chase(&d, &tgds, &ChaseBudget::unbounded());
+        assert!(r.complete);
+        assert_eq!(r.instance.len(), 2); // P(a), R(a,⊥) — not refired on ⊥
+    }
+
+    #[test]
+    fn empty_body_tgd_fires_once() {
+        let tgds = parse_tgds("-> R(X,X)").unwrap();
+        let r = chase(&Instance::new(), &tgds, &ChaseBudget::unbounded());
+        assert!(r.complete);
+        assert_eq!(r.instance.len(), 1);
+    }
+
+    #[test]
+    fn atom_budget_stops() {
+        let tgds = parse_tgds("P(X) -> Q(X,Y). Q(X,Y) -> P(Y)").unwrap();
+        let d = db(&[("P", &["a"])]);
+        let r = chase(&d, &tgds, &ChaseBudget::atoms(20));
+        assert!(!r.complete);
+        assert!(r.instance.len() >= 20);
+    }
+
+    #[test]
+    fn chase_answers_queries_prop_3_1_style() {
+        // Σ: every employee works in some department with a manager.
+        let tgds =
+            parse_tgds("Emp(X) -> WorksIn(X,D), Dept(D). Dept(D) -> HasMgr(D,M), Emp(M)").unwrap();
+        let d = db(&[("Emp", &["ann"])]);
+        let r = chase(&d, &tgds, &ChaseBudget::levels(4));
+        let q = parse_cq("Q() :- WorksIn(X,D), HasMgr(D,M)").unwrap();
+        assert!(holds_boolean(&q, &r.instance));
+    }
+
+    #[test]
+    fn multiway_join_body() {
+        let tgds = parse_tgds("R(X,Y), S(Y,Z), T(Z,W) -> U(X,W)").unwrap();
+        let d = db(&[
+            ("R", &["a", "b"]),
+            ("S", &["b", "c"]),
+            ("T", &["c", "d"]),
+            ("S", &["b", "e"]), // dead end
+        ]);
+        let r = chase(&d, &tgds, &ChaseBudget::unbounded());
+        assert!(r.instance.contains(&GroundAtom::named("U", &["a", "d"])));
+        assert_eq!(r.instance.len(), 5);
+    }
+
+    #[test]
+    fn constants_in_tgd_bodies() {
+        let tgds = parse_tgds("Color(X, red) -> Warm(X)").unwrap();
+        let d = db(&[("Color", &["car", "red"]), ("Color", &["sky", "blue"])]);
+        let r = chase(&d, &tgds, &ChaseBudget::unbounded());
+        assert!(r.instance.contains(&GroundAtom::named("Warm", &["car"])));
+        assert!(!r.instance.contains(&GroundAtom::named("Warm", &["sky"])));
+    }
+}

@@ -1,0 +1,538 @@
+//! Σ-types and guarded saturation (the machinery of Appendix A / Lemma A.3).
+//!
+//! For guarded TGDs, the atoms derivable from a *bag* (a guarded set of
+//! constants together with the atoms over them) depend only on the bag's
+//! isomorphism type. This module implements:
+//!
+//! * canonicalization of bags into [`CanonType`]s,
+//! * a memoized bag-closure engine ([`Saturator`]): the atoms over a bag's
+//!   constants entailed by the chase, computed by recursing into the child
+//!   bags created by existential heads and importing back the derived
+//!   frontier atoms, with Kleene iteration across recursive type cycles,
+//! * [`ground_saturation`]: `chase↓(D, Σ)` — the ground part of the chase,
+//!   i.e. every atom over `dom(D)` entailed by `D` and Σ (the paper's
+//!   `complete(D, Σ)` and the `D⁺` of Section 6.2),
+//! * [`type_of_atom`]: `type_{D,Σ}(α)` (Appendix A.1).
+//!
+//! This is the ExpTime (for bounded arity) decision machinery that the paper
+//! invokes from [14]/[24]; only *reachable* types are ever materialized.
+
+use crate::tgd::{Tgd, TgdClass};
+use gtgd_data::{GroundAtom, Instance, Predicate, Value};
+use gtgd_query::{HomSearch, Term, Var};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::ops::ControlFlow;
+
+/// An atom in canonical coordinates: arguments are positions `0..width`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TAtom {
+    /// The relation symbol.
+    pub pred: Predicate,
+    /// Arguments as canonical constant positions.
+    pub args: Vec<u8>,
+}
+
+/// A canonicalized bag: a set of atoms over `width` anonymous constants.
+/// Two bags with the same `CanonType` are isomorphic, so chase-derivable
+/// atom sets over them coincide.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CanonType {
+    /// Number of constants in the bag.
+    pub width: u8,
+    /// The atoms, in canonical coordinates.
+    pub atoms: BTreeSet<TAtom>,
+}
+
+/// Largest bag width we canonicalize by brute-force permutation search.
+/// `8! = 40320` permutations is still fast; the paper's bags have width
+/// `≤ ar(T)`, small by the bounded-arity standing assumption.
+pub const MAX_CANON_WIDTH: usize = 8;
+
+fn encode(atoms: &Instance, position: &HashMap<Value, u8>) -> BTreeSet<TAtom> {
+    atoms
+        .iter()
+        .map(|a| TAtom {
+            pred: a.predicate,
+            args: a.args.iter().map(|v| position[v]).collect(),
+        })
+        .collect()
+}
+
+/// Canonicalizes a bag by minimizing over all constant orderings. Returns
+/// the canonical type and the ordering that realizes it
+/// (`perm[canonical_position] = value`).
+pub fn canonicalize(atoms: &Instance, consts: &[Value]) -> (CanonType, Vec<Value>) {
+    canonicalize_rigid(atoms, &[], consts)
+}
+
+/// Canonicalizes while keeping `rigid` constants pinned at positions
+/// `0..rigid.len()` in the given order; only `flexible` constants are
+/// permuted. Used for the blocking signatures of the typed chase, where
+/// inherited constants must not be anonymized relative to each other.
+pub fn canonicalize_rigid(
+    atoms: &Instance,
+    rigid: &[Value],
+    flexible: &[Value],
+) -> (CanonType, Vec<Value>) {
+    let width = rigid.len() + flexible.len();
+    assert!(width <= u8::MAX as usize, "bag too wide");
+    // Pre-sort the flexible constants by an isomorphism-invariant signature
+    // (occurrence profile across predicates/positions and co-occurrence
+    // with the rigid prefix), and only permute within equal-signature
+    // groups: isomorphic bags have matching group structures, so the
+    // restricted minimum is still a canonical form, at a fraction of the
+    // `n!` cost (groups are usually singletons).
+    type Occurrence = (u32, usize, usize);
+    let signature = |v: Value| -> Vec<Occurrence> {
+        let mut sig: Vec<Occurrence> = Vec::new();
+        for a in atoms.iter() {
+            for (pos, &arg) in a.args.iter().enumerate() {
+                if arg == v {
+                    let rigid_mask = a
+                        .args
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, x)| rigid.contains(x))
+                        .fold(0usize, |m, (i, _)| m | (1 << i));
+                    sig.push((a.predicate.0.id(), pos, rigid_mask));
+                }
+            }
+        }
+        sig.sort_unstable();
+        sig
+    };
+    let mut groups: Vec<(Vec<Occurrence>, Vec<Value>)> = Vec::new();
+    {
+        let mut sorted: Vec<(Vec<Occurrence>, Value)> =
+            flexible.iter().map(|&v| (signature(v), v)).collect();
+        sorted.sort();
+        for (sig, v) in sorted {
+            match groups.last_mut() {
+                Some((s, vs)) if *s == sig => vs.push(v),
+                _ => groups.push((sig, vec![v])),
+            }
+        }
+    }
+    let largest_group = groups.iter().map(|(_, vs)| vs.len()).max().unwrap_or(0);
+    assert!(
+        largest_group <= MAX_CANON_WIDTH,
+        "canonicalization group of {largest_group} indistinguishable constants \
+         exceeds the permutation limit"
+    );
+    let mut best: Option<(BTreeSet<TAtom>, Vec<Value>)> = None;
+    let mut group_orders: Vec<Vec<Value>> = groups.iter().map(|(_, vs)| vs.clone()).collect();
+    permute_groups(&mut group_orders, 0, &mut |perm| {
+        let mut position: HashMap<Value, u8> = HashMap::new();
+        for (i, &v) in rigid.iter().enumerate() {
+            position.insert(v, i as u8);
+        }
+        for (i, &v) in perm.iter().enumerate() {
+            position.insert(v, (rigid.len() + i) as u8);
+        }
+        let enc = encode(atoms, &position);
+        if best.as_ref().is_none_or(|(b, _)| enc < *b) {
+            let mut full: Vec<Value> = rigid.to_vec();
+            full.extend_from_slice(perm);
+            best = Some((enc, full));
+        }
+    });
+    let (enc, perm) = best.expect("at least one ordering");
+    (
+        CanonType {
+            width: width as u8,
+            atoms: enc,
+        },
+        perm,
+    )
+}
+
+/// Visits every ordering obtainable by permuting each group internally,
+/// concatenated in group order.
+fn permute_groups(groups: &mut Vec<Vec<Value>>, gi: usize, f: &mut impl FnMut(&[Value])) {
+    if gi == groups.len() {
+        let flat: Vec<Value> = groups.iter().flatten().copied().collect();
+        f(&flat);
+        return;
+    }
+    fn permute_within(
+        groups: &mut Vec<Vec<Value>>,
+        gi: usize,
+        k: usize,
+        f: &mut impl FnMut(&[Value]),
+    ) {
+        if k == groups[gi].len() {
+            permute_groups(groups, gi + 1, f);
+            return;
+        }
+        for i in k..groups[gi].len() {
+            groups[gi].swap(k, i);
+            permute_within(groups, gi, k + 1, f);
+            groups[gi].swap(k, i);
+        }
+    }
+    permute_within(groups, gi, 0, f);
+}
+
+/// Decodes a canonical atom set back to concrete constants
+/// (`perm[position] = value`).
+pub fn decode(atoms: &BTreeSet<TAtom>, perm: &[Value]) -> Instance {
+    Instance::from_atoms(
+        atoms
+            .iter()
+            .map(|t| GroundAtom::new(t.pred, t.args.iter().map(|&p| perm[p as usize]).collect())),
+    )
+}
+
+/// The memoized bag-closure engine for a fixed set of guarded TGDs.
+pub struct Saturator<'a> {
+    tgds: &'a [Tgd],
+    memo: HashMap<CanonType, BTreeSet<TAtom>>,
+    in_progress: HashSet<CanonType>,
+    /// Keys whose memo value is exact: computed without hitting a recursive
+    /// type cycle, hence a true least fixpoint of their downward cone.
+    /// Stable keys return immediately, preventing exponential re-descent
+    /// along deep acyclic type chains.
+    stable: HashSet<CanonType>,
+    /// Counts in-progress short-circuits; used to detect whether a closure
+    /// computation depended on an unfinished ancestor.
+    ip_hits: u64,
+    /// Set when any memo entry grew during the last operation; drives the
+    /// outer Kleene iteration of [`ground_saturation`].
+    changed: bool,
+}
+
+impl<'a> Saturator<'a> {
+    /// Creates a saturator. Panics unless every TGD is guarded and
+    /// constant-free (the paper's standing assumptions for this machinery).
+    pub fn new(tgds: &'a [Tgd]) -> Saturator<'a> {
+        for t in tgds {
+            assert!(
+                t.is_in(TgdClass::Guarded),
+                "the type machinery requires guarded TGDs: {t}"
+            );
+            let constant_free = t
+                .body
+                .iter()
+                .chain(t.head.iter())
+                .all(|a| a.args.iter().all(|arg| matches!(arg, Term::Var(_))));
+            assert!(
+                constant_free,
+                "the type machinery requires constant-free TGDs: {t}"
+            );
+        }
+        Saturator {
+            tgds,
+            memo: HashMap::new(),
+            in_progress: HashSet::new(),
+            stable: HashSet::new(),
+            ip_hits: 0,
+            changed: false,
+        }
+    }
+
+    /// Number of distinct canonical types materialized so far (telemetry for
+    /// the experiments).
+    pub fn type_count(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Closes a bag: returns every atom over `consts` entailed by the chase
+    /// of the bag's atoms under the TGDs. `atoms` must only mention
+    /// `consts`.
+    pub fn close_bag(&mut self, atoms: &Instance, consts: &[Value]) -> Instance {
+        debug_assert!(atoms
+            .iter()
+            .all(|a| a.args.iter().all(|v| consts.contains(v))));
+        let (key, perm) = canonicalize(atoms, consts);
+        if self.stable.contains(&key) {
+            return decode(&self.memo[&key], &perm);
+        }
+        if self.in_progress.contains(&key) {
+            // Recursive type cycle: return the current approximation; the
+            // outer Kleene iteration refines it.
+            self.ip_hits += 1;
+            let current = self.memo.get(&key).unwrap_or(&key.atoms);
+            return decode(current, &perm);
+        }
+        let hits_before = self.ip_hits;
+        let start = self
+            .memo
+            .entry(key.clone())
+            .or_insert_with(|| key.atoms.clone());
+        let mut current = decode(start, &perm);
+        self.in_progress.insert(key.clone());
+        loop {
+            let mut grew = false;
+            for tgd in self.tgds {
+                let frontier = tgd.frontier();
+                let exist = tgd.existential_vars();
+                let homs: Vec<HashMap<Var, Value>> = {
+                    let mut out = Vec::new();
+                    HomSearch::new(&tgd.body, &current).for_each(|h| {
+                        out.push(h.clone());
+                        ControlFlow::Continue(())
+                    });
+                    out
+                };
+                for h in homs {
+                    if exist.is_empty() {
+                        for head in &tgd.head {
+                            grew |= current.insert(head.ground(&h));
+                        }
+                        continue;
+                    }
+                    // Existential head: build and close the child bag.
+                    let mut assignment = h.clone();
+                    let mut child_consts: Vec<Value> = Vec::new();
+                    for &v in &frontier {
+                        let img = assignment[&v];
+                        if !child_consts.contains(&img) {
+                            child_consts.push(img);
+                        }
+                    }
+                    for &z in &exist {
+                        let n = Value::fresh_null();
+                        assignment.insert(z, n);
+                        child_consts.push(n);
+                    }
+                    let mut child = Instance::new();
+                    for head in &tgd.head {
+                        child.insert(head.ground(&assignment));
+                    }
+                    let child_set: HashSet<Value> = child_consts.iter().copied().collect();
+                    child.extend_from(&current.restrict_to(&child_set));
+                    let closed = self.close_bag(&child, &child_consts);
+                    // Import what came back over our constants.
+                    let ours: HashSet<Value> = consts.iter().copied().collect();
+                    for a in closed.restrict_to(&ours).iter() {
+                        grew |= current.insert(a.clone());
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        self.in_progress.remove(&key);
+        let position: HashMap<Value, u8> = perm
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u8))
+            .collect();
+        let final_enc = encode(&current, &position);
+        let entry = self.memo.get_mut(&key).expect("inserted above");
+        if *entry != final_enc {
+            debug_assert!(entry.is_subset(&final_enc), "closure must be monotone");
+            *entry = final_enc;
+            self.changed = true;
+        }
+        if self.ip_hits == hits_before {
+            // No recursive cycle below: this is the exact least fixpoint of
+            // the key's downward cone.
+            self.stable.insert(key);
+        }
+        current
+    }
+
+    /// `chase↓(D, Σ)`: all atoms over `dom(D)` entailed by the chase —
+    /// Kleene iteration of per-bag closure over the database's guarded sets.
+    pub fn ground_saturation(&mut self, db: &Instance) -> Instance {
+        let mut ground = db.clone();
+        loop {
+            self.changed = false;
+            let mut added = false;
+            // Per-atom bags: every guarded set of D is dom(α) for some α,
+            // and every chase derivation over dom(D) is local to one bag.
+            let bags: Vec<Vec<Value>> = {
+                let mut seen: HashSet<Vec<Value>> = HashSet::new();
+                let mut out = Vec::new();
+                for a in ground.iter() {
+                    let mut d = a.dom();
+                    d.sort_unstable();
+                    if seen.insert(d.clone()) {
+                        out.push(d);
+                    }
+                }
+                out
+            };
+            for consts in bags {
+                let keep: HashSet<Value> = consts.iter().copied().collect();
+                let bag = ground.restrict_to(&keep);
+                let closed = self.close_bag(&bag, &consts);
+                for a in closed.iter() {
+                    added |= ground.insert(a.clone());
+                }
+            }
+            // Empty-body TGDs contribute ground atoms only when their heads
+            // are variable-free; variable-free heads ground directly.
+            if !self.changed && !added {
+                return ground;
+            }
+        }
+    }
+}
+
+/// `chase↓(D, Σ)` for a set of guarded TGDs: the ground part of the chase,
+/// i.e. `D ∪ {R(ā) ∈ chase(D, Σ) | ā ⊆ dom(D)}`.
+pub fn ground_saturation(db: &Instance, tgds: &[Tgd]) -> Instance {
+    Saturator::new(tgds).ground_saturation(db)
+}
+
+/// The paper's `complete(I, Σ)` (Appendix A.1): all atoms over `dom(I)`
+/// entailed by the chase. Alias of [`ground_saturation`] — see the module
+/// docs for why per-bag closure captures every such atom.
+pub fn complete_ground(db: &Instance, tgds: &[Tgd]) -> Instance {
+    ground_saturation(db, tgds)
+}
+
+/// `type_{D,Σ}(α)`: the atoms of `chase(D, Σ)` over `dom(α)`.
+pub fn type_of_atom(db: &Instance, tgds: &[Tgd], atom: &GroundAtom) -> Instance {
+    let sat = ground_saturation(db, tgds);
+    let keep: HashSet<Value> = atom.dom().into_iter().collect();
+    sat.restrict_to(&keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{chase, ChaseBudget};
+    use crate::tgd::parse_tgds;
+
+    fn db(atoms: &[(&str, &[&str])]) -> Instance {
+        Instance::from_atoms(atoms.iter().map(|(p, args)| GroundAtom::named(p, args)))
+    }
+
+    #[test]
+    fn canonicalization_is_rename_invariant() {
+        let b1 = db(&[("R", &["a", "b"]), ("P", &["a"])]);
+        let b2 = db(&[("R", &["x", "y"]), ("P", &["x"])]);
+        let (k1, _) = canonicalize(&b1, &[Value::named("a"), Value::named("b")]);
+        let (k2, _) = canonicalize(&b2, &[Value::named("y"), Value::named("x")]);
+        assert_eq!(k1, k2);
+        let b3 = db(&[("R", &["a", "b"]), ("P", &["b"])]); // P on the other side
+        let (k3, _) = canonicalize(&b3, &[Value::named("a"), Value::named("b")]);
+        assert_ne!(k1, k3);
+    }
+
+    #[test]
+    fn canonicalize_decode_roundtrip() {
+        let b = db(&[("R", &["a", "b"]), ("S", &["b", "a"]), ("P", &["a"])]);
+        let consts = [Value::named("a"), Value::named("b")];
+        let (k, perm) = canonicalize(&b, &consts);
+        assert_eq!(decode(&k.atoms, &perm), b);
+    }
+
+    #[test]
+    fn rigid_canonicalization_pins_prefix() {
+        let b = db(&[("R", &["a", "b"])]);
+        let (k, perm) = canonicalize_rigid(&b, &[Value::named("a")], &[Value::named("b")]);
+        assert_eq!(perm[0], Value::named("a"));
+        assert!(k.atoms.contains(&TAtom {
+            pred: Predicate::new("R"),
+            args: vec![0, 1],
+        }));
+    }
+
+    #[test]
+    fn full_tgds_saturate_like_chase() {
+        let tgds = parse_tgds("R(X,Y) -> R(Y,X). R(X,Y) -> P(X)").unwrap();
+        let d = db(&[("R", &["a", "b"])]);
+        let sat = ground_saturation(&d, &tgds);
+        let reference = chase(&d, &tgds, &ChaseBudget::unbounded());
+        assert!(reference.complete);
+        assert_eq!(sat, reference.instance);
+    }
+
+    #[test]
+    fn existential_round_trip_derives_ground_atoms() {
+        // R(x,y) → ∃z S(y,z); S(y,z) → T(y). T is derivable over dom(D)
+        // even though it needs a detour through a null.
+        let tgds = parse_tgds("R(X,Y) -> S(Y,Z). S(Y,Z) -> T(Y)").unwrap();
+        let d = db(&[("R", &["a", "b"])]);
+        let sat = ground_saturation(&d, &tgds);
+        assert!(sat.contains(&GroundAtom::named("T", &["b"])));
+        // And nothing about nulls leaks into the ground part.
+        assert!(sat.dom().iter().all(|v| v.is_named()));
+        assert_eq!(sat.len(), 2); // R(a,b) and T(b); S(b,⊥) is not ground
+    }
+
+    #[test]
+    fn deep_recursion_through_types() {
+        // An infinite chase whose ground part is finite: the classic
+        // person/parent ontology plus an attribute that flows back.
+        let tgds = parse_tgds(
+            "Person(X) -> Parent(X,Y), Person(Y). \
+             Parent(X,Y), Royal(Y) -> Royal(X)",
+        )
+        .unwrap();
+        let d = db(&[("Person", &["eve"])]);
+        let sat = ground_saturation(&d, &tgds);
+        // Royal never becomes derivable; Person(eve) is all the ground part.
+        assert_eq!(sat.len(), 1);
+    }
+
+    #[test]
+    fn ground_saturation_agrees_with_deep_chase() {
+        // Cross-validate on a guarded ontology with existential heads.
+        let tgds = parse_tgds(
+            "Emp(X) -> WorksIn(X,D). \
+             WorksIn(X,D) -> Dept(D). \
+             Dept(D) -> HasMgr(D,M), Emp(M). \
+             HasMgr(D,M) -> Reports(M,D). \
+             Reports(M,D), HasMgr(D,M) -> Runs(M,D)",
+        )
+        .unwrap();
+        let d = db(&[("Emp", &["ann"]), ("WorksIn", &["ann", "sales"])]);
+        let sat = ground_saturation(&d, &tgds);
+        let deep = chase(&d, &tgds, &ChaseBudget::levels(8));
+        // Every ground atom of the deep chase prefix must be in sat.
+        for a in deep.instance.iter() {
+            if a.args.iter().all(|v| v.is_named()) {
+                assert!(sat.contains(a), "missing ground atom {a}");
+            }
+        }
+        // And sat contains no atom the deep chase prefix lacks.
+        for a in sat.iter() {
+            assert!(deep.instance.contains(a), "unsound atom {a}");
+        }
+    }
+
+    #[test]
+    fn type_of_atom_restricts_to_guard() {
+        let tgds = parse_tgds("R(X,Y) -> P(X). R(X,Y) -> Q(Y)").unwrap();
+        let d = db(&[("R", &["a", "b"]), ("R", &["b", "c"])]);
+        let t = type_of_atom(&d, &tgds, &GroundAtom::named("R", &["a", "b"]));
+        assert!(t.contains(&GroundAtom::named("P", &["a"])));
+        assert!(t.contains(&GroundAtom::named("Q", &["b"])));
+        assert!(t.contains(&GroundAtom::named("P", &["b"]))); // from R(b,c), over {a,b}
+        assert!(!t.contains(&GroundAtom::named("R", &["b", "c"])));
+    }
+
+    #[test]
+    fn memoization_reuses_types() {
+        let tgds = parse_tgds("A(X) -> R(X,Y), A(Y)").unwrap();
+        let mut sat = Saturator::new(&tgds);
+        let d = db(&[("A", &["a"]), ("A", &["b"]), ("A", &["c"])]);
+        sat.ground_saturation(&d);
+        // All three start atoms have the same type; the infinite forward
+        // chain collapses into a few canonical types.
+        assert!(sat.type_count() <= 4, "types: {}", sat.type_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires guarded")]
+    fn rejects_unguarded_tgds() {
+        let tgds = parse_tgds("R(X,Y), S(Y,Z) -> T(X,Z)").unwrap();
+        Saturator::new(&tgds);
+    }
+
+    #[test]
+    fn linear_tgd_inclusion_dependencies() {
+        // Inclusion dependencies (the paper's referential constraints).
+        let tgds = parse_tgds("Emp(X, D) -> Dept(D). Dept(D) -> DeptHasEmp(D, E)").unwrap();
+        let d = db(&[("Emp", &["ann", "sales"])]);
+        let sat = ground_saturation(&d, &tgds);
+        assert!(sat.contains(&GroundAtom::named("Dept", &["sales"])));
+        assert_eq!(sat.len(), 2);
+    }
+}

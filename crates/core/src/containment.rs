@@ -1,0 +1,217 @@
+//! Containment and equivalence of CQSs and of OMQs sharing an ontology,
+//! via the chase characterization of Proposition 4.5:
+//! `S1 ⊆ S2` iff for each disjunct `p1` of `q1` there is a disjunct `p2` of
+//! `q2` with `x̄ ∈ p2(chase(p1, Σ))`.
+//!
+//! By Lemma E.1 (finite controllability of guarded/frontier-guarded TGDs),
+//! containment over databases coincides with containment over unrestricted
+//! instances, so the chase test is exact whenever the chase materialization
+//! is (see [`crate::eval`]).
+
+use crate::cqs::Cqs;
+use crate::eval::{check_omq, EvalConfig};
+use crate::omq::Omq;
+use gtgd_chase::Tgd;
+use gtgd_data::Value;
+use gtgd_query::Ucq;
+
+/// The outcome of a containment test. When `exact` is `false`, a `holds =
+/// false` verdict may be an artifact of an insufficient chase budget
+/// (`holds = true` is always sound: witnessed on materialized prefixes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Containment {
+    /// Whether containment was established.
+    pub holds: bool,
+    /// Whether the verdict is exact.
+    pub exact: bool,
+}
+
+/// Core test: `q1 ⊆_Σ q2` per Proposition 4.5.
+pub fn ucq_contained_under(sigma: &[Tgd], q1: &Ucq, q2: &Ucq, cfg: &EvalConfig) -> Containment {
+    assert_eq!(q1.arity(), q2.arity(), "containment needs equal arities");
+    let mut exact = true;
+    for p1 in &q1.disjuncts {
+        let (db, frozen) = p1.canonical_database();
+        let answer: Vec<Value> = p1.answer_vars.iter().map(|v| frozen[v]).collect();
+        let omq = Omq::full_schema(sigma.to_vec(), q2.clone());
+        let (holds, e) = check_omq(&omq, &db, &answer, cfg);
+        exact &= e;
+        if !holds {
+            return Containment {
+                holds: false,
+                exact,
+            };
+        }
+    }
+    Containment { holds: true, exact }
+}
+
+/// `S1 ⊆ S2` for CQSs sharing a constraint set.
+pub fn cqs_contained(s1: &Cqs, s2: &Cqs, cfg: &EvalConfig) -> Containment {
+    ucq_contained_under(&s1.sigma, &s1.query, &s2.query, cfg)
+}
+
+/// `S1 ≡ S2` for CQSs sharing a constraint set.
+pub fn cqs_equivalent(s1: &Cqs, s2: &Cqs, cfg: &EvalConfig) -> Containment {
+    let a = cqs_contained(s1, s2, cfg);
+    if !a.holds {
+        return a;
+    }
+    let b = cqs_contained(s2, s1, cfg);
+    Containment {
+        holds: b.holds,
+        exact: a.exact && b.exact,
+    }
+}
+
+/// OMQ containment `Q1 ⊆ Q2` for OMQs sharing the ontology Σ.
+///
+/// The chase test is **exact for full data schema** (then `D[p1]` is a legal
+/// input database). For a restricted data schema it remains *sufficient*:
+/// `holds = true` implies containment over `S`-databases; `holds = false`
+/// is conservative. This covers every use in the paper's pipelines, where
+/// approximations share the ontology and the CQS results live at full
+/// schema.
+pub fn omq_contained_same_sigma(q1: &Omq, q2: &Omq, cfg: &EvalConfig) -> Containment {
+    ucq_contained_under(&q1.sigma, &q1.query, &q2.query, cfg)
+}
+
+/// Σ-aware UCQ minimization (the preprocessing step of Appendix H.3):
+/// removes every disjunct that is strictly ⊆_Σ-below another, and one of
+/// each ≡_Σ-duplicate pair. The result is Σ-equivalent to the input and
+/// has only ⊆_Σ-maximal disjuncts.
+// Index loops keep the i≠j pairwise logic legible here.
+#[allow(clippy::needless_range_loop)]
+pub fn minimize_ucq_under(sigma: &[Tgd], q: &Ucq, cfg: &EvalConfig) -> Ucq {
+    let n = q.disjuncts.len();
+    let single = |i: usize| Ucq::single(q.disjuncts[i].clone());
+    // contained[i][j] = disjunct i ⊆_Σ disjunct j.
+    let mut contained = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                contained[i][j] = ucq_contained_under(sigma, &single(i), &single(j), cfg).holds;
+            }
+        }
+    }
+    let mut keep: Vec<usize> = Vec::new();
+    for i in 0..n {
+        let dominated = (0..n)
+            .any(|j| j != i && contained[i][j] && (!contained[j][i] || keep.contains(&j) || j < i));
+        if !dominated {
+            keep.push(i);
+        }
+    }
+    if keep.is_empty() {
+        keep.push(0); // all equivalent: keep one
+    }
+    Ucq::new(keep.into_iter().map(|i| q.disjuncts[i].clone()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtgd_chase::parse_tgds;
+    use gtgd_query::parse_ucq;
+
+    fn cfg() -> EvalConfig {
+        EvalConfig::default()
+    }
+
+    #[test]
+    fn minimization_drops_sigma_subsumed_disjuncts() {
+        // Under Σ: A ⊆ B, so the A-disjunct is ⊆_Σ the B-disjunct.
+        let sigma = parse_tgds("A(X) -> B(X)").unwrap();
+        let q = parse_ucq("Q(X) :- A(X). Q(X) :- B(X)").unwrap();
+        let m = minimize_ucq_under(&sigma, &q, &cfg());
+        assert_eq!(m.disjuncts.len(), 1);
+        assert_eq!(
+            m.disjuncts[0].atoms[0].predicate,
+            gtgd_data::Predicate::new("B")
+        );
+        // Σ-equivalence of the minimization.
+        let c1 = ucq_contained_under(&sigma, &q, &m, &cfg());
+        let c2 = ucq_contained_under(&sigma, &m, &q, &cfg());
+        assert!(c1.holds && c2.holds);
+    }
+
+    #[test]
+    fn minimization_keeps_incomparable_disjuncts() {
+        let q = parse_ucq("Q(X) :- A(X). Q(X) :- B(X)").unwrap();
+        let m = minimize_ucq_under(&[], &q, &cfg());
+        assert_eq!(m.disjuncts.len(), 2);
+    }
+
+    #[test]
+    fn minimization_deduplicates_equivalents() {
+        let q = parse_ucq("Q(X) :- A(X), A(Y). Q(X) :- A(X)").unwrap();
+        let m = minimize_ucq_under(&[], &q, &cfg());
+        assert_eq!(m.disjuncts.len(), 1);
+    }
+
+    #[test]
+    fn example_4_4_rewriting_is_equivalent() {
+        // The paper's Example 4.4: under Σ = {R2(x) → R4(x)}, the treewidth-2
+        // core q is Σ-equivalent to the treewidth-1 query q′.
+        let sigma = parse_tgds("R2(X) -> R4(X)").unwrap();
+        let q = parse_ucq(
+            "Q() :- P(X2,X1), P(X4,X1), P(X2,X3), P(X4,X3), R1(X1), R2(X2), R3(X3), R4(X4)",
+        )
+        .unwrap();
+        let qp = parse_ucq("Q() :- P(X2,X1), P(X2,X3), R1(X1), R2(X2), R3(X3)").unwrap();
+        let s = Cqs::new(sigma.clone(), q.clone());
+        let sp = Cqs::new(sigma.clone(), qp.clone());
+        let eq = cqs_equivalent(&s, &sp, &cfg());
+        assert!(eq.exact);
+        assert!(eq.holds, "Example 4.4: q ≡_Σ q′");
+        // Without the constraint they are NOT equivalent.
+        let s0 = Cqs::new(vec![], q);
+        let sp0 = Cqs::new(vec![], qp);
+        let eq0 = cqs_equivalent(&s0, &sp0, &cfg());
+        assert!(eq0.exact);
+        assert!(!eq0.holds);
+    }
+
+    #[test]
+    fn containment_direction_matters() {
+        let sigma = parse_tgds("A(X) -> B(X)").unwrap();
+        let qa = parse_ucq("Q(X) :- A(X)").unwrap();
+        let qb = parse_ucq("Q(X) :- B(X)").unwrap();
+        // Under Σ, every A is a B: q_a ⊆_Σ q_b.
+        let c1 = ucq_contained_under(&sigma, &qa, &qb, &cfg());
+        assert!(c1.holds && c1.exact);
+        let c2 = ucq_contained_under(&sigma, &qb, &qa, &cfg());
+        assert!(!c2.holds && c2.exact);
+    }
+
+    #[test]
+    fn ucq_disjunct_level_containment() {
+        let sigma = vec![];
+        let u1 = parse_ucq("Q() :- A(X), B(X)").unwrap();
+        let u2 = parse_ucq("Q() :- A(X). Q() :- B(X)").unwrap();
+        assert!(ucq_contained_under(&sigma, &u1, &u2, &cfg()).holds);
+        assert!(!ucq_contained_under(&sigma, &u2, &u1, &cfg()).holds);
+    }
+
+    #[test]
+    fn infinite_chase_containment() {
+        // Σ: every node has a successor. A 2-step reachability query is
+        // contained in the 1-step query under Σ... it is even without Σ.
+        // The interesting direction: N(x) → ∃y E(x,y) makes Q2 below hold
+        // from N alone.
+        let sigma = parse_tgds("N(X) -> E(X,Y), N(Y)").unwrap();
+        let q1 = parse_ucq("Q(X) :- N(X)").unwrap();
+        let q2 = parse_ucq("Q(X) :- E(X,Y), E(Y,Z)").unwrap();
+        let c = ucq_contained_under(&sigma, &q1, &q2, &cfg());
+        assert!(c.holds, "chasing N(x) yields an infinite E-path");
+        assert!(c.exact);
+    }
+
+    #[test]
+    fn omq_variant_delegates() {
+        let sigma = parse_tgds("A(X) -> B(X)").unwrap();
+        let q1 = Omq::full_schema(sigma.clone(), parse_ucq("Q(X) :- A(X)").unwrap());
+        let q2 = Omq::full_schema(sigma, parse_ucq("Q(X) :- B(X)").unwrap());
+        assert!(omq_contained_same_sigma(&q1, &q2, &cfg()).holds);
+    }
+}

@@ -1,0 +1,201 @@
+//! Constraint-query specifications (Section 3.2): `S = (Σ, q)` evaluated
+//! closed-world over databases **promised** to satisfy Σ.
+
+use crate::omq::Omq;
+use gtgd_chase::{satisfies_all, Tgd, TgdClass};
+use gtgd_data::{Instance, Schema, Value};
+use gtgd_query::{evaluate_ucq, Ucq};
+use std::collections::HashSet;
+
+/// A constraint-query specification `S = (Σ, q)` over a schema `T`.
+#[derive(Debug, Clone)]
+pub struct Cqs {
+    /// The integrity constraints Σ.
+    pub sigma: Vec<Tgd>,
+    /// The query `q`.
+    pub query: Ucq,
+}
+
+/// The input database violated the promise `D |= Σ`.
+#[derive(Debug, Clone)]
+pub struct CqsViolation {
+    /// A violated constraint (displayed).
+    pub constraint: String,
+}
+
+impl std::fmt::Display for CqsViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "database violates constraint: {}", self.constraint)
+    }
+}
+
+impl std::error::Error for CqsViolation {}
+
+impl Cqs {
+    /// Builds a CQS.
+    pub fn new(sigma: Vec<Tgd>, query: Ucq) -> Cqs {
+        Cqs { sigma, query }
+    }
+
+    /// The schema `T` realized by Σ and `q`.
+    pub fn schema(&self) -> Schema {
+        let mut t = self.query.schema();
+        for tgd in &self.sigma {
+            t = t.union(&tgd.schema());
+        }
+        t
+    }
+
+    /// The companion OMQ `omq(S)` with full data schema (Section 5.1).
+    pub fn omq(&self) -> Omq {
+        Omq::full_schema(self.sigma.clone(), self.query.clone())
+    }
+
+    /// Whether Σ lies in the given class.
+    pub fn sigma_in(&self, class: TgdClass) -> bool {
+        self.sigma.iter().all(|t| t.is_in(class))
+    }
+
+    /// Whether Σ ⊆ FG_m (frontier-guarded with at most `m` head atoms).
+    pub fn sigma_in_fg_m(&self, m: usize) -> bool {
+        self.sigma
+            .iter()
+            .all(|t| t.is_in(TgdClass::FrontierGuarded) && t.head_atom_count() <= m)
+    }
+
+    /// Validates the promise `D |= Σ`.
+    pub fn check_promise(&self, db: &Instance) -> Result<(), CqsViolation> {
+        for t in &self.sigma {
+            if !gtgd_chase::satisfies(db, t) {
+                return Err(CqsViolation {
+                    constraint: t.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Closed-world evaluation: `q(D)` directly over `D` (the promise is
+    /// checked first — CQS evaluation is *defined* only on databases that
+    /// satisfy Σ).
+    pub fn evaluate(&self, db: &Instance) -> Result<HashSet<Vec<Value>>, CqsViolation> {
+        self.check_promise(db)?;
+        Ok(evaluate_ucq(&self.query, db))
+    }
+
+    /// Closed-world evaluation without re-checking the promise (for callers
+    /// that constructed `db` to satisfy Σ, e.g. the reductions).
+    pub fn evaluate_unchecked(&self, db: &Instance) -> HashSet<Vec<Value>> {
+        debug_assert!(satisfies_all(db, &self.sigma));
+        evaluate_ucq(&self.query, db)
+    }
+
+    /// Decision form: `c̄ ∈ q(D)`.
+    pub fn check(&self, db: &Instance, answer: &[Value]) -> Result<bool, CqsViolation> {
+        self.check_promise(db)?;
+        Ok(gtgd_query::eval::check_answer_ucq(&self.query, db, answer))
+    }
+
+    /// Decision form via the polynomial plan of Theorem 5.7's tractable
+    /// side: each disjunct is checked with the Prop 2.1 tree-decomposition
+    /// DP (guaranteed `O(‖D‖^{k+1}·‖q‖)` when the query is in `UCQ_k`).
+    pub fn check_decomposed(&self, db: &Instance, answer: &[Value]) -> Result<bool, CqsViolation> {
+        self.check_promise(db)?;
+        Ok(gtgd_query::decomp_eval::check_answer_ucq_decomposed(
+            &self.query,
+            db,
+            answer,
+        ))
+    }
+
+    /// The least `k` with the query in `UCQ_k` (its syntactic treewidth) —
+    /// the exponent of the [`Cqs::check_decomposed`] plan.
+    pub fn query_treewidth(&self) -> usize {
+        gtgd_query::tw::ucq_treewidth(&self.query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtgd_chase::parse_tgds;
+    use gtgd_data::GroundAtom;
+    use gtgd_query::parse_ucq;
+
+    fn inclusion_cqs() -> Cqs {
+        Cqs::new(
+            parse_tgds("Emp(X,D) -> Dept(D)").unwrap(),
+            parse_ucq("Q(X) :- Emp(X,D), Dept(D)").unwrap(),
+        )
+    }
+
+    #[test]
+    fn evaluation_on_satisfying_database() {
+        let s = inclusion_cqs();
+        let db = Instance::from_atoms([
+            GroundAtom::named("Emp", &["ann", "sales"]),
+            GroundAtom::named("Dept", &["sales"]),
+        ]);
+        let ans = s.evaluate(&db).unwrap();
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&vec![Value::named("ann")]));
+    }
+
+    #[test]
+    fn promise_violation_detected() {
+        let s = inclusion_cqs();
+        let db = Instance::from_atoms([GroundAtom::named("Emp", &["ann", "sales"])]);
+        assert!(s.evaluate(&db).is_err());
+    }
+
+    #[test]
+    fn omq_companion_has_full_schema() {
+        let s = inclusion_cqs();
+        let q = s.omq();
+        assert!(q.has_full_data_schema());
+        assert_eq!(q.arity(), 1);
+    }
+
+    #[test]
+    fn class_checks() {
+        let s = inclusion_cqs();
+        assert!(s.sigma_in(TgdClass::Guarded));
+        assert!(s.sigma_in_fg_m(1));
+        let fg = Cqs::new(
+            parse_tgds("R(X,Y), S(Y,Z) -> T(X), U(X)").unwrap(),
+            parse_ucq("Q() :- T(X)").unwrap(),
+        );
+        assert!(!fg.sigma_in(TgdClass::Guarded));
+        assert!(fg.sigma_in(TgdClass::FrontierGuarded));
+        assert!(!fg.sigma_in_fg_m(1));
+        assert!(fg.sigma_in_fg_m(2));
+    }
+
+    #[test]
+    fn decomposed_plan_agrees() {
+        let s = inclusion_cqs();
+        let db = Instance::from_atoms([
+            GroundAtom::named("Emp", &["ann", "sales"]),
+            GroundAtom::named("Emp", &["bob", "hr"]),
+            GroundAtom::named("Dept", &["sales"]),
+            GroundAtom::named("Dept", &["hr"]),
+        ]);
+        assert_eq!(s.query_treewidth(), 1);
+        for name in ["ann", "bob", "sales"] {
+            let cand = vec![Value::named(name)];
+            assert_eq!(
+                s.check(&db, &cand).unwrap(),
+                s.check_decomposed(&db, &cand).unwrap(),
+                "candidate {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn schema_union() {
+        let s = inclusion_cqs();
+        let t = s.schema();
+        assert_eq!(t.arity(gtgd_data::Predicate::new("Emp")), Some(2));
+        assert_eq!(t.arity(gtgd_data::Predicate::new("Dept")), Some(1));
+    }
+}

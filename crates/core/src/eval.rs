@@ -1,0 +1,223 @@
+//! Open-world OMQ evaluation (Section 3.1).
+//!
+//! By Prop 3.1, `Q(D) = q(chase(D, Σ))`. For guarded, constant-free Σ the
+//! evaluator materializes the *typed chase* (the Lemma A.3 linearization:
+//! every bag closed, adaptive blocking depth) and evaluates the UCQ over the
+//! prefix — this is the FPT algorithm of Prop 3.3(3) when `q ∈ UCQ_k`,
+//! where the per-candidate check runs through the tree-decomposition DP of
+//! Prop 2.1. For other TGD classes it falls back to a budgeted oblivious
+//! chase and reports whether the result is exact.
+
+use crate::omq::Omq;
+use gtgd_chase::{chase, typed_chase, ChaseBudget, DepthPolicy, TgdClass};
+use gtgd_data::{Instance, Value};
+use gtgd_query::decomp_eval::check_answer_ucq_decomposed;
+use gtgd_query::{evaluate_ucq, Term};
+use std::collections::HashSet;
+
+/// Evaluation configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalConfig {
+    /// Extra blocked levels for the adaptive typed chase; defaults to the
+    /// query's variable count (enough for any single-disjunct match to fit
+    /// under the blocking frontier).
+    pub extra_levels: Option<usize>,
+    /// Hard level cap for the typed chase.
+    pub max_level: usize,
+    /// Budget for the fallback oblivious chase (non-guarded Σ).
+    pub fallback_budget: ChaseBudget,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            extra_levels: None,
+            max_level: 64,
+            fallback_budget: ChaseBudget {
+                max_level: Some(16),
+                max_atoms: Some(200_000),
+            },
+        }
+    }
+}
+
+/// Certain answers, with an exactness flag: when `exact` is `false` the
+/// materialization budget ran out before saturation and the answer set is a
+/// (sound) under-approximation of `Q(D)`.
+#[derive(Debug, Clone)]
+pub struct OmqAnswers {
+    /// The certain answers found (always sound).
+    pub answers: HashSet<Vec<Value>>,
+    /// Whether the set is provably complete.
+    pub exact: bool,
+}
+
+fn sigma_constant_free(q: &Omq) -> bool {
+    q.sigma.iter().all(|t| {
+        t.body
+            .iter()
+            .chain(t.head.iter())
+            .all(|a| a.args.iter().all(|arg| matches!(arg, Term::Var(_))))
+    })
+}
+
+/// Materializes a chase prefix suitable for evaluating `q.query`, returning
+/// the instance and whether it is exact (deep enough for completeness).
+pub fn materialize_chase(q: &Omq, db: &Instance, cfg: &EvalConfig) -> (Instance, bool) {
+    if q.sigma.is_empty() {
+        return (db.clone(), true);
+    }
+    if q.sigma_in(TgdClass::Guarded) && sigma_constant_free(q) {
+        let extra = cfg
+            .extra_levels
+            .unwrap_or_else(|| q.query.max_vars().max(1));
+        let t = typed_chase(
+            db,
+            &q.sigma,
+            DepthPolicy::Adaptive {
+                extra_levels: extra,
+                max_level: cfg.max_level,
+            },
+        );
+        (t.instance, t.saturated)
+    } else {
+        let r = chase(db, &q.sigma, &cfg.fallback_budget);
+        (r.instance, r.complete)
+    }
+}
+
+/// `Q(D)`: the certain answers of the OMQ over an `S`-database (Prop 3.1).
+/// Only tuples over `dom(D)` qualify as answers.
+pub fn evaluate_omq(q: &Omq, db: &Instance, cfg: &EvalConfig) -> OmqAnswers {
+    let (instance, exact) = materialize_chase(q, db, cfg);
+    let answers = evaluate_ucq(&q.query, &instance)
+        .into_iter()
+        .filter(|t| t.iter().all(|v| db.dom_contains(*v)))
+        .collect();
+    OmqAnswers { answers, exact }
+}
+
+/// Decision form: `c̄ ∈ Q(D)`, by generic backtracking over the chase
+/// prefix. Returns `(holds, exact)`.
+pub fn check_omq(q: &Omq, db: &Instance, answer: &[Value], cfg: &EvalConfig) -> (bool, bool) {
+    let (instance, exact) = materialize_chase(q, db, cfg);
+    (
+        gtgd_query::eval::check_answer_ucq(&q.query, &instance, answer),
+        exact,
+    )
+}
+
+/// The FPT evaluation pipeline of Prop 3.3(3) for `(G, UCQ_k)`: typed chase
+/// materialization followed by the tree-decomposition DP of Prop 2.1 for the
+/// candidate check. Returns `(holds, exact)`.
+pub fn check_omq_fpt(q: &Omq, db: &Instance, answer: &[Value], cfg: &EvalConfig) -> (bool, bool) {
+    let (instance, exact) = materialize_chase(q, db, cfg);
+    (
+        check_answer_ucq_decomposed(&q.query, &instance, answer),
+        exact,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtgd_chase::parse_tgds;
+    use gtgd_data::GroundAtom;
+    use gtgd_query::parse_ucq;
+
+    fn v(s: &str) -> Value {
+        Value::named(s)
+    }
+
+    fn db(atoms: &[(&str, &[&str])]) -> Instance {
+        Instance::from_atoms(atoms.iter().map(|(p, args)| GroundAtom::named(p, args)))
+    }
+
+    #[test]
+    fn ontology_derives_answers() {
+        // Example 4.4's Σ: R2(x) → R4(x).
+        let q = Omq::full_schema(
+            parse_tgds("R2(X) -> R4(X)").unwrap(),
+            parse_ucq("Q(X) :- R4(X)").unwrap(),
+        );
+        let d = db(&[("R2", &["a"]), ("R4", &["b"])]);
+        let ans = evaluate_omq(&q, &d, &EvalConfig::default());
+        assert!(ans.exact);
+        assert_eq!(ans.answers.len(), 2);
+        assert!(ans.answers.contains(&vec![v("a")]));
+    }
+
+    #[test]
+    fn infinite_chase_answers_via_blocking() {
+        let q = Omq::full_schema(
+            parse_tgds("Person(X) -> Parent(X,Y), Person(Y)").unwrap(),
+            parse_ucq("Q(X) :- Person(X), Parent(X,Y), Parent(Y,Z)").unwrap(),
+        );
+        let d = db(&[("Person", &["eve"])]);
+        let ans = evaluate_omq(&q, &d, &EvalConfig::default());
+        assert!(ans.exact, "adaptive blocking should saturate");
+        assert_eq!(ans.answers, HashSet::from([vec![v("eve")]]));
+    }
+
+    #[test]
+    fn answers_restricted_to_database_domain() {
+        // The chase invents parents, but only eve is in dom(D).
+        let q = Omq::full_schema(
+            parse_tgds("Person(X) -> Parent(X,Y), Person(Y)").unwrap(),
+            parse_ucq("Q(X) :- Person(X)").unwrap(),
+        );
+        let d = db(&[("Person", &["eve"])]);
+        let ans = evaluate_omq(&q, &d, &EvalConfig::default());
+        assert_eq!(ans.answers.len(), 1);
+    }
+
+    #[test]
+    fn fpt_and_generic_checks_agree() {
+        let q = Omq::full_schema(
+            parse_tgds("Dept(D) -> HasMgr(D,M), Emp(M). Emp(M) -> WorksIn(M,D2), Dept(D2)")
+                .unwrap(),
+            parse_ucq("Q(D) :- HasMgr(D,M), WorksIn(M,D2), HasMgr(D2,M2)").unwrap(),
+        );
+        let d = db(&[("Dept", &["sales"])]);
+        let cfg = EvalConfig::default();
+        let (a, ea) = check_omq(&q, &d, &[v("sales")], &cfg);
+        let (b, eb) = check_omq_fpt(&q, &d, &[v("sales")], &cfg);
+        assert_eq!(a, b);
+        assert!(ea && eb);
+        assert!(a, "the guarded ontology entails the 2-hop pattern");
+    }
+
+    #[test]
+    fn non_guarded_fallback_reports_exactness() {
+        // A frontier-guarded, weakly acyclic set: fallback chase terminates.
+        let q = Omq::full_schema(
+            parse_tgds("R(X,Y), S(Y,Z) -> T(X)").unwrap(),
+            parse_ucq("Q(X) :- T(X)").unwrap(),
+        );
+        let d = db(&[("R", &["a", "b"]), ("S", &["b", "c"])]);
+        let ans = evaluate_omq(&q, &d, &EvalConfig::default());
+        assert!(ans.exact);
+        assert_eq!(ans.answers, HashSet::from([vec![v("a")]]));
+    }
+
+    #[test]
+    fn empty_sigma_is_plain_evaluation() {
+        let q = Omq::full_schema(vec![], parse_ucq("Q(X) :- E(X,Y)").unwrap());
+        let d = db(&[("E", &["a", "b"])]);
+        let ans = evaluate_omq(&q, &d, &EvalConfig::default());
+        assert!(ans.exact);
+        assert_eq!(ans.answers.len(), 1);
+    }
+
+    #[test]
+    fn boolean_omq() {
+        let q = Omq::full_schema(
+            parse_tgds("A(X) -> B(X)").unwrap(),
+            parse_ucq("Q() :- B(X)").unwrap(),
+        );
+        let (holds, exact) = check_omq(&q, &db(&[("A", &["a"])]), &[], &EvalConfig::default());
+        assert!(holds && exact);
+        let (holds, _) = check_omq(&q, &db(&[("C", &["a"])]), &[], &EvalConfig::default());
+        assert!(!holds);
+    }
+}

@@ -1,0 +1,70 @@
+#![warn(missing_docs)]
+
+//! The paper's contribution: ontology-mediated queries (OMQs) and
+//! constraint-query specifications (CQSs) over (frontier-)guarded TGDs,
+//! their open- and closed-world evaluation, semantic treewidth
+//! (UCQ_k-equivalence and UCQ_k-approximations), and the lower-bound
+//! machinery (the Grohe construction and the p-Clique fpt-reductions).
+//!
+//! Section map:
+//! * [`omq`], [`cqs`] — the two facets of TGDs in querying (Section 3);
+//! * [`eval`] — evaluation, including the FPT algorithm of Prop 3.3(3);
+//! * [`containment`] — chase-based containment/equivalence (Prop 4.5);
+//! * [`approx`] — UCQ_k-approximations and UCQ_k-equivalence (Section 4,
+//!   Prop 5.2/5.11, Theorems 5.1/5.6/5.10);
+//! * [`grohe`] — the database `D*(G, D, D′, A, µ)` of Theorem 7.1/App. H.1;
+//! * [`omq_to_cqs`] — the OMQ→CQS fpt-reduction of Prop 5.8/Lemma 6.8;
+//! * [`reduction`] — end-to-end p-Clique reductions (Theorems 5.4/5.13);
+//! * [`diversify`] — diversification of databases (Appendix D.2).
+//!
+//! ```
+//! use gtgd_core::{evaluate_omq, EvalConfig, Omq};
+//! use gtgd_chase::parse_tgds;
+//! use gtgd_query::parse_ucq;
+//! use gtgd_data::{GroundAtom, Instance};
+//!
+//! // Open-world: the ontology supplies every employee a managed department.
+//! let omq = Omq::full_schema(
+//!     parse_tgds("Emp(X) -> WorksIn(X,D). WorksIn(X,D) -> Dept(D). \
+//!                 Dept(D) -> HasMgr(D,M)")?,
+//!     parse_ucq("Q(X) :- WorksIn(X,D), HasMgr(D,M)")?,
+//! );
+//! let db = Instance::from_atoms([GroundAtom::named("Emp", &["ann"])]);
+//! let out = evaluate_omq(&omq, &db, &EvalConfig::default());
+//! assert!(out.exact);
+//! assert_eq!(out.answers.len(), 1);
+//! # Ok::<(), gtgd_query::ParseError>(())
+//! ```
+
+pub mod approx;
+pub mod containment;
+pub mod cqs;
+pub mod diversify;
+pub mod eval;
+pub mod grohe;
+pub mod omq;
+pub mod omq_reduction;
+pub mod omq_to_cqs;
+pub mod planner;
+pub mod reduction;
+
+pub use approx::{
+    cqs_ucqk_approximation, cqs_uniformly_ucqk_equivalent, fgm_regime_bound,
+    omq_ucqk_approximation, omq_ucqk_approximation_compact, omq_ucqk_equivalent,
+    omq_uniformly_ucqk_equivalent, GroundingPolicy,
+};
+pub use containment::{
+    cqs_contained, cqs_equivalent, minimize_ucq_under, omq_contained_same_sigma,
+    ucq_contained_under, Containment,
+};
+pub use cqs::{Cqs, CqsViolation};
+pub use diversify::{diversifications_of_atom, diversify_maximally, Diversification};
+pub use eval::{check_omq, check_omq_fpt, evaluate_omq, EvalConfig, OmqAnswers};
+pub use grohe::{build_grohe_database, labelled_cliques, pad_for_clique_extension, GroheDatabase};
+pub use omq::Omq;
+pub use omq_reduction::{clique_to_omq_instance, decide_clique_via_omq, ternary_grid_omq_family};
+pub use omq_to_cqs::omq_to_cqs_database;
+pub use planner::{plan_cqs, Engine, Plan, PlannedDisjunct};
+pub use reduction::{
+    clique_to_cqs_instance, grid_cqs_family, marked_grid_cqs_family, CqsCliqueFamily,
+};

@@ -1,0 +1,220 @@
+//! Ontology-mediated queries (Section 3.1): `Q = (S, Σ, q)`.
+
+use gtgd_chase::{Tgd, TgdClass};
+use gtgd_data::Schema;
+use gtgd_query::Ucq;
+
+/// An ontology-mediated query `Q = (S, Σ, q)`: a data schema `S`, an
+/// ontology Σ over an extended schema `T ⊇ S`, and a UCQ `q` over `T`.
+#[derive(Debug, Clone)]
+pub struct Omq {
+    /// The data schema `S` — input databases are `S`-databases.
+    pub data_schema: Schema,
+    /// The ontology Σ.
+    pub sigma: Vec<Tgd>,
+    /// The actual query `q`.
+    pub query: Ucq,
+}
+
+/// Construction errors for OMQs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OmqError {
+    /// The data schema uses a predicate at a different arity than Σ or `q`.
+    ArityClash(String),
+}
+
+impl std::fmt::Display for OmqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OmqError::ArityClash(m) => write!(f, "arity clash: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OmqError {}
+
+impl Omq {
+    /// Builds an OMQ, checking that the data schema is consistent with the
+    /// extended schema realized by Σ and `q`.
+    pub fn new(data_schema: Schema, sigma: Vec<Tgd>, query: Ucq) -> Result<Omq, OmqError> {
+        let mut ontology_schema = query.schema();
+        for tgd in &sigma {
+            ontology_schema = ontology_schema.union(&tgd.schema());
+        }
+        for (p, a) in data_schema.iter() {
+            if let Some(b) = ontology_schema.arity(p) {
+                if a != b {
+                    return Err(OmqError::ArityClash(format!(
+                        "{p} has arity {a} in the data schema but {b} in Σ/q"
+                    )));
+                }
+            }
+        }
+        Ok(Omq {
+            data_schema,
+            sigma,
+            query,
+        })
+    }
+
+    /// Builds an OMQ with **full data schema** (`S = T`): every predicate of
+    /// Σ and `q` is part of the data signature (Section 5.1's `omq(S)`
+    /// setting).
+    pub fn full_schema(sigma: Vec<Tgd>, query: Ucq) -> Omq {
+        let mut q = Omq {
+            data_schema: Schema::new(),
+            sigma,
+            query,
+        };
+        q.data_schema = q.extended_schema();
+        q
+    }
+
+    /// The extended schema `T`: every predicate of `S`, Σ, and `q`.
+    pub fn extended_schema(&self) -> Schema {
+        let mut t = self.data_schema.clone();
+        for tgd in &self.sigma {
+            t = t.union(&tgd.schema());
+        }
+        t.union(&self.query.schema())
+    }
+
+    /// Whether `S = T` (full data schema).
+    pub fn has_full_data_schema(&self) -> bool {
+        let ext = self.extended_schema();
+        ext.is_subschema_of(&self.data_schema)
+    }
+
+    /// Arity of the OMQ (= arity of the UCQ).
+    pub fn arity(&self) -> usize {
+        self.query.arity()
+    }
+
+    /// Whether the ontology lies in the given TGD class.
+    pub fn sigma_in(&self, class: TgdClass) -> bool {
+        self.sigma.iter().all(|t| t.is_in(class))
+    }
+
+    /// Validates an input database against the data schema `S`: every
+    /// predicate must be declared with matching arity. The evaluation
+    /// functions do not enforce this (callers may evaluate over chase
+    /// prefixes that use extended-schema atoms); use it at trust
+    /// boundaries.
+    pub fn validate_database(&self, db: &gtgd_data::Instance) -> Result<(), OmqError> {
+        for a in db.iter() {
+            match self.data_schema.arity(a.predicate) {
+                None => {
+                    return Err(OmqError::ArityClash(format!(
+                        "database predicate {} is not in the data schema",
+                        a.predicate
+                    )))
+                }
+                Some(ar) if ar != a.arity() => {
+                    return Err(OmqError::ArityClash(format!(
+                        "database atom {} has arity {} but the schema declares {}",
+                        a,
+                        a.arity(),
+                        ar
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the OMQ is in the language `(G, UCQ_k)`.
+    pub fn in_guarded_ucqk(&self, k: usize) -> bool {
+        self.sigma_in(TgdClass::Guarded) && gtgd_query::tw::is_ucq_treewidth_at_most(&self.query, k)
+    }
+}
+
+impl std::fmt::Display for Omq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "OMQ over data schema with {} predicates",
+            self.data_schema.len()
+        )?;
+        for t in &self.sigma {
+            writeln!(f, "  Σ: {t}")?;
+        }
+        write!(f, "  q: {}", self.query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtgd_chase::parse_tgds;
+    use gtgd_query::parse_ucq;
+
+    fn sample() -> Omq {
+        Omq::full_schema(
+            parse_tgds("R2(X) -> R4(X)").unwrap(),
+            parse_ucq("Q() :- P(X2,X1), R2(X2), R4(X4)").unwrap(),
+        )
+    }
+
+    #[test]
+    fn full_schema_includes_everything() {
+        let q = sample();
+        assert!(q.has_full_data_schema());
+        let ext = q.extended_schema();
+        assert!(ext.contains(gtgd_data::Predicate::new("R2")));
+        assert!(ext.contains(gtgd_data::Predicate::new("R4")));
+        assert!(ext.contains(gtgd_data::Predicate::new("P")));
+        assert_eq!(ext.max_arity(), 2);
+    }
+
+    #[test]
+    fn restricted_data_schema() {
+        let s = Schema::from_pairs([("P", 2), ("R2", 1)]);
+        let q = Omq::new(
+            s,
+            parse_tgds("R2(X) -> R4(X)").unwrap(),
+            parse_ucq("Q() :- P(X,Y), R4(Y)").unwrap(),
+        )
+        .unwrap();
+        assert!(!q.has_full_data_schema());
+    }
+
+    #[test]
+    fn arity_clash_detected() {
+        let s = Schema::from_pairs([("R2", 3)]);
+        let e = Omq::new(
+            s,
+            parse_tgds("R2(X) -> R4(X)").unwrap(),
+            parse_ucq("Q() :- R4(X)").unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(e, OmqError::ArityClash(_)));
+    }
+
+    #[test]
+    fn database_validation() {
+        use gtgd_data::{GroundAtom, Instance};
+        let s = Schema::from_pairs([("P", 2), ("R2", 1)]);
+        let q = Omq::new(
+            s,
+            parse_tgds("R2(X) -> R4(X)").unwrap(),
+            parse_ucq("Q() :- P(X,Y), R4(Y)").unwrap(),
+        )
+        .unwrap();
+        let good = Instance::from_atoms([GroundAtom::named("P", &["a", "b"])]);
+        assert!(q.validate_database(&good).is_ok());
+        // R4 is ontology-only: not a legal input predicate.
+        let bad = Instance::from_atoms([GroundAtom::named("R4", &["a"])]);
+        assert!(q.validate_database(&bad).is_err());
+        // Wrong arity.
+        let bad2 = Instance::from_atoms([GroundAtom::named("P", &["a"])]);
+        assert!(q.validate_database(&bad2).is_err());
+    }
+
+    #[test]
+    fn class_membership() {
+        let q = sample();
+        assert!(q.sigma_in(TgdClass::Guarded));
+        assert!(q.in_guarded_ucqk(2));
+    }
+}

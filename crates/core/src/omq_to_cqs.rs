@@ -1,0 +1,121 @@
+//! The OMQ → CQS fpt-reduction (Proposition 5.8 / Lemma 6.8 / Appendix F):
+//! from an `S`-database `D` and a guarded OMQ `Q = (S, Σ, q)` with full data
+//! schema, build a database `D^*` with `D^* |= Σ` and
+//! `c̄ ∈ Q(D) ⟺ c̄ ∈ q(D^*)` — evaluation of the OMQ **open-world** reduces
+//! to plain **closed-world** evaluation over a constraint-satisfying
+//! database.
+//!
+//! `D^* = D⁺ ∪ ⋃_{ā ∈ A} M(D⁺|ā, Σ, n)` where `D⁺` is the ground saturation
+//! (`chase↓`), `A` ranges over the maximal guarded tuples of `D⁺`, and each
+//! `M` is a finite model of `(D⁺|ā, Σ)` preserving chase answers. Finite
+//! models are realized through [`gtgd_chase::finite_witness`] (terminating
+//! chases — see DESIGN.md §3 for the substitution).
+
+use crate::omq::Omq;
+use gtgd_chase::{finite_witness, ground_saturation, ChaseBudget, TgdClass, WitnessError};
+use gtgd_data::{Instance, Value};
+use std::collections::HashSet;
+
+/// Builds the reduction database `D^*`.
+///
+/// Requires a guarded ontology; fails with [`WitnessError`] when a local
+/// finite model cannot be materialized within `budget`.
+pub fn omq_to_cqs_database(
+    q: &Omq,
+    db: &Instance,
+    budget: &ChaseBudget,
+) -> Result<Instance, WitnessError> {
+    assert!(
+        q.sigma_in(TgdClass::Guarded),
+        "the OMQ→CQS reduction is for guarded ontologies (Prop 5.8)"
+    );
+    // D⁺: the database completed with every entailed ground atom.
+    let d_plus = ground_saturation(db, &q.sigma);
+    // A: the maximal guarded tuples of D⁺.
+    let guarded_sets = d_plus.maximal_guarded_sets();
+    let mut d_star = d_plus.clone();
+    for a_bar in guarded_sets {
+        let keep: HashSet<Value> = a_bar.iter().copied().collect();
+        let local = d_plus.restrict_to(&keep);
+        // M(D⁺|ā, Σ, n): chase nulls are globally fresh, so the models'
+        // domains intersect only inside dom(D), as the construction demands.
+        let m = finite_witness(&local, &q.sigma, budget)?;
+        d_star.extend_from(&m);
+    }
+    Ok(d_star)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{check_omq, evaluate_omq, EvalConfig};
+    use gtgd_chase::{parse_tgds, satisfies_all};
+    use gtgd_data::GroundAtom;
+    use gtgd_query::{evaluate_ucq, parse_ucq};
+
+    fn db(atoms: &[(&str, &[&str])]) -> Instance {
+        Instance::from_atoms(atoms.iter().map(|(p, args)| GroundAtom::named(p, args)))
+    }
+
+    fn v(s: &str) -> Value {
+        Value::named(s)
+    }
+
+    /// Lemma 6.8 items (1) and (2) on a weakly acyclic guarded ontology
+    /// with existential heads.
+    #[test]
+    fn reduction_preserves_answers_and_satisfies_sigma() {
+        let sigma =
+            parse_tgds("Emp(X) -> WorksIn(X,D). WorksIn(X,D) -> Dept(D). Dept(D) -> Audited(D)")
+                .unwrap();
+        let q = Omq::full_schema(
+            sigma.clone(),
+            parse_ucq("Q(X) :- Emp(X), WorksIn(X,D), Audited(D)").unwrap(),
+        );
+        let d = db(&[("Emp", &["ann"]), ("Emp", &["bob"]), ("Dept", &["hr"])]);
+        let d_star = omq_to_cqs_database(&q, &d, &ChaseBudget::unbounded()).unwrap();
+        // (1) D* |= Σ.
+        assert!(satisfies_all(&d_star, &sigma));
+        // (2) answers agree (restricted to dom(D), as certain answers are).
+        let open = evaluate_omq(&q, &d, &EvalConfig::default());
+        assert!(open.exact);
+        let closed: HashSet<Vec<Value>> = evaluate_ucq(&q.query, &d_star)
+            .into_iter()
+            .filter(|t| t.iter().all(|x| d.dom_contains(*x)))
+            .collect();
+        assert_eq!(open.answers, closed);
+        assert!(closed.contains(&vec![v("ann")]));
+    }
+
+    #[test]
+    fn negative_answers_stay_negative() {
+        // The witness models must not invent matches the chase lacks.
+        let sigma = parse_tgds("A(X) -> R(X,Y)").unwrap();
+        let q = Omq::full_schema(sigma.clone(), parse_ucq("Q() :- R(X,Y), B(Y)").unwrap());
+        let d = db(&[("A", &["a"])]);
+        let d_star = omq_to_cqs_database(&q, &d, &ChaseBudget::unbounded()).unwrap();
+        assert!(satisfies_all(&d_star, &sigma));
+        let (holds, exact) = check_omq(&q, &d, &[], &EvalConfig::default());
+        assert!(!holds && exact);
+        assert!(!gtgd_query::ucq_holds_boolean(&q.query, &d_star));
+    }
+
+    #[test]
+    fn ground_part_completed() {
+        // S(b,z) → T(b) style round trips must appear in D*.
+        let sigma = parse_tgds("R(X,Y) -> S(Y,Z). S(Y,Z) -> T(Y)").unwrap();
+        let q = Omq::full_schema(sigma, parse_ucq("Q(Y) :- T(Y)").unwrap());
+        let d = db(&[("R", &["a", "b"])]);
+        let d_star = omq_to_cqs_database(&q, &d, &ChaseBudget::unbounded()).unwrap();
+        assert!(d_star.contains(&GroundAtom::named("T", &["b"])));
+    }
+
+    #[test]
+    fn non_terminating_local_chase_reports() {
+        let sigma = parse_tgds("Person(X) -> Parent(X,Y), Person(Y)").unwrap();
+        let q = Omq::full_schema(sigma, parse_ucq("Q(X) :- Person(X)").unwrap());
+        let d = db(&[("Person", &["eve"])]);
+        let r = omq_to_cqs_database(&q, &d, &ChaseBudget::atoms(50));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! A constraint-aware query planner: the paper's Section 1 motivation
+//! ("TGDs as integrity constraints pave the way to constraint-aware query
+//! optimization") turned into an executable pipeline.
+//!
+//! Given a CQS `(Σ, q)`, the planner:
+//!
+//! 1. tries to lower the query's **semantic treewidth modulo Σ**
+//!    (Theorem 5.10's meta problem, via the contraction approximation) for
+//!    `k = 1, 2, …` up to the query's syntactic treewidth;
+//! 2. picks an evaluation engine per disjunct of the chosen rewriting:
+//!    Yannakakis semijoins when α-acyclic, the Prop 2.1
+//!    tree-decomposition DP otherwise (its exponent is the established
+//!    treewidth bound);
+//! 3. exposes the decisions as an inspectable [`Plan`].
+
+use crate::approx::cqs_uniformly_ucqk_equivalent;
+use crate::cqs::{Cqs, CqsViolation};
+use crate::eval::EvalConfig;
+use gtgd_data::{Instance, Value};
+use gtgd_query::acyclic::is_alpha_acyclic;
+use gtgd_query::decomp_eval::check_answer_decomposed;
+use gtgd_query::tw::{cq_treewidth, ucq_treewidth};
+use gtgd_query::{check_answer_yannakakis, Cq, Ucq};
+
+/// The engine chosen for one disjunct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Yannakakis semijoin program (α-acyclic disjunct).
+    Yannakakis,
+    /// Prop 2.1 tree-decomposition dynamic programming.
+    DecompositionDp,
+}
+
+/// One planned disjunct.
+#[derive(Debug, Clone)]
+pub struct PlannedDisjunct {
+    /// The (possibly rewritten) CQ.
+    pub cq: Cq,
+    /// Its treewidth (the DP exponent bound).
+    pub treewidth: usize,
+    /// The chosen engine.
+    pub engine: Engine,
+}
+
+/// An executable plan for a CQS.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The constraints (kept for the promise check).
+    pub sigma: Vec<gtgd_chase::Tgd>,
+    /// The planned disjuncts (a UCQ Σ-equivalent to the input query).
+    pub disjuncts: Vec<PlannedDisjunct>,
+    /// Treewidth of the input query.
+    pub input_treewidth: usize,
+    /// Treewidth of the rewriting actually planned.
+    pub planned_treewidth: usize,
+    /// Whether a Σ-aware rewriting strictly lowered the treewidth.
+    pub rewritten: bool,
+}
+
+impl Plan {
+    /// Renders the plan for inspection.
+    pub fn explain(&self) -> String {
+        let mut out = format!(
+            "plan: input tw {} → planned tw {}{}\n",
+            self.input_treewidth,
+            self.planned_treewidth,
+            if self.rewritten {
+                " (constraint-aware rewriting applied)"
+            } else {
+                ""
+            }
+        );
+        for (i, d) in self.disjuncts.iter().enumerate() {
+            out.push_str(&format!(
+                "  disjunct {i}: tw {} via {:?}: {}\n",
+                d.treewidth, d.engine, d.cq
+            ));
+        }
+        out
+    }
+
+    /// Executes the plan: `c̄ ∈ q(D)` under the promise `D |= Σ`.
+    pub fn check(&self, db: &Instance, answer: &[Value]) -> Result<bool, CqsViolation> {
+        for t in &self.sigma {
+            if !gtgd_chase::satisfies(db, t) {
+                return Err(CqsViolation {
+                    constraint: t.to_string(),
+                });
+            }
+        }
+        Ok(self.disjuncts.iter().any(|d| match d.engine {
+            Engine::Yannakakis => check_answer_yannakakis(&d.cq, db, answer)
+                .expect("planner only assigns Yannakakis to acyclic disjuncts"),
+            Engine::DecompositionDp => check_answer_decomposed(&d.cq, db, answer),
+        }))
+    }
+}
+
+/// Plans a CQS: constraint-aware rewriting, then per-disjunct engine
+/// selection. `max_k` caps the semantic-treewidth search (use 2 or 3; the
+/// meta problem is exponential in the query).
+pub fn plan_cqs(s: &Cqs, max_k: usize, cfg: &EvalConfig) -> Plan {
+    let input_tw = ucq_treewidth(&s.query);
+    // Search for the least k < input_tw with a Σ-rewriting.
+    let mut chosen: Option<(usize, Ucq)> = None;
+    for k in 1..input_tw.min(max_k + 1) {
+        let (verdict, rewriting) = cqs_uniformly_ucqk_equivalent(s, k, cfg);
+        if verdict.holds && verdict.exact {
+            if let Some(r) = rewriting {
+                chosen = Some((k, r.query));
+                break;
+            }
+        }
+    }
+    let (planned_tw, query, rewritten) = match chosen {
+        Some((k, q)) => (k, q, true),
+        None => (input_tw, s.query.clone(), false),
+    };
+    let disjuncts = query
+        .disjuncts
+        .iter()
+        .map(|cq| {
+            let engine = if is_alpha_acyclic(cq) {
+                Engine::Yannakakis
+            } else {
+                Engine::DecompositionDp
+            };
+            PlannedDisjunct {
+                treewidth: cq_treewidth(cq),
+                engine,
+                cq: cq.clone(),
+            }
+        })
+        .collect();
+    Plan {
+        sigma: s.sigma.clone(),
+        disjuncts,
+        input_treewidth: input_tw,
+        planned_treewidth: planned_tw,
+        rewritten,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtgd_chase::parse_tgds;
+    use gtgd_data::GroundAtom;
+    use gtgd_query::parse_ucq;
+
+    fn cfg() -> EvalConfig {
+        EvalConfig::default()
+    }
+
+    fn example_4_4() -> Cqs {
+        Cqs::new(
+            parse_tgds("R2(X) -> R4(X)").unwrap(),
+            parse_ucq(
+                "Q() :- P(X2,X1), P(X4,X1), P(X2,X3), P(X4,X3), \
+                 R1(X1), R2(X2), R3(X3), R4(X4)",
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn planner_applies_constraint_rewriting() {
+        let plan = plan_cqs(&example_4_4(), 2, &cfg());
+        assert!(plan.rewritten, "Example 4.4 rewrites to treewidth 1");
+        assert_eq!(plan.input_treewidth, 2);
+        assert_eq!(plan.planned_treewidth, 1);
+        assert!(!plan.explain().is_empty());
+    }
+
+    #[test]
+    fn planner_without_constraints_keeps_query() {
+        let s = Cqs::new(vec![], example_4_4().query);
+        let plan = plan_cqs(&s, 2, &cfg());
+        assert!(!plan.rewritten, "the core is genuinely treewidth 2");
+        assert_eq!(plan.planned_treewidth, 2);
+    }
+
+    #[test]
+    fn plan_execution_matches_direct_evaluation() {
+        let s = example_4_4();
+        let plan = plan_cqs(&s, 2, &cfg());
+        // A Σ-satisfying database with a diamond match.
+        let db = Instance::from_atoms([
+            GroundAtom::named("P", &["b", "a"]),
+            GroundAtom::named("P", &["b", "c"]),
+            GroundAtom::named("R1", &["a"]),
+            GroundAtom::named("R2", &["b"]),
+            GroundAtom::named("R4", &["b"]),
+            GroundAtom::named("R3", &["c"]),
+        ]);
+        assert_eq!(
+            plan.check(&db, &[]).unwrap(),
+            s.check(&db, &[]).unwrap(),
+            "plan and direct evaluation agree (positive)"
+        );
+        assert!(plan.check(&db, &[]).unwrap());
+        // A Σ-satisfying database without a match.
+        let db2 = Instance::from_atoms([
+            GroundAtom::named("P", &["b", "a"]),
+            GroundAtom::named("R1", &["a"]),
+        ]);
+        assert_eq!(
+            plan.check(&db2, &[]).unwrap(),
+            s.check(&db2, &[]).unwrap(),
+            "plan and direct evaluation agree (negative)"
+        );
+    }
+
+    #[test]
+    fn plan_enforces_promise() {
+        let plan = plan_cqs(&example_4_4(), 2, &cfg());
+        // R2 without R4 violates Σ.
+        let bad = Instance::from_atoms([GroundAtom::named("R2", &["b"])]);
+        assert!(plan.check(&bad, &[]).is_err());
+    }
+
+    #[test]
+    fn engine_selection() {
+        // An acyclic query gets Yannakakis; a cyclic one gets the DP.
+        let acyclic = Cqs::new(vec![], parse_ucq("Q(X) :- E(X,Y), P(Y)").unwrap());
+        let plan = plan_cqs(&acyclic, 2, &cfg());
+        assert_eq!(plan.disjuncts[0].engine, Engine::Yannakakis);
+        let cyclic = Cqs::new(vec![], parse_ucq("Q() :- E(X,Y), E(Y,Z), E(Z,X)").unwrap());
+        let plan = plan_cqs(&cyclic, 1, &cfg());
+        assert_eq!(plan.disjuncts[0].engine, Engine::DecompositionDp);
+    }
+}

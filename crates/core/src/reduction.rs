@@ -1,0 +1,291 @@
+//! End-to-end p-Clique fpt-reductions (Theorem 5.13, and the machinery
+//! shared with Theorem 5.4): concrete CQS families whose Lemma 7.2 objects
+//! `(p, X, p′)` are constructed explicitly, plus the reduction
+//! `(G, k) ↦ D*` and the decision wrapper used by the experiments.
+//!
+//! The families are grid-shaped, mirroring the paper's proofs: `G^p_{|X}`
+//! is literally the `k × K` grid, so the minor map is the identity
+//! embedding and the Excluded Grid Theorem step is constructive.
+
+use crate::cqs::Cqs;
+use crate::grohe::{build_grohe_database, identity_grid_mu, GroheDatabase};
+use gtgd_chase::parse_tgds;
+use gtgd_data::{Predicate, Value};
+use gtgd_query::{Cq, QAtom, Term, Ucq, Var};
+use gtgd_treewidth::grid::big_k;
+use gtgd_treewidth::Graph;
+use std::collections::{BTreeSet, HashMap};
+
+/// A CQS together with the Lemma 7.2 objects used by the reduction.
+#[derive(Debug, Clone)]
+pub struct CqsCliqueFamily {
+    /// The CQS `S = (Σ, q)`.
+    pub cqs: Cqs,
+    /// The CQ `p` with `q ≡_Σ p`.
+    pub p: Cq,
+    /// The variable set `X` (grid-major order: row 1 columns `1..=K`, then
+    /// row 2, …), with `G^p_{|X}` the `rows × cols` grid.
+    pub x_vars: Vec<Var>,
+    /// The CQ `p′` with `D[p] ⊆ D[p′]` and `D[p′] |= Σ`.
+    pub p_prime: Cq,
+    /// Grid rows (`k`).
+    pub rows: usize,
+    /// Grid columns (`K`).
+    pub cols: usize,
+}
+
+/// Builds the Boolean grid CQ over predicates `H` (horizontal) and `V`
+/// (vertical), with extra atoms appended; variable `(i, j)` (1-based) is
+/// `Var((i-1)*cols + (j-1))`, grid-major.
+fn grid_cq(rows: usize, cols: usize, extra: impl Fn(&[Var]) -> Vec<QAtom>) -> Cq {
+    let mut names = Vec::new();
+    for i in 1..=rows {
+        for j in 1..=cols {
+            names.push(format!("X{i}_{j}"));
+        }
+    }
+    let vars: Vec<Var> = (0..(rows * cols) as u32).map(Var).collect();
+    let at = |i: usize, j: usize| vars[(i - 1) * cols + (j - 1)];
+    let h = Predicate::new("H");
+    let vp = Predicate::new("V");
+    let mut atoms = Vec::new();
+    for i in 1..=rows {
+        for j in 1..=cols {
+            if j < cols {
+                atoms.push(QAtom::new(
+                    h,
+                    vec![Term::Var(at(i, j)), Term::Var(at(i, j + 1))],
+                ));
+            }
+            if i < rows {
+                atoms.push(QAtom::new(
+                    vp,
+                    vec![Term::Var(at(i, j)), Term::Var(at(i + 1, j))],
+                ));
+            }
+        }
+    }
+    atoms.extend(extra(&vars));
+    Cq::new(names, atoms, vec![])
+}
+
+/// The unconstrained grid family (`Σ = ∅`): `q = p = p′` is the
+/// `k × K` grid CQ. This is exactly Grohe's Theorem 4.1 setting, exercised
+/// through the paper's Theorem 7.1 database.
+pub fn grid_cqs_family(k: usize) -> CqsCliqueFamily {
+    let (rows, cols) = (k, big_k(k).max(1));
+    let p = grid_cq(rows, cols, |_| Vec::new());
+    CqsCliqueFamily {
+        cqs: Cqs::new(vec![], Ucq::single(p.clone())),
+        x_vars: p.all_vars(),
+        p_prime: p.clone(),
+        p,
+        rows,
+        cols,
+    }
+}
+
+/// The constrained grid family: Σ marks every endpoint of an edge with `N`
+/// (guarded full TGDs, two head atoms — `FG_2`), `q` is the grid CQ, and
+/// `p = p′` is the grid CQ completed with the `N`-atoms so that
+/// `D[p′] |= Σ`. Exercises Theorem 5.13's "the constructed database must
+/// satisfy Σ" constraint.
+pub fn marked_grid_cqs_family(k: usize) -> CqsCliqueFamily {
+    let (rows, cols) = (k, big_k(k).max(1));
+    let sigma = parse_tgds("H(X,Y) -> N(X), N(Y). V(X,Y) -> N(X), N(Y)").unwrap();
+    let q = grid_cq(rows, cols, |_| Vec::new());
+    let n = Predicate::new("N");
+    let p = grid_cq(rows, cols, |vars| {
+        vars.iter()
+            .map(|&v| QAtom::new(n, vec![Term::Var(v)]))
+            .collect()
+    });
+    CqsCliqueFamily {
+        cqs: Cqs::new(sigma, Ucq::single(q)),
+        x_vars: p.all_vars().into_iter().take(rows * cols).collect(),
+        p_prime: p.clone(),
+        p,
+        rows,
+        cols,
+    }
+}
+
+/// The reduced instance: `D* = D*(G, D[p], D[p′], X, µ)` with the identity
+/// grid minor map.
+#[derive(Debug, Clone)]
+pub struct ReducedInstance {
+    /// The Grohe database and projection.
+    pub grohe: GroheDatabase,
+    /// The frozen values of `X`, grid-major (the set `A`).
+    pub a_values: Vec<Value>,
+    /// Frozen value of every variable of `p′`.
+    pub frozen: HashMap<Var, Value>,
+}
+
+/// Runs the fpt-reduction `(G, k) ↦ D*` for a family with `rows = k`.
+pub fn clique_to_cqs_instance(g: &Graph, k: usize, fam: &CqsCliqueFamily) -> ReducedInstance {
+    assert_eq!(fam.rows, k, "family must be built for clique size k");
+    assert_eq!(fam.cols, big_k(k).max(1));
+    // Freeze p′ once; D[p] is its restriction to p's atoms (shared ids).
+    let (d_prime, frozen) = fam.p_prime.canonical_database();
+    let a_values: Vec<Value> = fam.x_vars.iter().map(|v| frozen[v]).collect();
+    let a: BTreeSet<Value> = a_values.iter().copied().collect();
+    let mu = identity_grid_mu(&a_values);
+    let grohe = build_grohe_database(g, k, &d_prime, &a, &mu);
+    ReducedInstance {
+        grohe,
+        a_values,
+        frozen,
+    }
+}
+
+/// Decides `k`-clique through the CQS reduction: builds `D*` and evaluates
+/// the CQS query closed-world. By Theorem 5.13's correctness lemma
+/// (Lemma 7.3 / H.10), the answer equals "G has a k-clique".
+pub fn decide_clique_via_cqs(g: &Graph, k: usize, fam: &CqsCliqueFamily) -> bool {
+    let reduced = clique_to_cqs_instance(g, k, fam);
+    gtgd_query::ucq_holds_boolean(&fam.cqs.query, &reduced.grohe.instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grohe::has_clique;
+    use gtgd_chase::satisfies_all;
+    use gtgd_data::Instance;
+
+    fn random_ish_graphs() -> Vec<Graph> {
+        // A deterministic zoo of small graphs.
+        let mut graphs = Vec::new();
+        // Triangle plus pendant.
+        let mut g = Graph::new(4);
+        g.make_clique(&[0, 1, 2]);
+        g.add_edge(2, 3);
+        graphs.push(g);
+        // C5 (no triangle).
+        let mut g = Graph::new(5);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5);
+        }
+        graphs.push(g);
+        // K4.
+        let mut g = Graph::new(4);
+        g.make_clique(&[0, 1, 2, 3]);
+        graphs.push(g);
+        // Two triangles sharing a vertex.
+        let mut g = Graph::new(5);
+        g.make_clique(&[0, 1, 2]);
+        g.make_clique(&[2, 3, 4]);
+        graphs.push(g);
+        // Bipartite K23 (no triangle).
+        let mut g = Graph::new(5);
+        for u in 0..2 {
+            for v in 2..5 {
+                g.add_edge(u, v);
+            }
+        }
+        graphs.push(g);
+        graphs
+    }
+
+    #[test]
+    fn family_shapes() {
+        let fam = grid_cqs_family(3);
+        assert_eq!(fam.rows, 3);
+        assert_eq!(fam.cols, 3);
+        assert_eq!(fam.x_vars.len(), 9);
+        assert_eq!(fam.p.atom_count(), 3 * 2 + 2 * 3);
+        // X's induced graph is the 3×3 grid: treewidth 3.
+        assert_eq!(gtgd_query::tw::cq_treewidth(&fam.p), 3);
+    }
+
+    #[test]
+    fn grid_family_reduction_is_correct_k2() {
+        let fam = grid_cqs_family(2);
+        for (i, g) in random_ish_graphs().into_iter().enumerate() {
+            assert_eq!(
+                decide_clique_via_cqs(&g, 2, &fam),
+                has_clique(&g, 2),
+                "graph {i}, k=2"
+            );
+        }
+        // Edgeless graph has no 2-clique.
+        assert!(!decide_clique_via_cqs(&Graph::new(4), 2, &fam));
+    }
+
+    #[test]
+    fn grid_family_reduction_is_correct_k3() {
+        let fam = grid_cqs_family(3);
+        for (i, g) in random_ish_graphs().into_iter().enumerate() {
+            assert_eq!(
+                decide_clique_via_cqs(&g, 3, &fam),
+                has_clique(&g, 3),
+                "graph {i}, k=3"
+            );
+        }
+    }
+
+    #[test]
+    fn marked_family_database_satisfies_sigma() {
+        let fam = marked_grid_cqs_family(2);
+        for g in random_ish_graphs() {
+            let reduced = clique_to_cqs_instance(&g, 2, &fam);
+            assert!(
+                satisfies_all(&reduced.grohe.instance, &fam.cqs.sigma),
+                "Theorem 7.1(3): D* |= Σ"
+            );
+        }
+    }
+
+    #[test]
+    fn marked_family_reduction_is_correct() {
+        let fam = marked_grid_cqs_family(3);
+        for (i, g) in random_ish_graphs().into_iter().enumerate() {
+            let reduced = clique_to_cqs_instance(&g, 3, &fam);
+            assert!(satisfies_all(&reduced.grohe.instance, &fam.cqs.sigma));
+            assert_eq!(
+                gtgd_query::ucq_holds_boolean(&fam.cqs.query, &reduced.grohe.instance),
+                has_clique(&g, 3),
+                "graph {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn h0_is_a_homomorphism_onto_d_prime() {
+        let fam = grid_cqs_family(2);
+        let mut g = Graph::new(3);
+        g.make_clique(&[0, 1, 2]);
+        let reduced = clique_to_cqs_instance(&g, 2, &fam);
+        let (d_prime, _) = fam.p_prime.canonical_database();
+        // h0 maps D* into a database isomorphic to D[p′]; check atom-wise
+        // via the recorded frozen values instead (canonical_database
+        // refreezes). Rebuild D′ from the reduction's own frozen map:
+        let d_prime2: Instance = fam
+            .p_prime
+            .atoms
+            .iter()
+            .map(|a| a.ground(&reduced.frozen))
+            .collect();
+        let _ = d_prime;
+        let mapped = reduced
+            .grohe
+            .instance
+            .map_values(|v| *reduced.grohe.h0.get(&v).unwrap_or(&v));
+        for atom in mapped.iter() {
+            assert!(d_prime2.contains(atom), "{atom} outside D′");
+        }
+    }
+
+    #[test]
+    fn reduction_scales_with_graph_size() {
+        let fam = grid_cqs_family(2);
+        let mut small = Graph::new(3);
+        small.make_clique(&[0, 1, 2]);
+        let mut large = Graph::new(6);
+        large.make_clique(&[0, 1, 2, 3, 4, 5]);
+        let rs = clique_to_cqs_instance(&small, 2, &fam);
+        let rl = clique_to_cqs_instance(&large, 2, &fam);
+        assert!(rl.grohe.instance.len() > rs.grohe.instance.len());
+    }
+}

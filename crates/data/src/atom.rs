@@ -1,0 +1,115 @@
+//! Ground atoms: `R(c₁, …, cₙ)` over constants.
+
+use crate::schema::Predicate;
+use crate::value::Value;
+
+/// A ground atom `R(t̄)` where `t̄` contains only constants (named or null).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroundAtom {
+    /// The relation symbol.
+    pub predicate: Predicate,
+    /// The argument tuple.
+    pub args: Vec<Value>,
+}
+
+impl GroundAtom {
+    /// Builds an atom.
+    pub fn new(predicate: Predicate, args: Vec<Value>) -> GroundAtom {
+        GroundAtom { predicate, args }
+    }
+
+    /// Convenience constructor from names: `GroundAtom::parse("R", &["a", "b"])`.
+    pub fn named(predicate: &str, args: &[&str]) -> GroundAtom {
+        GroundAtom {
+            predicate: Predicate::new(predicate),
+            args: args.iter().map(|a| Value::named(a)).collect(),
+        }
+    }
+
+    /// Arity of this atom.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// The set of distinct constants mentioned (`dom(α)`), in first-occurrence
+    /// order.
+    pub fn dom(&self) -> Vec<Value> {
+        let mut seen = Vec::new();
+        for &v in &self.args {
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        }
+        seen
+    }
+
+    /// Whether the atom mentions `v`.
+    pub fn mentions(&self, v: Value) -> bool {
+        self.args.contains(&v)
+    }
+
+    /// Applies a value substitution, leaving unmapped values unchanged.
+    pub fn map(&self, f: impl Fn(Value) -> Value) -> GroundAtom {
+        GroundAtom {
+            predicate: self.predicate,
+            args: self.args.iter().map(|&v| f(v)).collect(),
+        }
+    }
+}
+
+impl std::fmt::Display for GroundAtom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}(", self.predicate)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_display() {
+        let a = GroundAtom::named("R", &["x", "y"]);
+        assert_eq!(a.arity(), 2);
+        assert_eq!(a.to_string(), "R(x,y)");
+    }
+
+    #[test]
+    fn dom_deduplicates_in_order() {
+        let a = GroundAtom::named("T", &["b", "a", "b", "c"]);
+        assert_eq!(
+            a.dom(),
+            vec![Value::named("b"), Value::named("a"), Value::named("c")]
+        );
+    }
+
+    #[test]
+    fn mentions_and_map() {
+        let a = GroundAtom::named("R", &["x", "y"]);
+        assert!(a.mentions(Value::named("x")));
+        assert!(!a.mentions(Value::named("z")));
+        let b = a.map(|v| {
+            if v == Value::named("x") {
+                Value::named("z")
+            } else {
+                v
+            }
+        });
+        assert_eq!(b, GroundAtom::named("R", &["z", "y"]));
+    }
+
+    #[test]
+    fn zero_ary_atoms() {
+        let a = GroundAtom::named("Ans", &[]);
+        assert_eq!(a.arity(), 0);
+        assert_eq!(a.to_string(), "Ans()");
+        assert!(a.dom().is_empty());
+    }
+}

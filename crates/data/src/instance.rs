@@ -1,0 +1,357 @@
+//! Instances and databases: indexed sets of ground atoms.
+
+use crate::atom::GroundAtom;
+use crate::schema::{Predicate, Schema};
+use crate::value::Value;
+use gtgd_treewidth::Graph;
+use std::collections::{HashMap, HashSet};
+
+/// A finitely materialized instance (the paper's *database* when finite by
+/// construction; also used to hold finite prefixes of infinite chase
+/// results).
+///
+/// Maintains secondary indexes by predicate and by `(predicate, position,
+/// value)` so homomorphism search and chase trigger matching get selective
+/// candidate lists. Insertion order is preserved and deduplicated, so
+/// iteration is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Instance {
+    atoms: Vec<GroundAtom>,
+    index_of: HashMap<GroundAtom, usize>,
+    by_pred: HashMap<Predicate, Vec<usize>>,
+    by_pred_pos_val: HashMap<(Predicate, u16, Value), Vec<usize>>,
+    dom: Vec<Value>,
+    dom_set: HashSet<Value>,
+}
+
+impl Instance {
+    /// The empty instance.
+    pub fn new() -> Instance {
+        Instance::default()
+    }
+
+    /// Builds an instance from atoms, deduplicating.
+    pub fn from_atoms(atoms: impl IntoIterator<Item = GroundAtom>) -> Instance {
+        let mut i = Instance::new();
+        for a in atoms {
+            i.insert(a);
+        }
+        i
+    }
+
+    /// Inserts an atom; returns `true` if it was new.
+    pub fn insert(&mut self, atom: GroundAtom) -> bool {
+        if self.index_of.contains_key(&atom) {
+            return false;
+        }
+        let idx = self.atoms.len();
+        self.by_pred.entry(atom.predicate).or_default().push(idx);
+        for (pos, &v) in atom.args.iter().enumerate() {
+            let pos = u16::try_from(pos).expect("arity fits u16");
+            self.by_pred_pos_val
+                .entry((atom.predicate, pos, v))
+                .or_default()
+                .push(idx);
+            if self.dom_set.insert(v) {
+                self.dom.push(v);
+            }
+        }
+        self.index_of.insert(atom.clone(), idx);
+        self.atoms.push(atom);
+        true
+    }
+
+    /// Whether the atom is present.
+    pub fn contains(&self, atom: &GroundAtom) -> bool {
+        self.index_of.contains_key(atom)
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether the instance has no atoms.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Iterates over atoms in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &GroundAtom> {
+        self.atoms.iter()
+    }
+
+    /// The atom at `idx` (insertion order).
+    pub fn atom(&self, idx: usize) -> &GroundAtom {
+        &self.atoms[idx]
+    }
+
+    /// `dom(I)`: distinct constants in first-occurrence order.
+    pub fn dom(&self) -> &[Value] {
+        &self.dom
+    }
+
+    /// Whether `v ∈ dom(I)`.
+    pub fn dom_contains(&self, v: Value) -> bool {
+        self.dom_set.contains(&v)
+    }
+
+    /// Indexes of atoms with the given predicate.
+    pub fn atoms_with_pred(&self, p: Predicate) -> &[usize] {
+        self.by_pred.get(&p).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Indexes of atoms with predicate `p` whose argument at `pos` is `v`.
+    pub fn atoms_matching(&self, p: Predicate, pos: usize, v: Value) -> &[usize] {
+        let pos = u16::try_from(pos).expect("arity fits u16");
+        self.by_pred_pos_val
+            .get(&(p, pos, v))
+            .map_or(&[], |ids| ids.as_slice())
+    }
+
+    /// The distinct predicates appearing in the instance, in first-use order.
+    pub fn predicates(&self) -> Vec<Predicate> {
+        let mut seen = Vec::new();
+        for a in &self.atoms {
+            if !seen.contains(&a.predicate) {
+                seen.push(a.predicate);
+            }
+        }
+        seen
+    }
+
+    /// Infers the schema realized by this instance (each used predicate with
+    /// the arity of its first occurrence). Panics if a predicate is used at
+    /// two different arities.
+    pub fn schema(&self) -> Schema {
+        let mut s = Schema::new();
+        for a in &self.atoms {
+            s.add(a.predicate, a.arity());
+        }
+        s
+    }
+
+    /// `I|T`: the restriction to atoms mentioning only constants of `keep`.
+    pub fn restrict_to(&self, keep: &HashSet<Value>) -> Instance {
+        Instance::from_atoms(
+            self.atoms
+                .iter()
+                .filter(|a| a.args.iter().all(|v| keep.contains(v)))
+                .cloned(),
+        )
+    }
+
+    /// Restriction to atoms over the given predicates.
+    pub fn restrict_predicates(&self, keep: &HashSet<Predicate>) -> Instance {
+        Instance::from_atoms(
+            self.atoms
+                .iter()
+                .filter(|a| keep.contains(&a.predicate))
+                .cloned(),
+        )
+    }
+
+    /// Applies a value mapping to every atom, producing a new instance (the
+    /// homomorphic image when `f` is a homomorphism).
+    pub fn map_values(&self, f: impl Fn(Value) -> Value) -> Instance {
+        Instance::from_atoms(self.atoms.iter().map(|a| a.map(&f)))
+    }
+
+    /// Inserts all atoms of `other`.
+    pub fn extend_from(&mut self, other: &Instance) {
+        for a in other.iter() {
+            self.insert(a.clone());
+        }
+    }
+
+    /// Whether the tuple `vs` is *guarded* in the instance: some atom
+    /// mentions every value of `vs`.
+    pub fn is_guarded(&self, vs: &[Value]) -> bool {
+        match vs.first() {
+            None => !self.is_empty(),
+            Some(&v0) => {
+                // Scan only atoms containing v0 at some position.
+                self.atoms
+                    .iter()
+                    .any(|a| a.mentions(v0) && vs.iter().all(|&v| a.mentions(v)))
+            }
+        }
+    }
+
+    /// All maximal guarded sets: for each atom, `dom(α)` — deduplicated and
+    /// restricted to the ⊆-maximal ones. Used by the guarded unraveling and
+    /// the OMQ→CQS reduction.
+    pub fn maximal_guarded_sets(&self) -> Vec<Vec<Value>> {
+        let mut sets: Vec<Vec<Value>> = Vec::new();
+        for a in &self.atoms {
+            let mut d = a.dom();
+            d.sort_unstable();
+            if !sets.contains(&d) {
+                sets.push(d);
+            }
+        }
+        let maximal: Vec<Vec<Value>> = sets
+            .iter()
+            .filter(|s| {
+                !sets
+                    .iter()
+                    .any(|t| t.len() > s.len() && s.iter().all(|v| t.contains(v)))
+            })
+            .cloned()
+            .collect();
+        maximal
+    }
+
+    /// The Gaifman graph `G_I`: vertices are `dom(I)` (in domain order),
+    /// edges join constants co-occurring in an atom. Returns the graph and
+    /// the vertex-id → value mapping.
+    pub fn gaifman(&self) -> (Graph, Vec<Value>) {
+        let mut id_of: HashMap<Value, usize> = HashMap::new();
+        for (i, &v) in self.dom.iter().enumerate() {
+            id_of.insert(v, i);
+        }
+        let mut g = Graph::new(self.dom.len());
+        for a in &self.atoms {
+            let d = a.dom();
+            for (i, &u) in d.iter().enumerate() {
+                for &v in &d[i + 1..] {
+                    g.add_edge(id_of[&u], id_of[&v]);
+                }
+            }
+        }
+        (g, self.dom.clone())
+    }
+
+    /// A constant is *isolated* if exactly one atom mentions it
+    /// (Section 6 / Theorem 6.1).
+    pub fn is_isolated(&self, v: Value) -> bool {
+        self.atoms.iter().filter(|a| a.mentions(v)).count() == 1
+    }
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().all(|a| other.contains(a))
+    }
+}
+
+impl Eq for Instance {}
+
+impl FromIterator<GroundAtom> for Instance {
+    fn from_iter<T: IntoIterator<Item = GroundAtom>>(iter: T) -> Instance {
+        Instance::from_atoms(iter)
+    }
+}
+
+impl std::fmt::Display for Instance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Value {
+        Value::named(s)
+    }
+
+    #[test]
+    fn insert_dedup_and_indexes() {
+        let mut i = Instance::new();
+        assert!(i.insert(GroundAtom::named("R", &["a", "b"])));
+        assert!(!i.insert(GroundAtom::named("R", &["a", "b"])));
+        assert!(i.insert(GroundAtom::named("R", &["b", "c"])));
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.atoms_with_pred(Predicate::new("R")).len(), 2);
+        assert_eq!(i.atoms_matching(Predicate::new("R"), 0, v("a")).len(), 1);
+        assert_eq!(i.atoms_matching(Predicate::new("R"), 1, v("b")).len(), 1);
+        assert!(i.atoms_matching(Predicate::new("R"), 0, v("z")).is_empty());
+        assert_eq!(i.dom(), &[v("a"), v("b"), v("c")]);
+    }
+
+    #[test]
+    fn set_equality_ignores_order() {
+        let i1 = Instance::from_atoms([
+            GroundAtom::named("R", &["a", "b"]),
+            GroundAtom::named("P", &["c"]),
+        ]);
+        let i2 = Instance::from_atoms([
+            GroundAtom::named("P", &["c"]),
+            GroundAtom::named("R", &["a", "b"]),
+        ]);
+        assert_eq!(i1, i2);
+    }
+
+    #[test]
+    fn restriction_by_values() {
+        let i = Instance::from_atoms([
+            GroundAtom::named("R", &["a", "b"]),
+            GroundAtom::named("R", &["b", "c"]),
+            GroundAtom::named("P", &["a"]),
+        ]);
+        let keep: HashSet<Value> = [v("a"), v("b")].into_iter().collect();
+        let r = i.restrict_to(&keep);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&GroundAtom::named("R", &["a", "b"])));
+        assert!(r.contains(&GroundAtom::named("P", &["a"])));
+    }
+
+    #[test]
+    fn gaifman_graph_of_triangle_fact() {
+        let i = Instance::from_atoms([GroundAtom::named("T", &["a", "b", "c"])]);
+        let (g, vals) = i.gaifman();
+        assert_eq!(vals.len(), 3);
+        assert_eq!(g.edge_count(), 3); // a 3-ary atom induces a triangle
+    }
+
+    #[test]
+    fn guardedness_checks() {
+        let i = Instance::from_atoms([
+            GroundAtom::named("T", &["a", "b", "c"]),
+            GroundAtom::named("R", &["c", "d"]),
+        ]);
+        assert!(i.is_guarded(&[v("a"), v("c")]));
+        assert!(!i.is_guarded(&[v("a"), v("d")]));
+        assert!(i.is_guarded(&[]));
+        let max = i.maximal_guarded_sets();
+        assert_eq!(max.len(), 2);
+    }
+
+    #[test]
+    fn isolation() {
+        let i = Instance::from_atoms([
+            GroundAtom::named("R", &["a", "b"]),
+            GroundAtom::named("R", &["b", "c"]),
+        ]);
+        assert!(i.is_isolated(v("a")));
+        assert!(!i.is_isolated(v("b")));
+    }
+
+    #[test]
+    fn map_values_applies_substitution() {
+        let i = Instance::from_atoms([GroundAtom::named("R", &["a", "b"])]);
+        let j = i.map_values(|x| if x == v("a") { v("z") } else { x });
+        assert!(j.contains(&GroundAtom::named("R", &["z", "b"])));
+    }
+
+    #[test]
+    fn schema_inference() {
+        let i = Instance::from_atoms([
+            GroundAtom::named("R", &["a", "b"]),
+            GroundAtom::named("P", &["a"]),
+        ]);
+        let s = i.schema();
+        assert_eq!(s.arity(Predicate::new("R")), Some(2));
+        assert_eq!(s.arity(Predicate::new("P")), Some(1));
+        assert_eq!(s.max_arity(), 2);
+    }
+}

@@ -1,0 +1,209 @@
+//! Predicates and schemas.
+
+use crate::symbols::Symbol;
+use std::collections::BTreeMap;
+
+/// A relation symbol. Arity is carried by the [`Schema`]; atoms carry their
+/// own argument lists, and [`Schema::check_atom`] cross-validates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Predicate(pub Symbol);
+
+impl Predicate {
+    /// A predicate with the given name.
+    pub fn new(name: &str) -> Predicate {
+        Predicate(Symbol::new(name))
+    }
+
+    /// The predicate's name.
+    pub fn name(self) -> String {
+        self.0.name()
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Predicate {
+    fn from(s: &str) -> Predicate {
+        Predicate::new(s)
+    }
+}
+
+/// A finite set of predicates with associated arities (a *schema* `S`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    arities: BTreeMap<Predicate, usize>,
+}
+
+impl Schema {
+    /// The empty schema.
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    /// Builds a schema from `(name, arity)` pairs.
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, usize)>) -> Schema {
+        let mut s = Schema::new();
+        for (name, ar) in pairs {
+            s.add(Predicate::new(name), ar);
+        }
+        s
+    }
+
+    /// Adds a predicate. Panics if the predicate is already present with a
+    /// different arity — a schema bug worth failing loudly on.
+    pub fn add(&mut self, p: Predicate, arity: usize) -> &mut Self {
+        if let Some(&prev) = self.arities.get(&p) {
+            assert_eq!(prev, arity, "predicate {p} redeclared with different arity");
+        }
+        self.arities.insert(p, arity);
+        self
+    }
+
+    /// Arity of `p`, if declared.
+    pub fn arity(&self, p: Predicate) -> Option<usize> {
+        self.arities.get(&p).copied()
+    }
+
+    /// Whether `p` is declared.
+    pub fn contains(&self, p: Predicate) -> bool {
+        self.arities.contains_key(&p)
+    }
+
+    /// `ar(S)`: the maximum arity, or 0 for the empty schema.
+    pub fn max_arity(&self) -> usize {
+        self.arities.values().copied().max().unwrap_or(0)
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.arities.len()
+    }
+
+    /// Whether the schema is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arities.is_empty()
+    }
+
+    /// Iterates over `(predicate, arity)` in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (Predicate, usize)> + '_ {
+        self.arities.iter().map(|(&p, &a)| (p, a))
+    }
+
+    /// Whether `self ⊆ other` (same predicates with same arities).
+    pub fn is_subschema_of(&self, other: &Schema) -> bool {
+        self.iter().all(|(p, a)| other.arity(p) == Some(a))
+    }
+
+    /// The union of two schemas. Panics on arity clashes.
+    pub fn union(&self, other: &Schema) -> Schema {
+        let mut s = self.clone();
+        for (p, a) in other.iter() {
+            s.add(p, a);
+        }
+        s
+    }
+
+    /// Validates an atom's arity against the schema.
+    pub fn check_atom(&self, p: Predicate, arg_count: usize) -> Result<(), SchemaError> {
+        match self.arity(p) {
+            None => Err(SchemaError::UnknownPredicate(p)),
+            Some(a) if a != arg_count => Err(SchemaError::ArityMismatch {
+                predicate: p,
+                declared: a,
+                found: arg_count,
+            }),
+            Some(_) => Ok(()),
+        }
+    }
+}
+
+/// Schema violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The predicate is not declared in the schema.
+    UnknownPredicate(Predicate),
+    /// The atom has the wrong number of arguments.
+    ArityMismatch {
+        /// The offending predicate.
+        predicate: Predicate,
+        /// Its declared arity.
+        declared: usize,
+        /// The number of arguments found.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemaError::UnknownPredicate(p) => write!(f, "unknown predicate {p}"),
+            SchemaError::ArityMismatch {
+                predicate,
+                declared,
+                found,
+            } => write!(
+                f,
+                "predicate {predicate} has arity {declared} but atom has {found} arguments"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let s = Schema::from_pairs([("R", 2), ("P", 1)]);
+        assert_eq!(s.arity(Predicate::new("R")), Some(2));
+        assert_eq!(s.arity(Predicate::new("Q")), None);
+        assert_eq!(s.max_arity(), 2);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "redeclared")]
+    fn arity_clash_panics() {
+        let mut s = Schema::new();
+        s.add(Predicate::new("R"), 2);
+        s.add(Predicate::new("R"), 3);
+    }
+
+    #[test]
+    fn subschema_and_union() {
+        let s = Schema::from_pairs([("R", 2)]);
+        let t = Schema::from_pairs([("R", 2), ("P", 1)]);
+        assert!(s.is_subschema_of(&t));
+        assert!(!t.is_subschema_of(&s));
+        let u = s.union(&Schema::from_pairs([("P", 1)]));
+        assert_eq!(u, t);
+    }
+
+    #[test]
+    fn atom_checks() {
+        let s = Schema::from_pairs([("R", 2)]);
+        assert!(s.check_atom(Predicate::new("R"), 2).is_ok());
+        assert!(matches!(
+            s.check_atom(Predicate::new("R"), 3),
+            Err(SchemaError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.check_atom(Predicate::new("Z"), 0),
+            Err(SchemaError::UnknownPredicate(_))
+        ));
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new();
+        assert!(s.is_empty());
+        assert_eq!(s.max_arity(), 0);
+    }
+}

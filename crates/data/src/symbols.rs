@@ -1,0 +1,103 @@
+//! Process-wide string interning for predicate and constant names.
+//!
+//! Interning keeps atoms compact (`u32` ids instead of strings) and makes
+//! equality and hashing O(1), which matters in the homomorphism-search and
+//! chase inner loops. The table only grows; ids are stable for the lifetime
+//! of the process.
+
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    names: Vec<String>,
+    ids: HashMap<String, u32>,
+}
+
+fn table() -> &'static RwLock<Interner> {
+    static TABLE: OnceLock<RwLock<Interner>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        RwLock::new(Interner {
+            names: Vec::new(),
+            ids: HashMap::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name`, returning its stable id.
+    pub fn new(name: &str) -> Symbol {
+        {
+            let t = table().read().expect("interner poisoned");
+            if let Some(&id) = t.ids.get(name) {
+                return Symbol(id);
+            }
+        }
+        let mut t = table().write().expect("interner poisoned");
+        if let Some(&id) = t.ids.get(name) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(t.names.len()).expect("interner overflow");
+        t.names.push(name.to_owned());
+        t.ids.insert(name.to_owned(), id);
+        Symbol(id)
+    }
+
+    /// The interned string.
+    pub fn name(self) -> String {
+        table().read().expect("interner poisoned").names[self.0 as usize].clone()
+    }
+
+    /// Raw id; useful only as a hash/sort key.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::new("R");
+        let b = Symbol::new("R");
+        assert_eq!(a, b);
+        assert_eq!(a.name(), "R");
+    }
+
+    #[test]
+    fn distinct_names_distinct_symbols() {
+        assert_ne!(Symbol::new("alpha"), Symbol::new("beta"));
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        let s = Symbol::new("Employee");
+        assert_eq!(s.to_string(), "Employee");
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| Symbol::new("shared-name").id()))
+            .collect();
+        let ids: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

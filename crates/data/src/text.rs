@@ -1,0 +1,137 @@
+//! A minimal text format for ground facts: one atom per line (or separated
+//! by `.`), e.g. `Emp(ann)` / `WorksIn(ann, sales)`. Arguments may be
+//! quoted to include spaces. Lines starting with `#` are comments.
+//!
+//! This is the fixture/bulk-load side door used by the CLI and tests; the
+//! richer query/TGD syntax lives in `gtgd-query`'s parser.
+
+use crate::atom::GroundAtom;
+use crate::instance::Instance;
+use crate::schema::Predicate;
+use crate::value::Value;
+
+/// A fact-parsing failure, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FactParseError {
+    /// Line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for FactParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for FactParseError {}
+
+/// Parses a single fact like `R(a, b)` or `Flag()`.
+pub fn parse_fact(src: &str) -> Result<GroundAtom, String> {
+    let src = src.trim().trim_end_matches('.').trim();
+    let open = src.find('(').ok_or("expected '('")?;
+    if !src.ends_with(')') {
+        return Err("expected ')' at end".into());
+    }
+    let name = src[..open].trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err(format!("bad predicate name {name:?}"));
+    }
+    let inner = &src[open + 1..src.len() - 1];
+    let args: Vec<Value> = if inner.trim().is_empty() {
+        Vec::new()
+    } else {
+        inner
+            .split(',')
+            .map(|a| {
+                let a = a.trim();
+                let unquoted = a.strip_prefix('"').and_then(|s| s.strip_suffix('"'));
+                Value::named(unquoted.unwrap_or(a))
+            })
+            .collect()
+    };
+    Ok(GroundAtom::new(Predicate::new(name), args))
+}
+
+/// Parses a block of facts into an [`Instance`]. Facts are separated by
+/// newlines; blank lines and `#` comments are skipped.
+pub fn parse_facts(src: &str) -> Result<Instance, FactParseError> {
+    let mut out = Instance::new();
+    for (i, raw) in src.lines().enumerate() {
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        for piece in text.split_inclusive('.') {
+            let piece = piece.trim().trim_end_matches('.');
+            if piece.is_empty() {
+                continue;
+            }
+            let atom = parse_fact(piece).map_err(|message| FactParseError {
+                line: i + 1,
+                message,
+            })?;
+            out.insert(atom);
+        }
+    }
+    Ok(out)
+}
+
+/// Renders an instance back into the fact format (one atom per line,
+/// insertion order).
+pub fn render_facts(i: &Instance) -> String {
+    let mut out = String::new();
+    for a in i.iter() {
+        out.push_str(&a.to_string());
+        out.push_str(".\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mixed_facts() {
+        let i = parse_facts(
+            "# a comment\n\
+             Emp(ann). Emp(bob).\n\
+             WorksIn(ann, sales)\n\
+             \n\
+             Flag().\n",
+        )
+        .unwrap();
+        assert_eq!(i.len(), 4);
+        assert!(i.contains(&GroundAtom::named("WorksIn", &["ann", "sales"])));
+        assert!(i.contains(&GroundAtom::named("Flag", &[])));
+    }
+
+    #[test]
+    fn quoted_arguments() {
+        let i = parse_facts("City(\"new york\")").unwrap();
+        assert!(i.contains(&GroundAtom::named("City", &["new york"])));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_facts("Emp(ann).\nbroken").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_facts("Emp(ann").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn round_trip() {
+        let src = "R(a,b).\nP(c).\n";
+        let i = parse_facts(src).unwrap();
+        assert_eq!(render_facts(&i), src);
+    }
+
+    #[test]
+    fn rejects_bad_predicates() {
+        assert!(parse_fact("(a,b)").is_err());
+        assert!(parse_fact("R!(a)").is_err());
+    }
+}

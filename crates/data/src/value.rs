@@ -1,0 +1,89 @@
+//! Domain elements of instances: named constants and labelled nulls.
+
+use crate::symbols::Symbol;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A constant of an instance: either a *named* constant from the input
+/// database / query, or a labelled *null* invented by the chase to witness an
+/// existential quantifier.
+///
+/// The paper works with a single countably infinite set `C` of constants and
+/// lets the chase pick "fresh distinct constants"; distinguishing nulls here
+/// is an implementation convenience (it makes freshness trivially checkable)
+/// and does not change semantics — nulls are ordinary constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A named constant.
+    Named(Symbol),
+    /// A labelled null with a process-unique label.
+    Null(u64),
+}
+
+static NEXT_NULL: AtomicU64 = AtomicU64::new(0);
+
+impl Value {
+    /// A named constant.
+    pub fn named(name: &str) -> Value {
+        Value::Named(Symbol::new(name))
+    }
+
+    /// A fresh labelled null, distinct from every previously created value.
+    pub fn fresh_null() -> Value {
+        Value::Null(NEXT_NULL.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Whether this is a labelled null.
+    pub fn is_null(self) -> bool {
+        matches!(self, Value::Null(_))
+    }
+
+    /// Whether this is a named constant.
+    pub fn is_named(self) -> bool {
+        matches!(self, Value::Named(_))
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Named(s) => write!(f, "{s}"),
+            Value::Null(n) => write!(f, "⊥{n}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::named(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_constants_compare_by_name() {
+        assert_eq!(Value::named("a"), Value::named("a"));
+        assert_ne!(Value::named("a"), Value::named("b"));
+    }
+
+    #[test]
+    fn fresh_nulls_are_distinct() {
+        let a = Value::fresh_null();
+        let b = Value::fresh_null();
+        assert_ne!(a, b);
+        assert!(a.is_null() && !a.is_named());
+    }
+
+    #[test]
+    fn nulls_never_equal_named() {
+        assert_ne!(Value::fresh_null(), Value::named("x"));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::named("c").to_string(), "c");
+        assert!(Value::Null(7).to_string().contains('7'));
+    }
+}

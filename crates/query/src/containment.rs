@@ -1,0 +1,99 @@
+//! Classical (constraint-free) containment and equivalence of CQs and UCQs
+//! via the Chandra–Merlin canonical-database test [17].
+
+use crate::cq::{Cq, Ucq};
+use crate::eval::{check_answer, check_answer_ucq};
+use gtgd_data::Value;
+
+/// Whether `q1 ⊆ q2`: every answer of `q1` is an answer of `q2` on every
+/// database. Decided by evaluating `q2` over the canonical database of `q1`.
+pub fn cq_contained(q1: &Cq, q2: &Cq) -> bool {
+    assert_eq!(q1.arity(), q2.arity(), "containment needs equal arities");
+    let (db, frozen) = q1.canonical_database();
+    let answer: Vec<Value> = q1.answer_vars.iter().map(|v| frozen[v]).collect();
+    check_answer(q2, &db, &answer)
+}
+
+/// Whether `q1 ≡ q2`.
+pub fn cq_equivalent(q1: &Cq, q2: &Cq) -> bool {
+    cq_contained(q1, q2) && cq_contained(q2, q1)
+}
+
+/// Whether `u1 ⊆ u2` for UCQs: each disjunct of `u1` must be contained in
+/// the union `u2` (checked on its canonical database).
+pub fn ucq_contained(u1: &Ucq, u2: &Ucq) -> bool {
+    assert_eq!(u1.arity(), u2.arity(), "containment needs equal arities");
+    u1.disjuncts.iter().all(|p| {
+        let (db, frozen) = p.canonical_database();
+        let answer: Vec<Value> = p.answer_vars.iter().map(|v| frozen[v]).collect();
+        check_answer_ucq(u2, &db, &answer)
+    })
+}
+
+/// Whether `u1 ≡ u2`.
+pub fn ucq_equivalent(u1: &Ucq, u2: &Ucq) -> bool {
+    ucq_contained(u1, u2) && ucq_contained(u2, u1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_cq, parse_ucq};
+
+    #[test]
+    fn longer_path_contained_in_shorter() {
+        let p3 = parse_cq("Q() :- E(X,Y), E(Y,Z), E(Z,W)").unwrap();
+        let p1 = parse_cq("Q() :- E(X,Y)").unwrap();
+        // p3 asks for more, so p3 ⊆ p1.
+        assert!(cq_contained(&p3, &p1));
+        assert!(!cq_contained(&p1, &p3));
+        assert!(!cq_equivalent(&p1, &p3));
+    }
+
+    #[test]
+    fn redundant_atoms_equivalent() {
+        let q1 = parse_cq("Q(X) :- E(X,Y), E(X,Z)").unwrap();
+        let q2 = parse_cq("Q(X) :- E(X,Y)").unwrap();
+        assert!(cq_equivalent(&q1, &q2));
+    }
+
+    #[test]
+    fn answer_vars_matter() {
+        let q1 = parse_cq("Q(X) :- E(X,Y)").unwrap();
+        let q2 = parse_cq("Q(Y) :- E(X,Y)").unwrap();
+        assert!(!cq_contained(&q1, &q2));
+    }
+
+    #[test]
+    fn ucq_containment_uses_the_union() {
+        // A single CQ with a "don't know which" shape is contained in the
+        // union but in neither disjunct alone.
+        let u1 = parse_ucq("Q() :- A(X), B(X)").unwrap();
+        let u2 = parse_ucq("Q() :- A(X). Q() :- B(X)").unwrap();
+        assert!(ucq_contained(&u1, &u2));
+        assert!(!ucq_contained(&u2, &u1));
+    }
+
+    #[test]
+    fn ucq_equivalence_after_dropping_subsumed_disjunct() {
+        let u1 = parse_ucq("Q() :- E(X,Y). Q() :- E(X,Y), E(Y,Z)").unwrap();
+        let u2 = parse_ucq("Q() :- E(X,Y)").unwrap();
+        assert!(ucq_equivalent(&u1, &u2));
+    }
+
+    #[test]
+    fn triangle_vs_three_path() {
+        let tri = parse_cq("Q() :- E(X,Y), E(Y,Z), E(Z,X)").unwrap();
+        let path = parse_cq("Q() :- E(X,Y), E(Y,Z)").unwrap();
+        assert!(cq_contained(&tri, &path)); // triangle contains a 2-path image
+        assert!(!cq_contained(&path, &tri));
+    }
+
+    #[test]
+    fn constants_in_containment() {
+        let q1 = parse_cq("Q() :- E(a,Y)").unwrap();
+        let q2 = parse_cq("Q() :- E(X,Y)").unwrap();
+        assert!(cq_contained(&q1, &q2));
+        assert!(!cq_contained(&q2, &q1));
+    }
+}

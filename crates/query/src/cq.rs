@@ -1,0 +1,442 @@
+//! Conjunctive queries and UCQs.
+
+use gtgd_data::{GroundAtom, Instance, Predicate, Schema, Value};
+use std::collections::{BTreeSet, HashMap};
+
+/// A query variable, scoped to its owning [`Cq`] (an index into the CQ's
+/// variable-name table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A term of a query atom: a variable or a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A query variable.
+    Var(Var),
+    /// A constant.
+    Const(Value),
+}
+
+/// An atom of a CQ: `R(t̄)` over variables and constants.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QAtom {
+    /// The relation symbol.
+    pub predicate: Predicate,
+    /// The argument terms.
+    pub args: Vec<Term>,
+}
+
+impl QAtom {
+    /// Builds an atom.
+    pub fn new(predicate: Predicate, args: Vec<Term>) -> QAtom {
+        QAtom { predicate, args }
+    }
+
+    /// The distinct variables of this atom, in first-occurrence order.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        for t in &self.args {
+            if let Term::Var(v) = *t {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the atom mentions `v`.
+    pub fn mentions(&self, v: Var) -> bool {
+        self.args.contains(&Term::Var(v))
+    }
+
+    /// Applies a variable substitution (constants unchanged).
+    pub fn map_vars(&self, f: impl Fn(Var) -> Var) -> QAtom {
+        QAtom {
+            predicate: self.predicate,
+            args: self
+                .args
+                .iter()
+                .map(|t| match *t {
+                    Term::Var(v) => Term::Var(f(v)),
+                    c => c,
+                })
+                .collect(),
+        }
+    }
+
+    /// Grounds the atom under a total variable assignment.
+    pub fn ground(&self, h: &HashMap<Var, Value>) -> GroundAtom {
+        GroundAtom::new(
+            self.predicate,
+            self.args
+                .iter()
+                .map(|t| match *t {
+                    Term::Var(v) => h[&v],
+                    Term::Const(c) => c,
+                })
+                .collect(),
+        )
+    }
+}
+
+fn dedup_atoms(atoms: Vec<QAtom>) -> Vec<QAtom> {
+    let mut out: Vec<QAtom> = Vec::with_capacity(atoms.len());
+    for a in atoms {
+        if !out.contains(&a) {
+            out.push(a);
+        }
+    }
+    out
+}
+
+/// A conjunctive query `q(x̄) := ∃ȳ (R₁(x̄₁) ∧ … ∧ Rₘ(x̄ₘ))`.
+///
+/// The answer variables `x̄` are `answer_vars`; every other variable used in
+/// `atoms` is existentially quantified. Variables are indices into
+/// `var_names` (kept for display and parsing round-trips).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cq {
+    var_names: Vec<String>,
+    /// The body atoms.
+    pub atoms: Vec<QAtom>,
+    /// The free (answer) variables, in output order.
+    pub answer_vars: Vec<Var>,
+}
+
+impl Cq {
+    /// Builds a CQ from parts. `var_names[i]` names `Var(i)`. Duplicate
+    /// atoms are removed: a CQ is a *set* of atoms, and contractions rely on
+    /// identified atoms collapsing.
+    pub fn new(var_names: Vec<String>, atoms: Vec<QAtom>, answer_vars: Vec<Var>) -> Cq {
+        let q = Cq {
+            var_names,
+            atoms: dedup_atoms(atoms),
+            answer_vars,
+        };
+        for v in q.all_vars() {
+            assert!(
+                v.index() < q.var_names.len(),
+                "variable {v:?} has no name entry"
+            );
+        }
+        let mut seen = BTreeSet::new();
+        for &v in &q.answer_vars {
+            assert!(seen.insert(v), "duplicate answer variable");
+        }
+        q
+    }
+
+    /// A fresh variable-name table for building CQs programmatically.
+    pub fn make_vars(names: &[&str]) -> (Vec<String>, Vec<Var>) {
+        let table: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+        let vars = (0..names.len() as u32).map(Var).collect();
+        (table, vars)
+    }
+
+    /// The name of `v`.
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// The variable-name table.
+    pub fn var_names(&self) -> &[String] {
+        &self.var_names
+    }
+
+    /// All variables occurring in atoms or as answer variables, ascending.
+    pub fn all_vars(&self) -> Vec<Var> {
+        let mut s: BTreeSet<Var> = self.answer_vars.iter().copied().collect();
+        for a in &self.atoms {
+            s.extend(a.vars());
+        }
+        s.into_iter().collect()
+    }
+
+    /// The existentially quantified variables (used but not answer).
+    pub fn existential_vars(&self) -> Vec<Var> {
+        self.all_vars()
+            .into_iter()
+            .filter(|v| !self.answer_vars.contains(v))
+            .collect()
+    }
+
+    /// Arity: the number of answer variables.
+    pub fn arity(&self) -> usize {
+        self.answer_vars.len()
+    }
+
+    /// Whether the query is Boolean (arity 0).
+    pub fn is_boolean(&self) -> bool {
+        self.answer_vars.is_empty()
+    }
+
+    /// Number of atoms.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// The canonical database `D[q]`: variables frozen as fresh nulls.
+    /// Returns the database and the freezing assignment.
+    pub fn canonical_database(&self) -> (Instance, HashMap<Var, Value>) {
+        let mut h = HashMap::new();
+        for v in self.all_vars() {
+            h.insert(v, Value::fresh_null());
+        }
+        let db = Instance::from_atoms(self.atoms.iter().map(|a| a.ground(&h)));
+        (db, h)
+    }
+
+    /// The schema realized by this query's atoms.
+    pub fn schema(&self) -> Schema {
+        let mut s = Schema::new();
+        for a in &self.atoms {
+            s.add(a.predicate, a.args.len());
+        }
+        s
+    }
+
+    /// Applies a variable substitution to all atoms and answer variables,
+    /// keeping the name table (callers merging variables should prefer
+    /// [`crate::contract::merge_vars`], which also validates answer-variable
+    /// rules).
+    pub fn map_vars(&self, f: impl Fn(Var) -> Var + Copy) -> Cq {
+        Cq {
+            var_names: self.var_names.clone(),
+            atoms: dedup_atoms(self.atoms.iter().map(|a| a.map_vars(f)).collect()),
+            answer_vars: self.answer_vars.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Re-indexes variables to a compact range `0..n` (dropping unused name
+    /// entries). Preserves semantics; useful after contraction.
+    pub fn compact(&self) -> Cq {
+        let used = self.all_vars();
+        let mut remap: HashMap<Var, Var> = HashMap::new();
+        let mut names = Vec::with_capacity(used.len());
+        for (i, &v) in used.iter().enumerate() {
+            remap.insert(v, Var(i as u32));
+            names.push(self.var_names[v.index()].clone());
+        }
+        Cq {
+            var_names: names,
+            atoms: dedup_atoms(
+                self.atoms
+                    .iter()
+                    .map(|a| a.map_vars(|v| remap[&v]))
+                    .collect(),
+            ),
+            answer_vars: self.answer_vars.iter().map(|&v| remap[&v]).collect(),
+        }
+    }
+
+    /// A canonical structural key: atoms sorted under the compacted variable
+    /// numbering. Two CQs with equal keys are identical up to atom order.
+    /// (Not isomorphism-complete — used only for cheap deduplication.)
+    pub fn dedup_key(&self) -> (Vec<QAtom>, Vec<Var>) {
+        let c = self.compact();
+        let mut atoms = c.atoms;
+        atoms.sort();
+        (atoms, c.answer_vars)
+    }
+}
+
+impl std::fmt::Display for Cq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Ans(")?;
+        for (i, v) in self.answer_vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", self.var_name(*v))?;
+        }
+        write!(f, ") :- ")?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}(", a.predicate)?;
+            for (j, t) in a.args.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                match t {
+                    Term::Var(v) => write!(f, "{}", self.var_name(*v))?,
+                    Term::Const(c) => write!(f, "\"{c}\"")?,
+                }
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// A union of conjunctive queries `q₁(x̄) ∨ … ∨ qₙ(x̄)`. All disjuncts must
+/// share the same arity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ucq {
+    /// The disjuncts (nonempty).
+    pub disjuncts: Vec<Cq>,
+}
+
+impl Ucq {
+    /// Builds a UCQ; panics if empty or arities disagree.
+    pub fn new(disjuncts: Vec<Cq>) -> Ucq {
+        assert!(!disjuncts.is_empty(), "a UCQ has at least one disjunct");
+        let n = disjuncts[0].arity();
+        assert!(
+            disjuncts.iter().all(|q| q.arity() == n),
+            "UCQ disjuncts must share arity"
+        );
+        Ucq { disjuncts }
+    }
+
+    /// A single-disjunct UCQ.
+    pub fn single(q: Cq) -> Ucq {
+        Ucq { disjuncts: vec![q] }
+    }
+
+    /// Arity of the UCQ.
+    pub fn arity(&self) -> usize {
+        self.disjuncts[0].arity()
+    }
+
+    /// Whether the UCQ is Boolean.
+    pub fn is_boolean(&self) -> bool {
+        self.arity() == 0
+    }
+
+    /// The union of all disjunct schemas.
+    pub fn schema(&self) -> Schema {
+        let mut s = Schema::new();
+        for q in &self.disjuncts {
+            s = s.union(&q.schema());
+        }
+        s
+    }
+
+    /// Maximum number of variables in any disjunct (the paper's `n` when
+    /// constructing finite witnesses).
+    pub fn max_vars(&self) -> usize {
+        self.disjuncts
+            .iter()
+            .map(|q| q.all_vars().len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for Ucq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, q) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "{q}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Cq {
+        // Ans(x) :- R(x,y), S(y,"c")
+        let (names, vs) = Cq::make_vars(&["x", "y"]);
+        Cq::new(
+            names,
+            vec![
+                QAtom::new(
+                    Predicate::new("R"),
+                    vec![Term::Var(vs[0]), Term::Var(vs[1])],
+                ),
+                QAtom::new(
+                    Predicate::new("S"),
+                    vec![Term::Var(vs[1]), Term::Const(Value::named("c"))],
+                ),
+            ],
+            vec![vs[0]],
+        )
+    }
+
+    #[test]
+    fn vars_and_arity() {
+        let q = sample();
+        assert_eq!(q.arity(), 1);
+        assert!(!q.is_boolean());
+        assert_eq!(q.all_vars(), vec![Var(0), Var(1)]);
+        assert_eq!(q.existential_vars(), vec![Var(1)]);
+    }
+
+    #[test]
+    fn canonical_database_freezes_vars() {
+        let q = sample();
+        let (db, h) = q.canonical_database();
+        assert_eq!(db.len(), 2);
+        assert!(h[&Var(0)].is_null() && h[&Var(1)].is_null());
+        assert_ne!(h[&Var(0)], h[&Var(1)]);
+        assert!(db.dom_contains(Value::named("c")));
+    }
+
+    #[test]
+    fn compact_renumbers() {
+        let (names, vs) = Cq::make_vars(&["a", "b", "c"]);
+        // Only use vars 0 and 2.
+        let q = Cq::new(
+            names,
+            vec![QAtom::new(
+                Predicate::new("R"),
+                vec![Term::Var(vs[0]), Term::Var(vs[2])],
+            )],
+            vec![],
+        );
+        let c = q.compact();
+        assert_eq!(c.all_vars(), vec![Var(0), Var(1)]);
+        assert_eq!(c.var_name(Var(1)), "c");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let q = sample();
+        assert_eq!(q.to_string(), "Ans(x) :- R(x,y), S(y,\"c\")");
+    }
+
+    #[test]
+    #[should_panic(expected = "share arity")]
+    fn ucq_arity_mismatch_panics() {
+        let q0 = sample();
+        let (names, _) = Cq::make_vars(&[]);
+        let q1 = Cq::new(names, vec![QAtom::new(Predicate::new("P"), vec![])], vec![]);
+        Ucq::new(vec![q0, q1]);
+    }
+
+    #[test]
+    fn ucq_basics() {
+        let u = Ucq::single(sample());
+        assert_eq!(u.arity(), 1);
+        assert_eq!(u.max_vars(), 2);
+        assert_eq!(u.schema().max_arity(), 2);
+    }
+
+    #[test]
+    fn dedup_key_ignores_atom_order_and_var_ids() {
+        let (names, vs) = Cq::make_vars(&["x", "y"]);
+        let a1 = QAtom::new(
+            Predicate::new("R"),
+            vec![Term::Var(vs[0]), Term::Var(vs[1])],
+        );
+        let a2 = QAtom::new(Predicate::new("P"), vec![Term::Var(vs[0])]);
+        let q1 = Cq::new(names.clone(), vec![a1.clone(), a2.clone()], vec![]);
+        let q2 = Cq::new(names, vec![a2, a1], vec![]);
+        assert_eq!(q1.dedup_key(), q2.dedup_key());
+    }
+}

@@ -1,0 +1,425 @@
+//! The homomorphism search engine.
+//!
+//! Finds mappings from a set of query atoms into an [`Instance`], with
+//! optional pre-bound variables, injectivity, and image restriction. This
+//! single engine backs CQ evaluation, chase trigger matching, core
+//! computation, instance-to-instance homomorphisms, and the `|=io`
+//! (injectively-only) checks of Appendix D.
+//!
+//! The search is backtracking with dynamic atom ordering: at each step it
+//! matches the pending atom with the most selective candidate list, where
+//! candidates come from the instance's `(predicate, position, value)`
+//! indexes.
+
+use crate::cq::{QAtom, Term, Var};
+use gtgd_data::{Instance, Valuation, Value};
+use std::collections::{HashMap, HashSet};
+use std::ops::ControlFlow;
+
+/// A configured homomorphism search. Build one, then call
+/// [`HomSearch::first`], [`HomSearch::exists`], [`HomSearch::all`], or
+/// [`HomSearch::for_each`].
+pub struct HomSearch<'a> {
+    atoms: &'a [QAtom],
+    target: &'a Instance,
+    fixed: HashMap<Var, Value>,
+    injective: bool,
+    allowed: Option<HashSet<Value>>,
+}
+
+impl<'a> HomSearch<'a> {
+    /// A search for homomorphisms from `atoms` into `target`.
+    pub fn new(atoms: &'a [QAtom], target: &'a Instance) -> Self {
+        HomSearch {
+            atoms,
+            target,
+            fixed: HashMap::new(),
+            injective: false,
+            allowed: None,
+        }
+    }
+
+    /// Pre-binds variables (e.g. answer variables to a candidate tuple).
+    pub fn fix(mut self, bindings: impl IntoIterator<Item = (Var, Value)>) -> Self {
+        self.fixed.extend(bindings);
+        self
+    }
+
+    /// Requires the homomorphism to be injective on variables.
+    pub fn injective(mut self) -> Self {
+        self.injective = true;
+        self
+    }
+
+    /// Restricts variable images to the given set.
+    pub fn restrict_images(mut self, allowed: HashSet<Value>) -> Self {
+        self.allowed = Some(allowed);
+        self
+    }
+
+    /// Visits every homomorphism; the callback may stop enumeration by
+    /// returning [`ControlFlow::Break`]. Returns `true` if enumeration was
+    /// stopped early.
+    pub fn for_each(&self, mut f: impl FnMut(&HashMap<Var, Value>) -> ControlFlow<()>) -> bool {
+        let mut assignment = self.fixed.clone();
+        // Validate fixed bindings against the modes.
+        if self.injective {
+            let mut used = HashSet::new();
+            for &v in assignment.values() {
+                if !used.insert(v) {
+                    return false;
+                }
+            }
+        }
+        if let Some(allowed) = &self.allowed {
+            if assignment.values().any(|v| !allowed.contains(v)) {
+                return false;
+            }
+        }
+        let mut pending: Vec<usize> = (0..self.atoms.len()).collect();
+        let mut used: HashSet<Value> = assignment.values().copied().collect();
+        self.search(&mut pending, &mut assignment, &mut used, &mut f)
+            .is_break()
+    }
+
+    /// The first homomorphism found, if any.
+    pub fn first(&self) -> Option<HashMap<Var, Value>> {
+        let mut out = None;
+        self.for_each(|h| {
+            out = Some(h.clone());
+            ControlFlow::Break(())
+        });
+        out
+    }
+
+    /// Whether any homomorphism exists.
+    pub fn exists(&self) -> bool {
+        self.first().is_some()
+    }
+
+    /// All homomorphisms (deduplicated by construction).
+    pub fn all(&self) -> Vec<HashMap<Var, Value>> {
+        let mut out = Vec::new();
+        self.for_each(|h| {
+            out.push(h.clone());
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    /// Number of homomorphisms (without materializing them).
+    pub fn count(&self) -> usize {
+        let mut n = 0usize;
+        self.for_each(|_| {
+            n += 1;
+            ControlFlow::Continue(())
+        });
+        n
+    }
+
+    /// Candidate atom ids in the target for `atom` under `assignment`,
+    /// using the most selective available index.
+    fn candidates(&self, atom: &QAtom, assignment: &HashMap<Var, Value>) -> Vec<usize> {
+        let mut best: Option<&[usize]> = None;
+        for (pos, t) in atom.args.iter().enumerate() {
+            let bound = match *t {
+                Term::Const(c) => Some(c),
+                Term::Var(v) => assignment.get(&v).copied(),
+            };
+            if let Some(val) = bound {
+                let ids = self.target.atoms_matching(atom.predicate, pos, val);
+                if best.is_none_or(|b| ids.len() < b.len()) {
+                    best = Some(ids);
+                }
+            }
+        }
+        best.unwrap_or_else(|| self.target.atoms_with_pred(atom.predicate))
+            .to_vec()
+    }
+
+    fn search(
+        &self,
+        pending: &mut Vec<usize>,
+        assignment: &mut HashMap<Var, Value>,
+        used: &mut HashSet<Value>,
+        f: &mut impl FnMut(&HashMap<Var, Value>) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if pending.is_empty() {
+            return f(assignment);
+        }
+        // Pick the pending atom with the fewest candidates.
+        let (slot, _) = pending
+            .iter()
+            .enumerate()
+            .map(|(slot, &ai)| (slot, self.candidates(&self.atoms[ai], assignment).len()))
+            .min_by_key(|&(_, n)| n)
+            .expect("pending nonempty");
+        let ai = pending.swap_remove(slot);
+        let atom = &self.atoms[ai];
+        let cand = self.candidates(atom, assignment);
+        for ci in cand {
+            let ground = self.target.atom(ci);
+            if ground.args.len() != atom.args.len() {
+                continue;
+            }
+            // Try to unify, recording newly bound vars for rollback.
+            let mut newly: Vec<Var> = Vec::new();
+            let mut ok = true;
+            for (t, &gv) in atom.args.iter().zip(ground.args.iter()) {
+                match *t {
+                    Term::Const(c) => {
+                        if c != gv {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Term::Var(v) => match assignment.get(&v) {
+                        Some(&bound) => {
+                            if bound != gv {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            if self.injective && used.contains(&gv) {
+                                ok = false;
+                                break;
+                            }
+                            if let Some(allowed) = &self.allowed {
+                                if !allowed.contains(&gv) {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            assignment.insert(v, gv);
+                            used.insert(gv);
+                            newly.push(v);
+                        }
+                    },
+                }
+            }
+            if ok && self.search(pending, assignment, used, f).is_break() {
+                return ControlFlow::Break(());
+            }
+            for v in newly {
+                let val = assignment.remove(&v).expect("was bound");
+                used.remove(&val);
+            }
+        }
+        pending.push(ai);
+        let last = pending.len() - 1;
+        pending.swap(slot, last);
+        ControlFlow::Continue(())
+    }
+}
+
+/// Finds a homomorphism from `atoms` into `target` extending `fixed`.
+pub fn find_homomorphism(
+    atoms: &[QAtom],
+    target: &Instance,
+    fixed: impl IntoIterator<Item = (Var, Value)>,
+) -> Option<HashMap<Var, Value>> {
+    HomSearch::new(atoms, target).fix(fixed).first()
+}
+
+/// Whether a homomorphism from `atoms` into `target` exists.
+pub fn exists_homomorphism(atoms: &[QAtom], target: &Instance) -> bool {
+    HomSearch::new(atoms, target).exists()
+}
+
+/// All homomorphisms from `atoms` into `target`.
+pub fn all_homomorphisms(atoms: &[QAtom], target: &Instance) -> Vec<HashMap<Var, Value>> {
+    HomSearch::new(atoms, target).all()
+}
+
+/// Views an instance as a set of query atoms: every domain value becomes a
+/// variable. Returns the atoms and the value → variable mapping. This
+/// implements the paper's notion of instance homomorphism, where constants
+/// are *not* fixed.
+pub fn instance_as_atoms(i: &Instance) -> (Vec<QAtom>, HashMap<Value, Var>) {
+    let mut var_of: HashMap<Value, Var> = HashMap::new();
+    for (idx, &v) in i.dom().iter().enumerate() {
+        var_of.insert(v, Var(idx as u32));
+    }
+    let atoms = i
+        .iter()
+        .map(|a| {
+            QAtom::new(
+                a.predicate,
+                a.args.iter().map(|&v| Term::Var(var_of[&v])).collect(),
+            )
+        })
+        .collect();
+    (atoms, var_of)
+}
+
+/// Finds a homomorphism (paper semantics: any function on the domain) from
+/// instance `from` to instance `to`.
+pub fn instance_homomorphism(from: &Instance, to: &Instance) -> Option<Valuation> {
+    instance_homomorphism_fixing(from, to, &Valuation::new())
+}
+
+/// Like [`instance_homomorphism`], with some domain values pre-mapped (e.g.
+/// the identity on `dom(D)` for Proposition 2.2-style checks).
+pub fn instance_homomorphism_fixing(
+    from: &Instance,
+    to: &Instance,
+    fixed: &Valuation,
+) -> Option<Valuation> {
+    let (atoms, var_of) = instance_as_atoms(from);
+    let fixed_vars: Vec<(Var, Value)> = fixed
+        .iter()
+        .filter_map(|(&v, &img)| var_of.get(&v).map(|&x| (x, img)))
+        .collect();
+    let h = HomSearch::new(&atoms, to).fix(fixed_vars).first()?;
+    let mut val = Valuation::new();
+    for (&value, &var) in &var_of {
+        if let Some(&img) = h.get(&var) {
+            val.insert(value, img);
+        }
+    }
+    // Domain values not occurring in any atom cannot exist (instances store
+    // only atom-borne values), so `val` is total on dom(from).
+    Some(val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cq;
+    use gtgd_data::GroundAtom;
+
+    fn v(s: &str) -> Value {
+        Value::named(s)
+    }
+
+    fn path_db(n: usize) -> Instance {
+        let names: Vec<String> = (0..=n).map(|i| format!("n{i}")).collect();
+        Instance::from_atoms(
+            (0..n).map(|i| GroundAtom::named("E", &[names[i].as_str(), names[i + 1].as_str()])),
+        )
+    }
+
+    #[test]
+    fn finds_path_homomorphism() {
+        let q = parse_cq("Q() :- E(X,Y), E(Y,Z)").unwrap();
+        let db = path_db(2);
+        assert!(exists_homomorphism(&q.atoms, &db));
+        let h = find_homomorphism(&q.atoms, &db, []).unwrap();
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn respects_fixed_bindings() {
+        let q = parse_cq("Q(X) :- E(X,Y)").unwrap();
+        let db = path_db(2);
+        let x = q.answer_vars[0];
+        assert!(find_homomorphism(&q.atoms, &db, [(x, v("n0"))]).is_some());
+        assert!(find_homomorphism(&q.atoms, &db, [(x, v("n2"))]).is_none());
+    }
+
+    #[test]
+    fn all_homs_counts_paths() {
+        let q = parse_cq("Q() :- E(X,Y)").unwrap();
+        let db = path_db(3);
+        assert_eq!(all_homomorphisms(&q.atoms, &db).len(), 3);
+        assert_eq!(HomSearch::new(&q.atoms, &db).count(), 3);
+    }
+
+    #[test]
+    fn injective_mode_excludes_collapses() {
+        // A reflexive loop satisfies E(X,Y),E(Y,X) non-injectively only.
+        let db = Instance::from_atoms([GroundAtom::named("E", &["a", "a"])]);
+        let q = parse_cq("Q() :- E(X,Y), E(Y,X)").unwrap();
+        assert!(exists_homomorphism(&q.atoms, &db));
+        assert!(!HomSearch::new(&q.atoms, &db).injective().exists());
+        // A genuine 2-cycle satisfies it injectively.
+        let db2 = Instance::from_atoms([
+            GroundAtom::named("E", &["a", "b"]),
+            GroundAtom::named("E", &["b", "a"]),
+        ]);
+        assert!(HomSearch::new(&q.atoms, &db2).injective().exists());
+    }
+
+    #[test]
+    fn image_restriction() {
+        let q = parse_cq("Q() :- E(X,Y)").unwrap();
+        let db = path_db(3);
+        let allowed: HashSet<Value> = [v("n0"), v("n1")].into_iter().collect();
+        let homs = HomSearch::new(&q.atoms, &db).restrict_images(allowed).all();
+        assert_eq!(homs.len(), 1); // only E(n0,n1)
+    }
+
+    #[test]
+    fn constants_in_query_must_match() {
+        let q = parse_cq("Q() :- E(n0, Y)").unwrap();
+        let db = path_db(2);
+        assert!(exists_homomorphism(&q.atoms, &db));
+        let q2 = parse_cq("Q() :- E(n2, Y)").unwrap();
+        assert!(!exists_homomorphism(&q2.atoms, &db));
+    }
+
+    #[test]
+    fn instance_homomorphism_not_constant_preserving() {
+        // R(a,b) → R(c,c): legal under the paper's definition.
+        let from = Instance::from_atoms([GroundAtom::named("R", &["a", "b"])]);
+        let to = Instance::from_atoms([GroundAtom::named("R", &["c", "c"])]);
+        let h = instance_homomorphism(&from, &to).unwrap();
+        assert_eq!(h[&v("a")], v("c"));
+        assert_eq!(h[&v("b")], v("c"));
+        assert!(gtgd_data::is_homomorphism(&h, &from, &to));
+    }
+
+    #[test]
+    fn instance_homomorphism_fixing_identity() {
+        let from = Instance::from_atoms([GroundAtom::named("R", &["a", "b"])]);
+        let to = Instance::from_atoms([
+            GroundAtom::named("R", &["a", "b"]),
+            GroundAtom::named("R", &["x", "y"]),
+        ]);
+        let fixed: Valuation = [(v("a"), v("a")), (v("b"), v("b"))].into_iter().collect();
+        let h = instance_homomorphism_fixing(&from, &to, &fixed).unwrap();
+        assert_eq!(h[&v("a")], v("a"));
+        // Fixing to something impossible fails.
+        let bad: Valuation = [(v("a"), v("y"))].into_iter().collect();
+        assert!(instance_homomorphism_fixing(&from, &to, &bad).is_none());
+    }
+
+    #[test]
+    fn early_stop_enumeration() {
+        let q = parse_cq("Q() :- E(X,Y)").unwrap();
+        let db = path_db(5);
+        let mut count = 0;
+        let stopped = HomSearch::new(&q.atoms, &db).for_each(|_| {
+            count += 1;
+            if count == 2 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert!(stopped);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn zero_ary_atom_matching() {
+        let db = Instance::from_atoms([GroundAtom::named("Goal", &[])]);
+        let q = parse_cq("Q() :- Goal()").unwrap();
+        assert!(exists_homomorphism(&q.atoms, &db));
+        let q2 = parse_cq("Q() :- Start()").unwrap();
+        assert!(!exists_homomorphism(&q2.atoms, &db));
+    }
+
+    #[test]
+    fn repeated_variable_positions() {
+        let db = Instance::from_atoms([
+            GroundAtom::named("R", &["a", "b"]),
+            GroundAtom::named("R", &["c", "c"]),
+        ]);
+        let q = parse_cq("Q() :- R(X,X)").unwrap();
+        let homs = all_homomorphisms(&q.atoms, &db);
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0].values().next(), Some(&v("c")));
+    }
+}

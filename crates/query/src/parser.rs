@@ -1,0 +1,367 @@
+//! A small datalog-style text format for CQs and UCQs.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! ucq  := rule ("." rule)* "."?
+//! rule := head ":-" atom ("," atom)*
+//! head := ident "(" terms? ")"
+//! atom := ident "(" terms? ")"
+//! term := VARIABLE | CONSTANT
+//! ```
+//!
+//! Identifiers starting with an uppercase ASCII letter are **variables**;
+//! identifiers starting with a lowercase letter or a digit, and quoted
+//! strings, are **constants**. The head predicate name is cosmetic: only the
+//! head's variable list (the answer variables) matters.
+//!
+//! Example: `Ans(X) :- R(X,Y), S(Y,c)` is `q(x) = ∃y R(x,y) ∧ S(y,"c")`.
+
+use crate::cq::{Cq, QAtom, Term, Ucq, Var};
+use gtgd_data::{Predicate, Value};
+use std::collections::HashMap;
+
+/// A parse failure, with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset where the error was detected.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Quoted(String),
+    LParen,
+    RParen,
+    Comma,
+    Turnstile,
+    Dot,
+}
+
+fn tokenize(s: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let b = s.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                out.push((Tok::RParen, i));
+                i += 1;
+            }
+            ',' => {
+                out.push((Tok::Comma, i));
+                i += 1;
+            }
+            '.' => {
+                out.push((Tok::Dot, i));
+                i += 1;
+            }
+            ':' => {
+                if b.get(i + 1) == Some(&b'-') {
+                    out.push((Tok::Turnstile, i));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        message: "expected ':-'".into(),
+                        offset: i,
+                    });
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j] != b'"' {
+                    j += 1;
+                }
+                if j == b.len() {
+                    return Err(ParseError {
+                        message: "unterminated string".into(),
+                        offset: i,
+                    });
+                }
+                out.push((Tok::Quoted(s[start..j].to_string()), i));
+                i = j + 1;
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push((Tok::Ident(s[start..i].to_string()), start));
+            }
+            _ => {
+                return Err(ParseError {
+                    message: format!("unexpected character {c:?}"),
+                    offset: i,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.pos).map_or(usize::MAX, |(_, o)| *o)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<(), ParseError> {
+        let off = self.offset();
+        match self.next() {
+            Some(t) if t == want => Ok(()),
+            _ => Err(ParseError {
+                message: format!("expected {what}"),
+                offset: off,
+            }),
+        }
+    }
+
+    fn err<T>(&self, message: &str) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            offset: self.offset(),
+        })
+    }
+}
+
+fn is_variable_name(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+}
+
+struct RuleCtx {
+    var_names: Vec<String>,
+    var_ids: HashMap<String, Var>,
+}
+
+impl RuleCtx {
+    fn var(&mut self, name: &str) -> Var {
+        if let Some(&v) = self.var_ids.get(name) {
+            return v;
+        }
+        let v = Var(self.var_names.len() as u32);
+        self.var_names.push(name.to_string());
+        self.var_ids.insert(name.to_string(), v);
+        v
+    }
+}
+
+fn parse_atom(p: &mut Parser, ctx: &mut RuleCtx) -> Result<QAtom, ParseError> {
+    let name = match p.next() {
+        Some(Tok::Ident(n)) => n,
+        _ => return p.err("expected predicate name"),
+    };
+    p.expect(Tok::LParen, "'('")?;
+    let mut args = Vec::new();
+    if p.peek() != Some(&Tok::RParen) {
+        loop {
+            match p.next() {
+                Some(Tok::Ident(t)) => {
+                    if is_variable_name(&t) {
+                        args.push(Term::Var(ctx.var(&t)));
+                    } else {
+                        args.push(Term::Const(Value::named(&t)));
+                    }
+                }
+                Some(Tok::Quoted(t)) => args.push(Term::Const(Value::named(&t))),
+                _ => return p.err("expected term"),
+            }
+            match p.peek() {
+                Some(Tok::Comma) => {
+                    p.next();
+                }
+                _ => break,
+            }
+        }
+    }
+    p.expect(Tok::RParen, "')'")?;
+    Ok(QAtom::new(Predicate::new(&name), args))
+}
+
+fn parse_rule(p: &mut Parser) -> Result<Cq, ParseError> {
+    let mut ctx = RuleCtx {
+        var_names: Vec::new(),
+        var_ids: HashMap::new(),
+    };
+    let head = parse_atom(p, &mut ctx)?;
+    let mut answer_vars = Vec::new();
+    for t in &head.args {
+        match *t {
+            Term::Var(v) => {
+                if answer_vars.contains(&v) {
+                    return p.err("answer variables must be distinct");
+                }
+                answer_vars.push(v);
+            }
+            Term::Const(_) => return p.err("head arguments must be variables"),
+        }
+    }
+    p.expect(Tok::Turnstile, "':-'")?;
+    let mut atoms = vec![parse_atom(p, &mut ctx)?];
+    while p.peek() == Some(&Tok::Comma) {
+        p.next();
+        atoms.push(parse_atom(p, &mut ctx)?);
+    }
+    // Every answer variable must occur in the body (safety).
+    for &v in &answer_vars {
+        if !atoms.iter().any(|a| a.mentions(v)) {
+            return Err(ParseError {
+                message: format!(
+                    "answer variable does not occur in the body: {}",
+                    ctx.var_names[v.index()]
+                ),
+                offset: 0,
+            });
+        }
+    }
+    Ok(Cq::new(ctx.var_names, atoms, answer_vars))
+}
+
+/// Parses a single CQ, e.g. `Ans(X,Y) :- R(X,Z), S(Z,Y)`.
+pub fn parse_cq(input: &str) -> Result<Cq, ParseError> {
+    let mut p = Parser {
+        toks: tokenize(input)?,
+        pos: 0,
+    };
+    let q = parse_rule(&mut p)?;
+    if p.peek() == Some(&Tok::Dot) {
+        p.next();
+    }
+    if p.peek().is_some() {
+        return p.err("trailing input after CQ");
+    }
+    Ok(q)
+}
+
+/// Parses a UCQ: one or more rules separated by `.`; all heads must have the
+/// same arity. Example: `Q(X) :- R(X,Y). Q(X) :- S(X)`.
+pub fn parse_ucq(input: &str) -> Result<Ucq, ParseError> {
+    let mut p = Parser {
+        toks: tokenize(input)?,
+        pos: 0,
+    };
+    let mut disjuncts = vec![parse_rule(&mut p)?];
+    while p.peek() == Some(&Tok::Dot) {
+        p.next();
+        if p.peek().is_none() {
+            break;
+        }
+        disjuncts.push(parse_rule(&mut p)?);
+    }
+    if p.peek().is_some() {
+        return p.err("trailing input after UCQ");
+    }
+    let arity = disjuncts[0].arity();
+    if disjuncts.iter().any(|q| q.arity() != arity) {
+        return Err(ParseError {
+            message: "UCQ disjuncts must share arity".into(),
+            offset: 0,
+        });
+    }
+    Ok(Ucq::new(disjuncts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_cq() {
+        let q = parse_cq("Ans(X,Y) :- R(X,Z), S(Z,Y)").unwrap();
+        assert_eq!(q.arity(), 2);
+        assert_eq!(q.atom_count(), 2);
+        assert_eq!(q.all_vars().len(), 3);
+        assert_eq!(q.to_string(), "Ans(X,Y) :- R(X,Z), S(Z,Y)");
+    }
+
+    #[test]
+    fn parses_boolean_cq_and_constants() {
+        let q = parse_cq("Q() :- Edge(X, Y), Color(X, red), Color(Y, \"navy blue\")").unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.all_vars().len(), 2);
+        let consts: Vec<_> = q
+            .atoms
+            .iter()
+            .flat_map(|a| a.args.iter())
+            .filter(|t| matches!(t, Term::Const(_)))
+            .collect();
+        assert_eq!(consts.len(), 2);
+    }
+
+    #[test]
+    fn parses_zero_ary_atoms() {
+        let q = parse_cq("Q() :- Start(), Goal()").unwrap();
+        assert_eq!(q.atom_count(), 2);
+        assert!(q.all_vars().is_empty());
+    }
+
+    #[test]
+    fn parses_ucq() {
+        let u = parse_ucq("Q(X) :- R(X,Y). Q(X) :- S(X).").unwrap();
+        assert_eq!(u.disjuncts.len(), 2);
+        assert_eq!(u.arity(), 1);
+    }
+
+    #[test]
+    fn rejects_unsafe_head() {
+        assert!(parse_cq("Q(X) :- R(Y,Y)").is_err());
+    }
+
+    #[test]
+    fn rejects_constant_in_head() {
+        assert!(parse_cq("Q(a) :- R(a,Y)").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_answer_vars() {
+        assert!(parse_cq("Q(X,X) :- R(X,X)").is_err());
+    }
+
+    #[test]
+    fn rejects_arity_mismatch_in_ucq() {
+        assert!(parse_ucq("Q(X) :- R(X,Y). Q() :- S(Z)").is_err());
+    }
+
+    #[test]
+    fn reports_offsets() {
+        let e = parse_cq("Q(X) :- R(X,Y)!").unwrap_err();
+        assert_eq!(e.offset, 14);
+    }
+
+    #[test]
+    fn variables_shared_across_atoms() {
+        let q = parse_cq("Q() :- R(X,Y), S(Y,Z), T(Z,X)").unwrap();
+        assert_eq!(q.all_vars().len(), 3);
+    }
+}

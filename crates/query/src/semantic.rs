@@ -1,0 +1,104 @@
+//! Semantic treewidth of plain (U)CQs — Grohe's Theorem 4.1 machinery
+//! (Section 4): a CQ is in `CQ_k^≡` iff its core is in `CQ_k`, and the
+//! natural UCQ generalization.
+
+use crate::containment::{cq_contained, ucq_equivalent};
+use crate::cq::{Cq, Ucq};
+use crate::cq_core::core_of;
+use crate::tw::{cq_treewidth, is_cq_treewidth_at_most};
+
+/// The semantic treewidth of a CQ: the treewidth of its core — the least
+/// `k` with `q ∈ CQ_k^≡` (Dalmau–Kolaitis–Vardi [20], as used in
+/// Theorem 4.1).
+pub fn cq_semantic_treewidth(q: &Cq) -> usize {
+    cq_treewidth(&core_of(q))
+}
+
+/// Whether `q ∈ CQ_k^≡`: equivalent to a CQ of treewidth at most `k`.
+pub fn is_cq_semantically_at_most(q: &Cq, k: usize) -> bool {
+    is_cq_treewidth_at_most(&core_of(q), k)
+}
+
+/// Whether a UCQ is equivalent to one from `UCQ_k`, and the witnessing
+/// rewriting if so.
+///
+/// The natural generalization of Theorem 4.1 to UCQs: take each disjunct's
+/// core; keep those of treewidth ≤ `k`; the UCQ is UCQ_k-equivalent iff
+/// every discarded disjunct is subsumed by a kept one. (A discarded
+/// disjunct `p` can only be covered by a disjunct `p′` with `p ⊆ p′`,
+/// since a UCQ answer from `p`'s canonical database must come from some
+/// single disjunct.)
+pub fn ucq_semantic_rewriting(q: &Ucq, k: usize) -> Option<Ucq> {
+    let cores: Vec<Cq> = q.disjuncts.iter().map(core_of).collect();
+    let kept: Vec<Cq> = cores
+        .iter()
+        .filter(|c| is_cq_treewidth_at_most(c, k))
+        .cloned()
+        .collect();
+    if kept.is_empty() {
+        return None;
+    }
+    for c in &cores {
+        if !kept.iter().any(|good| cq_contained(c, good)) {
+            return None;
+        }
+    }
+    let rewriting = Ucq::new(kept);
+    debug_assert!(ucq_equivalent(q, &rewriting));
+    Some(rewriting)
+}
+
+/// Whether `q ∈ UCQ_k^≡`.
+pub fn is_ucq_semantically_at_most(q: &Ucq, k: usize) -> bool {
+    ucq_semantic_rewriting(q, k).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_cq, parse_ucq};
+
+    #[test]
+    fn padding_does_not_change_semantic_treewidth() {
+        // Triangle + pendant path: syntactic tw 2 either way, but the core
+        // analysis sees through padding.
+        let q = parse_cq("Q() :- E(X,Y), E(Y,Z), E(Z,X), E(X,A), E(A,B)").unwrap();
+        assert_eq!(cq_semantic_treewidth(&q), 2);
+        assert!(is_cq_semantically_at_most(&q, 2));
+        assert!(!is_cq_semantically_at_most(&q, 1));
+    }
+
+    #[test]
+    fn redundant_grid_folds_to_path() {
+        // Two disjoint paths fold onto one: semantically treewidth 1.
+        let q = parse_cq("Q() :- E(X,Y), E(Y,Z), E(A,B), E(B,C)").unwrap();
+        assert_eq!(cq_semantic_treewidth(&q), 1);
+    }
+
+    #[test]
+    fn ucq_rewriting_drops_subsumed_cyclic_disjunct() {
+        // triangle ∨ edge: the triangle is contained in the edge disjunct,
+        // so the UCQ is semantically treewidth 1.
+        let q = parse_ucq("Q() :- E(X,Y), E(Y,Z), E(Z,X). Q() :- E(X,Y)").unwrap();
+        let r = ucq_semantic_rewriting(&q, 1).expect("edge covers triangle");
+        assert_eq!(r.disjuncts.len(), 1);
+        assert!(ucq_equivalent(&q, &r));
+    }
+
+    #[test]
+    fn ucq_with_essential_cyclic_disjunct_is_not_rewritable() {
+        // triangle ∨ P(x): the triangle is not subsumed.
+        let q = parse_ucq("Q() :- E(X,Y), E(Y,Z), E(Z,X). Q() :- P(X)").unwrap();
+        assert!(!is_ucq_semantically_at_most(&q, 1));
+        assert!(is_ucq_semantically_at_most(&q, 2));
+    }
+
+    #[test]
+    fn answer_variables_respected() {
+        // With both endpoints free, nothing folds; the triangle's
+        // existential part is a single vertex, so the paper's convention
+        // gives treewidth 1.
+        let q = parse_cq("Q(X,Y) :- E(X,Y), E(Y,Z), E(Z,X)").unwrap();
+        assert_eq!(cq_semantic_treewidth(&q), 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Treewidth of conjunctive queries, under the paper's liberal convention
+//! (Section 2): the treewidth of `q(x̄) = ∃ȳ ϕ(x̄, ȳ)` is the treewidth of
+//! `G^q_{|ȳ}`, the subgraph of the query's Gaifman graph induced by the
+//! **existentially quantified** variables only.
+
+use crate::cq::{Cq, Ucq, Var};
+use gtgd_treewidth::{is_treewidth_at_most, treewidth_exact, Graph};
+
+/// The Gaifman graph of a CQ over **all** its variables. Returns the graph
+/// and the vertex-id → variable mapping.
+pub fn cq_gaifman(q: &Cq) -> (Graph, Vec<Var>) {
+    let vars = q.all_vars();
+    gaifman_over(q, &vars)
+}
+
+/// The subgraph of the Gaifman graph induced by the existential variables
+/// (`G^q_{|ȳ}`), used for the paper's treewidth measure.
+pub fn existential_gaifman(q: &Cq) -> (Graph, Vec<Var>) {
+    let vars = q.existential_vars();
+    gaifman_over(q, &vars)
+}
+
+fn gaifman_over(q: &Cq, vars: &[Var]) -> (Graph, Vec<Var>) {
+    let mut g = Graph::new(vars.len());
+    let id = |v: Var| vars.iter().position(|&u| u == v);
+    for a in &q.atoms {
+        let vs = a.vars();
+        for (i, &u) in vs.iter().enumerate() {
+            for &w in &vs[i + 1..] {
+                if let (Some(ui), Some(wi)) = (id(u), id(w)) {
+                    g.add_edge(ui, wi);
+                }
+            }
+        }
+    }
+    (g, vars.to_vec())
+}
+
+/// The treewidth of a CQ per the paper's definition: the treewidth of
+/// `G^q_{|ȳ}` — and 1 when that subgraph has no edges.
+pub fn cq_treewidth(q: &Cq) -> usize {
+    let (g, _) = existential_gaifman(q);
+    if g.edge_count() == 0 {
+        return 1;
+    }
+    treewidth_exact(&g).0
+}
+
+/// Whether the CQ is in `CQ_k` (treewidth at most `k`, `k ≥ 1`).
+pub fn is_cq_treewidth_at_most(q: &Cq, k: usize) -> bool {
+    assert!(k >= 1, "the classes CQ_k are defined for k ≥ 1");
+    let (g, _) = existential_gaifman(q);
+    if g.edge_count() == 0 {
+        return true;
+    }
+    is_treewidth_at_most(&g, k).is_some()
+}
+
+/// The treewidth of a UCQ: the maximum over its disjuncts.
+pub fn ucq_treewidth(q: &Ucq) -> usize {
+    q.disjuncts.iter().map(cq_treewidth).max().unwrap_or(1)
+}
+
+/// Whether the UCQ is in `UCQ_k`.
+pub fn is_ucq_treewidth_at_most(q: &Ucq, k: usize) -> bool {
+    q.disjuncts.iter().all(|d| is_cq_treewidth_at_most(d, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_cq, parse_ucq};
+
+    #[test]
+    fn path_query_has_treewidth_one() {
+        let q = parse_cq("Q() :- E(X,Y), E(Y,Z), E(Z,W)").unwrap();
+        assert_eq!(cq_treewidth(&q), 1);
+        assert!(is_cq_treewidth_at_most(&q, 1));
+    }
+
+    #[test]
+    fn triangle_query_has_treewidth_two() {
+        let q = parse_cq("Q() :- E(X,Y), E(Y,Z), E(Z,X)").unwrap();
+        assert_eq!(cq_treewidth(&q), 2);
+        assert!(!is_cq_treewidth_at_most(&q, 1));
+        assert!(is_cq_treewidth_at_most(&q, 2));
+    }
+
+    #[test]
+    fn clique4_query_has_treewidth_three() {
+        let q = parse_cq("Q() :- E(A,B), E(A,C), E(A,D), E(B,C), E(B,D), E(C,D)").unwrap();
+        assert_eq!(cq_treewidth(&q), 3);
+    }
+
+    #[test]
+    fn answer_variables_do_not_count() {
+        // The triangle is over X,Y,Z but X and Y are free: the induced
+        // subgraph on existential variables is a single vertex Z — width 1
+        // under the paper's convention.
+        let q = parse_cq("Q(X,Y) :- E(X,Y), E(Y,Z), E(Z,X)").unwrap();
+        assert_eq!(cq_treewidth(&q), 1);
+    }
+
+    #[test]
+    fn edgeless_existential_graph_is_width_one() {
+        let q = parse_cq("Q(X) :- E(X,Y), E(X,Z)").unwrap();
+        // Y and Z never co-occur without X.
+        assert_eq!(cq_treewidth(&q), 1);
+    }
+
+    #[test]
+    fn grid_query_width() {
+        // 3x3 grid as a Boolean CQ: treewidth 3.
+        let mut atoms = Vec::new();
+        for i in 1..=3 {
+            for j in 1..=3 {
+                if j < 3 {
+                    atoms.push(format!("H(V{i}{j}, V{i}{})", j + 1));
+                }
+                if i < 3 {
+                    atoms.push(format!("V(V{i}{j}, V{}{j})", i + 1));
+                }
+            }
+        }
+        let q = parse_cq(&format!("Q() :- {}", atoms.join(", "))).unwrap();
+        assert_eq!(cq_treewidth(&q), 3);
+    }
+
+    #[test]
+    fn ucq_treewidth_is_max() {
+        let u = parse_ucq("Q() :- E(X,Y), E(Y,Z), E(Z,X). Q() :- E(X,Y)").unwrap();
+        assert_eq!(ucq_treewidth(&u), 2);
+        assert!(!is_ucq_treewidth_at_most(&u, 1));
+        assert!(is_ucq_treewidth_at_most(&u, 2));
+    }
+
+    #[test]
+    fn gaifman_structure() {
+        let q = parse_cq("Q() :- R(X,Y,Z)").unwrap();
+        let (g, vars) = cq_gaifman(&q);
+        assert_eq!(vars.len(), 3);
+        assert_eq!(g.edge_count(), 3); // ternary atom = triangle
+    }
+}

@@ -1,0 +1,259 @@
+//! Tree decompositions and their validation (Section 2 of the paper).
+
+use crate::graph::Graph;
+use std::collections::BTreeSet;
+
+/// A tree decomposition `(T, χ)` of a graph.
+///
+/// `bags[i]` is `χ(i)`; `tree_edges` are the edges of `T`. The structure is
+/// only a candidate until [`TreeDecomposition::validate`] confirms the three
+/// decomposition conditions against a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeDecomposition {
+    bags: Vec<BTreeSet<usize>>,
+    tree_edges: Vec<(usize, usize)>,
+}
+
+/// Why a candidate decomposition is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidDecomposition {
+    /// The tree part is not a tree (wrong edge count or disconnected).
+    NotATree,
+    /// Some graph vertex appears in no bag.
+    VertexNotCovered(usize),
+    /// Some graph edge has no bag containing both endpoints.
+    EdgeNotCovered(usize, usize),
+    /// The bags containing some vertex do not induce a connected subtree.
+    NotConnected(usize),
+    /// A bag mentions a vertex id outside the graph.
+    UnknownVertex(usize),
+}
+
+impl std::fmt::Display for InvalidDecomposition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvalidDecomposition::NotATree => write!(f, "tree part is not a tree"),
+            InvalidDecomposition::VertexNotCovered(v) => {
+                write!(f, "vertex {v} appears in no bag")
+            }
+            InvalidDecomposition::EdgeNotCovered(u, v) => {
+                write!(f, "edge {{{u},{v}}} is covered by no bag")
+            }
+            InvalidDecomposition::NotConnected(v) => {
+                write!(f, "bags containing {v} are not connected in the tree")
+            }
+            InvalidDecomposition::UnknownVertex(v) => {
+                write!(f, "bag mentions vertex {v} outside the graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidDecomposition {}
+
+impl TreeDecomposition {
+    /// Builds a decomposition from bags and tree edges.
+    pub fn new(bags: Vec<BTreeSet<usize>>, tree_edges: Vec<(usize, usize)>) -> Self {
+        TreeDecomposition { bags, tree_edges }
+    }
+
+    /// A decomposition with a single bag containing `vs` (always valid for
+    /// the graph induced by `vs`).
+    pub fn single_bag(vs: impl IntoIterator<Item = usize>) -> Self {
+        TreeDecomposition {
+            bags: vec![vs.into_iter().collect()],
+            tree_edges: Vec::new(),
+        }
+    }
+
+    /// The bags.
+    pub fn bags(&self) -> &[BTreeSet<usize>] {
+        &self.bags
+    }
+
+    /// The tree edges.
+    pub fn tree_edges(&self) -> &[(usize, usize)] {
+        &self.tree_edges
+    }
+
+    /// Number of bags.
+    pub fn bag_count(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// Width: `max |bag| - 1` (0 for an empty decomposition, matching the
+    /// width of a decomposition of the empty graph).
+    pub fn width(&self) -> usize {
+        self.bags
+            .iter()
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(1)
+            .saturating_sub(1)
+    }
+
+    /// Adds a bag and returns its index.
+    pub fn add_bag(&mut self, bag: impl IntoIterator<Item = usize>) -> usize {
+        self.bags.push(bag.into_iter().collect());
+        self.bags.len() - 1
+    }
+
+    /// Connects two bags in the tree.
+    pub fn add_tree_edge(&mut self, a: usize, b: usize) {
+        assert!(a < self.bags.len() && b < self.bags.len());
+        self.tree_edges.push((a, b));
+    }
+
+    /// Finds a bag containing all of `vs`, if any. Every clique of the graph
+    /// is contained in some bag of any valid decomposition, so this succeeds
+    /// for cliques.
+    pub fn bag_containing(&self, vs: &[usize]) -> Option<usize> {
+        self.bags
+            .iter()
+            .position(|b| vs.iter().all(|v| b.contains(v)))
+    }
+
+    /// Checks the three conditions of Definition "tree decomposition" against
+    /// `g` (vertex coverage, edge coverage, connectedness of occurrence sets)
+    /// plus well-formedness of the tree.
+    pub fn validate(&self, g: &Graph) -> Result<(), InvalidDecomposition> {
+        let nb = self.bags.len();
+        // Tree well-formedness: nb nodes need nb-1 edges and connectivity.
+        if nb > 0 {
+            if self.tree_edges.len() != nb - 1 {
+                return Err(InvalidDecomposition::NotATree);
+            }
+            let mut t = Graph::new(nb);
+            for &(a, b) in &self.tree_edges {
+                if a >= nb || b >= nb || a == b || !t.add_edge(a, b) {
+                    return Err(InvalidDecomposition::NotATree);
+                }
+            }
+            if !t.is_connected() {
+                return Err(InvalidDecomposition::NotATree);
+            }
+        }
+        let n = g.vertex_count();
+        for bag in &self.bags {
+            if let Some(&v) = bag.iter().find(|&&v| v >= n) {
+                return Err(InvalidDecomposition::UnknownVertex(v));
+            }
+        }
+        // (1) vertex coverage
+        let mut covered = vec![false; n];
+        for bag in &self.bags {
+            for &v in bag {
+                covered[v] = true;
+            }
+        }
+        if let Some(v) = covered.iter().position(|c| !c) {
+            return Err(InvalidDecomposition::VertexNotCovered(v));
+        }
+        // (2) edge coverage
+        for (u, v) in g.edges() {
+            if self.bag_containing(&[u, v]).is_none() {
+                return Err(InvalidDecomposition::EdgeNotCovered(u, v));
+            }
+        }
+        // (3) connectedness of occurrence sets
+        let mut tree = Graph::new(nb);
+        for &(a, b) in &self.tree_edges {
+            tree.add_edge(a, b);
+        }
+        for v in 0..n {
+            let occ: Vec<usize> = (0..nb).filter(|&i| self.bags[i].contains(&v)).collect();
+            if occ.len() <= 1 {
+                continue;
+            }
+            let (sub, _) = tree.induced_subgraph(&occ);
+            if !sub.is_connected() {
+                return Err(InvalidDecomposition::NotConnected(v));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bag(vs: &[usize]) -> BTreeSet<usize> {
+        vs.iter().copied().collect()
+    }
+
+    fn path_graph(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 1..n {
+            g.add_edge(i - 1, i);
+        }
+        g
+    }
+
+    #[test]
+    fn path_decomposition_is_valid_width_one() {
+        let g = path_graph(4);
+        let d = TreeDecomposition::new(
+            vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[2, 3])],
+            vec![(0, 1), (1, 2)],
+        );
+        assert_eq!(d.width(), 1);
+        d.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn missing_edge_coverage_detected() {
+        let mut g = path_graph(3);
+        g.add_edge(0, 2);
+        let d = TreeDecomposition::new(vec![bag(&[0, 1]), bag(&[1, 2])], vec![(0, 1)]);
+        assert_eq!(
+            d.validate(&g),
+            Err(InvalidDecomposition::EdgeNotCovered(0, 2))
+        );
+    }
+
+    #[test]
+    fn missing_vertex_detected() {
+        let g = path_graph(3);
+        let d = TreeDecomposition::new(vec![bag(&[0, 1])], vec![]);
+        assert_eq!(
+            d.validate(&g),
+            Err(InvalidDecomposition::VertexNotCovered(2))
+        );
+    }
+
+    #[test]
+    fn disconnected_occurrence_detected() {
+        let g = path_graph(3);
+        // Vertex 0 appears in bags 0 and 2 which are not adjacent.
+        let d = TreeDecomposition::new(
+            vec![bag(&[0, 1]), bag(&[1, 2]), bag(&[0, 2])],
+            vec![(0, 1), (1, 2)],
+        );
+        assert_eq!(d.validate(&g), Err(InvalidDecomposition::NotConnected(0)));
+    }
+
+    #[test]
+    fn non_tree_detected() {
+        let g = path_graph(2);
+        let d = TreeDecomposition::new(vec![bag(&[0, 1]), bag(&[0, 1])], vec![]);
+        assert_eq!(d.validate(&g), Err(InvalidDecomposition::NotATree));
+    }
+
+    #[test]
+    fn single_bag_always_valid() {
+        let mut g = path_graph(4);
+        g.add_edge(0, 3);
+        g.add_edge(0, 2);
+        let d = TreeDecomposition::single_bag(0..4);
+        d.validate(&g).unwrap();
+        assert_eq!(d.width(), 3);
+    }
+
+    #[test]
+    fn clique_has_bag() {
+        let d = TreeDecomposition::new(vec![bag(&[0, 1, 2]), bag(&[2, 3])], vec![(0, 1)]);
+        assert_eq!(d.bag_containing(&[0, 2]), Some(0));
+        assert_eq!(d.bag_containing(&[1, 3]), None);
+    }
+}

@@ -1,0 +1,385 @@
+//! Treewidth via elimination orders: greedy heuristics, a degeneracy lower
+//! bound, and an exact memoized branch-and-bound decision procedure.
+//!
+//! All algorithms work on the *fill graph* induced by eliminating a set `S`:
+//! two remaining vertices are adjacent iff the original graph connects them
+//! by a path whose internal vertices all lie in `S`. This avoids ever
+//! materializing filled graphs during the search.
+
+use crate::decomposition::TreeDecomposition;
+use crate::graph::Graph;
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+/// An elimination order of all vertices of a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EliminationOrder(pub Vec<usize>);
+
+/// Greedy vertex-selection rule for [`treewidth_upper_bound`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Heuristic {
+    /// Eliminate a vertex of minimum current degree.
+    MinDegree,
+    /// Eliminate a vertex whose elimination adds the fewest fill edges.
+    MinFill,
+}
+
+/// Compact bitset keyed by vertex id; used to memoize search states.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct BitSet(Vec<u64>);
+
+impl BitSet {
+    fn new(n: usize) -> Self {
+        BitSet(vec![0; n.div_ceil(64)])
+    }
+    fn insert(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+    fn remove(&mut self, i: usize) {
+        self.0[i / 64] &= !(1 << (i % 64));
+    }
+    fn contains(&self, i: usize) -> bool {
+        self.0[i / 64] >> (i % 64) & 1 == 1
+    }
+}
+
+/// Neighbors of `v` in the fill graph after eliminating `elim`:
+/// vertices `u ∉ elim` reachable from `v` via paths internal to `elim`.
+fn fill_neighbors(g: &Graph, elim: &BitSet, v: usize) -> BTreeSet<usize> {
+    let mut out = BTreeSet::new();
+    let mut seen = vec![false; g.vertex_count()];
+    seen[v] = true;
+    let mut queue = VecDeque::from([v]);
+    while let Some(u) = queue.pop_front() {
+        for w in g.neighbors(u) {
+            if seen[w] {
+                continue;
+            }
+            seen[w] = true;
+            if elim.contains(w) {
+                queue.push_back(w);
+            } else if w != v {
+                out.insert(w);
+            }
+        }
+    }
+    out
+}
+
+/// Degeneracy of `g`; a lower bound on treewidth.
+pub fn degeneracy_lower_bound(g: &Graph) -> usize {
+    let n = g.vertex_count();
+    let mut deg: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let mut removed = vec![false; n];
+    let mut best = 0;
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| !removed[v])
+            .min_by_key(|&v| deg[v])
+            .expect("vertex remains");
+        best = best.max(deg[v]);
+        removed[v] = true;
+        for u in g.neighbors(v) {
+            if !removed[u] {
+                deg[u] -= 1;
+            }
+        }
+    }
+    best
+}
+
+/// Greedy upper bound: returns `(width, order)` for the chosen heuristic.
+pub fn treewidth_upper_bound(g: &Graph, h: Heuristic) -> (usize, EliminationOrder) {
+    let n = g.vertex_count();
+    let mut elim = BitSet::new(n);
+    let mut order = Vec::with_capacity(n);
+    let mut width = 0usize;
+    // Cache fill neighborhoods; recompute lazily for dirtied vertices.
+    let mut nbrs: Vec<BTreeSet<usize>> = (0..n).map(|v| g.neighbor_set(v).clone()).collect();
+    let mut alive: BTreeSet<usize> = (0..n).collect();
+    while let Some(&v) = {
+        let pick = match h {
+            Heuristic::MinDegree => alive.iter().min_by_key(|&&v| (nbrs[v].len(), v)),
+            Heuristic::MinFill => alive.iter().min_by_key(|&&v| {
+                let ns: Vec<usize> = nbrs[v].iter().copied().collect();
+                let mut fill = 0usize;
+                for (i, &a) in ns.iter().enumerate() {
+                    for &b in &ns[i + 1..] {
+                        if !nbrs[a].contains(&b) {
+                            fill += 1;
+                        }
+                    }
+                }
+                (fill, v)
+            }),
+        };
+        pick
+    } {
+        alive.remove(&v);
+        elim.insert(v);
+        let ns: Vec<usize> = nbrs[v].iter().copied().collect();
+        width = width.max(ns.len());
+        // Clique the neighborhood in the working adjacency and drop v.
+        for (i, &a) in ns.iter().enumerate() {
+            nbrs[a].remove(&v);
+            for &b in &ns[i + 1..] {
+                nbrs[a].insert(b);
+                nbrs[b].insert(a);
+            }
+        }
+        order.push(v);
+    }
+    (width, EliminationOrder(order))
+}
+
+/// Decides whether `tw(g) ≤ k` (standard convention: edgeless graphs have
+/// treewidth 0 here; the paper's `= 1` convention is applied by
+/// [`crate::treewidth`]). Returns a witnessing elimination order on success.
+pub fn is_treewidth_at_most(g: &Graph, k: usize) -> Option<EliminationOrder> {
+    let n = g.vertex_count();
+    if n == 0 {
+        return Some(EliminationOrder(Vec::new()));
+    }
+    if degeneracy_lower_bound(g) > k {
+        return None;
+    }
+    let mut elim = BitSet::new(n);
+    let mut order = Vec::with_capacity(n);
+    let mut dead: HashSet<BitSet> = HashSet::new();
+    if search(g, k, &mut elim, &mut order, &mut dead, n) {
+        Some(EliminationOrder(order))
+    } else {
+        None
+    }
+}
+
+fn search(
+    g: &Graph,
+    k: usize,
+    elim: &mut BitSet,
+    order: &mut Vec<usize>,
+    dead: &mut HashSet<BitSet>,
+    remaining: usize,
+) -> bool {
+    if remaining <= k + 1 {
+        // All remaining vertices fit in one bag.
+        for v in 0..g.vertex_count() {
+            if !elim.contains(v) {
+                order.push(v);
+            }
+        }
+        return true;
+    }
+    if dead.contains(elim) {
+        return false;
+    }
+    // Candidate order: prefer vertices with small fill degree. Eliminating a
+    // simplicial vertex of degree ≤ k is always safe, so try it first and do
+    // not backtrack over it.
+    let mut candidates: Vec<(usize, usize, bool)> = Vec::new();
+    for v in 0..g.vertex_count() {
+        if elim.contains(v) {
+            continue;
+        }
+        let ns = fill_neighbors(g, elim, v);
+        if ns.len() <= k {
+            let simplicial = {
+                let nv: Vec<usize> = ns.iter().copied().collect();
+                nv.iter().enumerate().all(|(i, &a)| {
+                    nv[i + 1..]
+                        .iter()
+                        .all(|&b| fill_neighbors(g, elim, a).contains(&b) || g.has_edge(a, b))
+                })
+            };
+            candidates.push((ns.len(), v, simplicial));
+        }
+    }
+    candidates.sort_unstable();
+    if let Some(&(_, v, _)) = candidates.iter().find(|&&(_, _, s)| s) {
+        // Safe greedy move.
+        elim.insert(v);
+        order.push(v);
+        if search(g, k, elim, order, dead, remaining - 1) {
+            return true;
+        }
+        order.pop();
+        elim.remove(v);
+        dead.insert(elim.clone());
+        return false;
+    }
+    for (_, v, _) in candidates {
+        elim.insert(v);
+        order.push(v);
+        if search(g, k, elim, order, dead, remaining - 1) {
+            return true;
+        }
+        order.pop();
+        elim.remove(v);
+    }
+    dead.insert(elim.clone());
+    false
+}
+
+/// Exact treewidth (standard convention) with a witnessing decomposition.
+pub fn treewidth_exact(g: &Graph) -> (usize, TreeDecomposition) {
+    let lb = degeneracy_lower_bound(g);
+    let (ub, ub_order) = {
+        let (w1, o1) = treewidth_upper_bound(g, Heuristic::MinFill);
+        let (w2, o2) = treewidth_upper_bound(g, Heuristic::MinDegree);
+        if w1 <= w2 {
+            (w1, o1)
+        } else {
+            (w2, o2)
+        }
+    };
+    if lb == ub {
+        return (ub, decomposition_from_order(g, &ub_order));
+    }
+    for k in lb..ub {
+        if let Some(order) = is_treewidth_at_most(g, k) {
+            return (k, decomposition_from_order(g, &order));
+        }
+    }
+    (ub, decomposition_from_order(g, &ub_order))
+}
+
+/// Builds a tree decomposition from an elimination order. The width of the
+/// result equals the width of the order.
+pub fn decomposition_from_order(g: &Graph, order: &EliminationOrder) -> TreeDecomposition {
+    let n = g.vertex_count();
+    assert_eq!(order.0.len(), n, "order must cover every vertex");
+    if n == 0 {
+        return TreeDecomposition::new(Vec::new(), Vec::new());
+    }
+    let mut pos = vec![0usize; n];
+    for (i, &v) in order.0.iter().enumerate() {
+        pos[v] = i;
+    }
+    let mut elim = BitSet::new(n);
+    let mut bags: Vec<BTreeSet<usize>> = Vec::with_capacity(n);
+    // later_nbrs[i]: fill neighbors of order[i] at its elimination time.
+    let mut later_nbrs: Vec<BTreeSet<usize>> = Vec::with_capacity(n);
+    for &v in &order.0 {
+        let ns = fill_neighbors(g, &elim, v);
+        let mut bag = ns.clone();
+        bag.insert(v);
+        bags.push(bag);
+        later_nbrs.push(ns);
+        elim.insert(v);
+    }
+    let mut edges = Vec::new();
+    let mut roots = Vec::new();
+    for (i, nbrs) in later_nbrs.iter().enumerate() {
+        // Connect bag i to the bag of the earliest-eliminated later neighbor.
+        match nbrs.iter().map(|&u| pos[u]).min() {
+            Some(j) => edges.push((i, j)),
+            None => roots.push(i),
+        }
+    }
+    // Chain any forest roots so the result is a single tree.
+    for w in roots.windows(2) {
+        edges.push((w[0], w[1]));
+    }
+    TreeDecomposition::new(bags, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::grid;
+
+    fn path(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 1..n {
+            g.add_edge(i - 1, i);
+        }
+        g
+    }
+
+    fn cycle(n: usize) -> Graph {
+        let mut g = path(n);
+        g.add_edge(0, n - 1);
+        g
+    }
+
+    fn clique(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        g.make_clique(&(0..n).collect::<Vec<_>>());
+        g
+    }
+
+    #[test]
+    fn exact_widths_of_standard_graphs() {
+        assert_eq!(treewidth_exact(&path(6)).0, 1);
+        assert_eq!(treewidth_exact(&cycle(5)).0, 2);
+        assert_eq!(treewidth_exact(&clique(5)).0, 4);
+        assert_eq!(treewidth_exact(&grid(3, 3)).0, 3);
+        assert_eq!(treewidth_exact(&grid(2, 5)).0, 2);
+        assert_eq!(treewidth_exact(&Graph::new(3)).0, 0);
+    }
+
+    #[test]
+    fn exact_decompositions_validate() {
+        for g in [path(5), cycle(6), clique(4), grid(3, 4)] {
+            let (w, d) = treewidth_exact(&g);
+            d.validate(&g).unwrap();
+            assert_eq!(d.width(), w);
+        }
+    }
+
+    #[test]
+    fn decision_procedure_agrees_with_exact() {
+        let g = grid(3, 3);
+        assert!(is_treewidth_at_most(&g, 3).is_some());
+        assert!(is_treewidth_at_most(&g, 2).is_none());
+        assert!(is_treewidth_at_most(&g, 8).is_some());
+    }
+
+    #[test]
+    fn heuristics_upper_bound_exact() {
+        for g in [path(8), cycle(7), clique(5), grid(3, 5), grid(4, 4)] {
+            let exact = treewidth_exact(&g).0;
+            for h in [Heuristic::MinDegree, Heuristic::MinFill] {
+                let (w, order) = treewidth_upper_bound(&g, h);
+                assert!(w >= exact, "heuristic below exact width");
+                let d = decomposition_from_order(&g, &order);
+                d.validate(&g).unwrap();
+                assert_eq!(d.width(), w);
+            }
+        }
+    }
+
+    #[test]
+    fn degeneracy_is_lower_bound() {
+        for g in [path(8), cycle(7), clique(5), grid(3, 5)] {
+            assert!(degeneracy_lower_bound(&g) <= treewidth_exact(&g).0);
+        }
+    }
+
+    #[test]
+    fn disconnected_graphs_handled() {
+        let mut g = path(3);
+        g.disjoint_union(&cycle(4));
+        let (w, d) = treewidth_exact(&g);
+        assert_eq!(w, 2);
+        d.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        let (w, d) = treewidth_exact(&g);
+        assert_eq!(w, 0);
+        assert_eq!(d.bag_count(), 0);
+    }
+
+    #[test]
+    fn min_fill_is_optimal_on_chordal_graph() {
+        // A chordal graph: two triangles sharing an edge. Min-fill finds the
+        // perfect elimination order, giving exact width 2.
+        let mut g = Graph::new(4);
+        g.make_clique(&[0, 1, 2]);
+        g.make_clique(&[1, 2, 3]);
+        let (w, _) = treewidth_upper_bound(&g, Heuristic::MinFill);
+        assert_eq!(w, 2);
+    }
+}

@@ -1,0 +1,293 @@
+//! Simple undirected graphs over vertex ids `0..n`.
+
+use std::collections::{BTreeSet, VecDeque};
+
+/// An undirected simple graph (no self loops, no parallel edges) with
+/// vertices `0..n`.
+///
+/// Adjacency is stored as sorted sets so iteration order is deterministic,
+/// which keeps every downstream algorithm (and therefore every test and
+/// benchmark) reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<BTreeSet<usize>>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|s| s.len()).sum::<usize>() / 2
+    }
+
+    /// Adds an undirected edge. Self loops are ignored (Gaifman graphs have
+    /// none). Returns `true` if the edge was new.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(u < self.adj.len() && v < self.adj.len(), "vertex oob");
+        if u == v {
+            return false;
+        }
+        let new = self.adj[u].insert(v);
+        self.adj[v].insert(u);
+        new
+    }
+
+    /// Removes an edge if present; returns whether it existed.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        let had = self.adj[u].remove(&v);
+        self.adj[v].remove(&u);
+        had
+    }
+
+    /// Whether `{u, v}` is an edge.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u != v && self.adj.get(u).is_some_and(|s| s.contains(&v))
+    }
+
+    /// Neighbors of `v` in ascending order.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adj[v].iter().copied()
+    }
+
+    /// Neighbor set of `v`.
+    pub fn neighbor_set(&self, v: usize) -> &BTreeSet<usize> {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// All edges `(u, v)` with `u < v`, in lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, s)| {
+            s.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Adds a fresh isolated vertex and returns its id.
+    pub fn add_vertex(&mut self) -> usize {
+        self.adj.push(BTreeSet::new());
+        self.adj.len() - 1
+    }
+
+    /// Whether the set `s` induces a clique (every pair adjacent).
+    pub fn is_clique(&self, s: &[usize]) -> bool {
+        for (i, &u) in s.iter().enumerate() {
+            for &v in &s[i + 1..] {
+                if u != v && !self.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Turns `s` into a clique by adding all missing edges.
+    pub fn make_clique(&mut self, s: &[usize]) {
+        for (i, &u) in s.iter().enumerate() {
+            for &v in &s[i + 1..] {
+                self.add_edge(u, v);
+            }
+        }
+    }
+
+    /// The subgraph induced by `keep`, together with the mapping from new
+    /// vertex ids to the original ids (`result.1[new] == old`).
+    pub fn induced_subgraph(&self, keep: &[usize]) -> (Graph, Vec<usize>) {
+        let mut old_of_new = keep.to_vec();
+        old_of_new.sort_unstable();
+        old_of_new.dedup();
+        let mut new_of_old = vec![usize::MAX; self.vertex_count()];
+        for (new, &old) in old_of_new.iter().enumerate() {
+            new_of_old[old] = new;
+        }
+        let mut g = Graph::new(old_of_new.len());
+        for &old in &old_of_new {
+            for v in self.neighbors(old) {
+                if new_of_old[v] != usize::MAX {
+                    g.add_edge(new_of_old[old], new_of_old[v]);
+                }
+            }
+        }
+        (g, old_of_new)
+    }
+
+    /// Connected components as sorted vertex lists, ordered by smallest
+    /// member.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let n = self.vertex_count();
+        let mut seen = vec![false; n];
+        let mut comps = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut queue = VecDeque::from([start]);
+            seen[start] = true;
+            while let Some(u) = queue.pop_front() {
+                comp.push(u);
+                for v in self.neighbors(u) {
+                    if !seen[v] {
+                        seen[v] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
+
+    /// Whether the graph is connected (vacuously true for 0 or 1 vertices).
+    pub fn is_connected(&self) -> bool {
+        self.components().len() <= 1
+    }
+
+    /// Whether the graph is a forest (acyclic).
+    pub fn is_forest(&self) -> bool {
+        // A graph is a forest iff every component has |E| = |V| - 1.
+        let n = self.vertex_count();
+        if n == 0 {
+            return true;
+        }
+        self.edge_count() + self.components().len() == n
+    }
+
+    /// Contracts the edge `{u, v}` into `u`: `v`'s neighbors become `u`'s and
+    /// `v` becomes isolated. Used by the minor-map search.
+    pub fn contract_edge(&mut self, u: usize, v: usize) {
+        assert!(self.has_edge(u, v), "contracting a non-edge");
+        let nbrs: Vec<usize> = self.adj[v].iter().copied().collect();
+        for w in nbrs {
+            self.remove_edge(v, w);
+            if w != u {
+                self.add_edge(u, w);
+            }
+        }
+    }
+
+    /// Disjoint union: appends `other`'s vertices after `self`'s, returning
+    /// the offset at which `other`'s vertex ids now start.
+    pub fn disjoint_union(&mut self, other: &Graph) -> usize {
+        let offset = self.vertex_count();
+        for s in &other.adj {
+            self.adj.push(s.iter().map(|&v| v + offset).collect());
+        }
+        offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 1..n {
+            g.add_edge(i - 1, i);
+        }
+        g
+    }
+
+    #[test]
+    fn basic_edges() {
+        let mut g = Graph::new(3);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0), "edge already present");
+        assert!(!g.add_edge(1, 1), "self loop ignored");
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn edges_iterator_is_sorted_and_unique() {
+        let mut g = Graph::new(4);
+        g.add_edge(2, 0);
+        g.add_edge(3, 1);
+        g.add_edge(0, 1);
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let mut g = path(3);
+        g.add_vertex();
+        let comps = g.components();
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3]]);
+        assert!(!g.is_connected());
+        assert!(path(5).is_connected());
+        assert!(Graph::new(0).is_connected());
+    }
+
+    #[test]
+    fn forest_detection() {
+        assert!(path(6).is_forest());
+        let mut g = path(3);
+        g.add_edge(0, 2); // triangle
+        assert!(!g.is_forest());
+        assert!(Graph::new(4).is_forest());
+    }
+
+    #[test]
+    fn induced_subgraph_remaps() {
+        let mut g = path(5);
+        g.add_edge(0, 4);
+        let (h, map) = g.induced_subgraph(&[0, 1, 4]);
+        assert_eq!(map, vec![0, 1, 4]);
+        assert_eq!(h.vertex_count(), 3);
+        assert!(h.has_edge(0, 1)); // 0-1
+        assert!(h.has_edge(0, 2)); // 0-4
+        assert!(!h.has_edge(1, 2)); // 1-4 not an edge
+    }
+
+    #[test]
+    fn clique_ops() {
+        let mut g = Graph::new(4);
+        g.make_clique(&[0, 1, 3]);
+        assert!(g.is_clique(&[0, 1, 3]));
+        assert!(!g.is_clique(&[0, 1, 2]));
+        assert_eq!(g.edge_count(), 3);
+        // Singletons and empty sets are cliques.
+        assert!(g.is_clique(&[2]));
+        assert!(g.is_clique(&[]));
+    }
+
+    #[test]
+    fn contraction_merges_neighborhoods() {
+        let mut g = path(4); // 0-1-2-3
+        g.contract_edge(1, 2);
+        assert!(g.has_edge(1, 3));
+        assert_eq!(g.degree(2), 0);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn disjoint_union_offsets() {
+        let mut g = path(2);
+        let off = g.disjoint_union(&path(3));
+        assert_eq!(off, 2);
+        assert_eq!(g.vertex_count(), 5);
+        assert!(g.has_edge(2, 3) && g.has_edge(3, 4) && !g.has_edge(1, 2));
+    }
+}

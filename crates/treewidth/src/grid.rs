@@ -1,0 +1,142 @@
+//! Grid graphs (Section 6: the `k × ℓ`-grid) and helpers for the
+//! Excluded Grid Theorem machinery.
+
+use crate::graph::Graph;
+
+/// The `k × l` grid: vertices `(i, j)` for `1 ≤ i ≤ k`, `1 ≤ j ≤ l`, with an
+/// edge between `(i, j)` and `(i', j')` iff `|i - i'| + |j - j'| = 1`.
+///
+/// Vertex `(i, j)` (1-based as in the paper) receives id
+/// `(i - 1) * l + (j - 1)`; see [`grid_vertex`].
+pub fn grid(k: usize, l: usize) -> Graph {
+    let mut g = Graph::new(k * l);
+    for i in 0..k {
+        for j in 0..l {
+            if j + 1 < l {
+                g.add_edge(i * l + j, i * l + j + 1);
+            }
+            if i + 1 < k {
+                g.add_edge(i * l + j, (i + 1) * l + j);
+            }
+        }
+    }
+    g
+}
+
+/// Id of grid vertex `(i, j)` (1-based coordinates) in a `k × l` grid.
+pub fn grid_vertex(l: usize, i: usize, j: usize) -> usize {
+    assert!(i >= 1 && j >= 1, "grid coordinates are 1-based");
+    (i - 1) * l + (j - 1)
+}
+
+/// `K = k choose 2`, the second grid dimension used throughout Section 6.
+pub fn big_k(k: usize) -> usize {
+    k * (k.max(1) - 1) / 2
+}
+
+/// A fixed bijection `χ` between 2-element subsets `{i, j}` of `[k]`
+/// (with `i < j`) and `[K]` (1-based), as required by the Grohe
+/// construction. Pairs are ordered lexicographically.
+#[derive(Debug, Clone)]
+pub struct PairBijection {
+    pairs: Vec<(usize, usize)>,
+}
+
+impl PairBijection {
+    /// The bijection for clique size `k`.
+    pub fn new(k: usize) -> Self {
+        let mut pairs = Vec::with_capacity(big_k(k));
+        for i in 1..=k {
+            for j in (i + 1)..=k {
+                pairs.push((i, j));
+            }
+        }
+        PairBijection { pairs }
+    }
+
+    /// `χ({i, j})`, 1-based.
+    pub fn index_of(&self, i: usize, j: usize) -> usize {
+        let key = if i < j { (i, j) } else { (j, i) };
+        self.pairs
+            .iter()
+            .position(|&p| p == key)
+            .expect("pair within [k]")
+            + 1
+    }
+
+    /// `χ⁻¹(p)`, 1-based pair for a 1-based index.
+    pub fn pair_of(&self, p: usize) -> (usize, usize) {
+        self.pairs[p - 1]
+    }
+
+    /// `K`.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether `k < 2` (no pairs).
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Whether `i ∈ ρ(p)` in the paper's shorthand.
+    pub fn pair_contains(&self, p: usize, i: usize) -> bool {
+        let (a, b) = self.pair_of(p);
+        i == a || i == b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elimination::treewidth_exact;
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.vertex_count(), 12);
+        // 3*(4-1) horizontal + (3-1)*4 vertical
+        assert_eq!(g.edge_count(), 9 + 8);
+        assert!(g.has_edge(grid_vertex(4, 1, 1), grid_vertex(4, 1, 2)));
+        assert!(g.has_edge(grid_vertex(4, 1, 1), grid_vertex(4, 2, 1)));
+        assert!(!g.has_edge(grid_vertex(4, 1, 1), grid_vertex(4, 2, 2)));
+    }
+
+    #[test]
+    fn grid_treewidth_is_min_dimension() {
+        assert_eq!(treewidth_exact(&grid(2, 6)).0, 2);
+        assert_eq!(treewidth_exact(&grid(3, 4)).0, 3);
+        assert_eq!(treewidth_exact(&grid(1, 5)).0, 1);
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        let g = grid(1, 1);
+        assert_eq!(g.vertex_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        let g = grid(0, 5);
+        assert_eq!(g.vertex_count(), 0);
+    }
+
+    #[test]
+    fn pair_bijection_roundtrip() {
+        let chi = PairBijection::new(4);
+        assert_eq!(chi.len(), 6);
+        assert_eq!(big_k(4), 6);
+        for p in 1..=chi.len() {
+            let (i, j) = chi.pair_of(p);
+            assert_eq!(chi.index_of(i, j), p);
+            assert_eq!(chi.index_of(j, i), p);
+            assert!(chi.pair_contains(p, i) && chi.pair_contains(p, j));
+            assert!(!chi.pair_contains(p, 0));
+        }
+    }
+
+    #[test]
+    fn big_k_small_values() {
+        assert_eq!(big_k(1), 0);
+        assert_eq!(big_k(2), 1);
+        assert_eq!(big_k(3), 3);
+        assert_eq!(big_k(5), 10);
+    }
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! Graph substrate for the guarded-TGD toolkit.
+//!
+//! Provides undirected graphs, tree decompositions with validation,
+//! exact and heuristic treewidth algorithms, grid generators, and
+//! minor maps — everything the paper's treewidth-centric machinery
+//! (Prop 2.1, the Excluded Grid Theorem applications, and the Grohe
+//! construction) needs.
+//!
+//! The treewidth convention follows the paper (Section 2): a graph with an
+//! empty edge set has treewidth **one**, and otherwise treewidth is the
+//! minimum width over all tree decompositions.
+//!
+//! ```
+//! use gtgd_treewidth::{grid, treewidth, is_treewidth_at_most};
+//!
+//! let g = grid(3, 4);
+//! assert_eq!(treewidth(&g), 3);
+//! assert!(is_treewidth_at_most(&g, 3).is_some());
+//! assert!(is_treewidth_at_most(&g, 2).is_none());
+//! ```
+
+pub mod decomposition;
+pub mod elimination;
+pub mod graph;
+pub mod grid;
+pub mod minor;
+pub mod nice;
+
+pub use decomposition::TreeDecomposition;
+pub use elimination::{
+    degeneracy_lower_bound, is_treewidth_at_most, treewidth_exact, treewidth_upper_bound,
+    EliminationOrder, Heuristic,
+};
+pub use graph::Graph;
+pub use grid::grid;
+pub use minor::MinorMap;
+pub use nice::{make_nice, NiceDecomposition, NiceNode};
+
+/// Treewidth of a graph under the paper's convention: 1 when the edge set is
+/// empty, otherwise the minimum width over all tree decompositions.
+///
+/// Uses the exact branch-and-bound algorithm; intended for the moderate graph
+/// sizes that arise from queries (tens of vertices). For large graphs use
+/// [`treewidth_upper_bound`] or [`is_treewidth_at_most`].
+pub fn treewidth(g: &Graph) -> usize {
+    if g.edge_count() == 0 {
+        return 1;
+    }
+    treewidth_exact(g).0
+}

@@ -1,0 +1,393 @@
+//! Minor maps (Section 6 / Appendix H): branch-set representations of graph
+//! minors, validation, onto-extension, and a search procedure for small
+//! hosts.
+//!
+//! A minor map from `H` to `G` assigns each vertex of `H` a nonempty,
+//! connected, pairwise-disjoint *branch set* of `G`-vertices such that every
+//! `H`-edge is realized by some cross edge between the corresponding branch
+//! sets. It is *onto* if the branch sets cover all of `G`.
+
+use crate::graph::Graph;
+use std::collections::BTreeSet;
+
+/// A minor map: `branch_sets[h]` is `µ(h)` for minor vertex `h`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinorMap {
+    branch_sets: Vec<BTreeSet<usize>>,
+}
+
+/// Why a candidate minor map is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidMinorMap {
+    /// Wrong number of branch sets for the minor.
+    WrongArity,
+    /// `µ(h)` is empty.
+    EmptyBranchSet(usize),
+    /// `µ(h)` is not connected in the host.
+    DisconnectedBranchSet(usize),
+    /// Two branch sets overlap.
+    Overlap(usize, usize),
+    /// A minor edge `{a, b}` has no realizing host edge.
+    EdgeNotRealized(usize, usize),
+    /// A branch set mentions a host vertex that does not exist.
+    UnknownVertex(usize),
+}
+
+impl std::fmt::Display for InvalidMinorMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvalidMinorMap::WrongArity => write!(f, "wrong number of branch sets"),
+            InvalidMinorMap::EmptyBranchSet(h) => write!(f, "branch set of {h} is empty"),
+            InvalidMinorMap::DisconnectedBranchSet(h) => {
+                write!(f, "branch set of {h} is disconnected")
+            }
+            InvalidMinorMap::Overlap(a, b) => {
+                write!(f, "branch sets of {a} and {b} overlap")
+            }
+            InvalidMinorMap::EdgeNotRealized(a, b) => {
+                write!(f, "minor edge {{{a},{b}}} is not realized")
+            }
+            InvalidMinorMap::UnknownVertex(v) => write!(f, "unknown host vertex {v}"),
+        }
+    }
+}
+
+impl std::error::Error for InvalidMinorMap {}
+
+impl MinorMap {
+    /// Builds a minor map from branch sets (one per minor vertex, in order).
+    pub fn new(branch_sets: Vec<BTreeSet<usize>>) -> Self {
+        MinorMap { branch_sets }
+    }
+
+    /// The identity embedding: minor vertex `h` maps to host vertex
+    /// `vertex_ids[h]`. Used when the host literally contains the minor as a
+    /// subgraph with known ids (the grid-shaped query families).
+    pub fn identity(vertex_ids: &[usize]) -> Self {
+        MinorMap {
+            branch_sets: vertex_ids.iter().map(|&v| BTreeSet::from([v])).collect(),
+        }
+    }
+
+    /// `µ(h)`.
+    pub fn branch_set(&self, h: usize) -> &BTreeSet<usize> {
+        &self.branch_sets[h]
+    }
+
+    /// Number of minor vertices covered.
+    pub fn len(&self) -> usize {
+        self.branch_sets.len()
+    }
+
+    /// Whether the map covers no minor vertex.
+    pub fn is_empty(&self) -> bool {
+        self.branch_sets.is_empty()
+    }
+
+    /// The minor vertex whose branch set contains host vertex `v`, if any.
+    /// Branch sets of a valid map are disjoint, so this is unique.
+    pub fn preimage(&self, v: usize) -> Option<usize> {
+        self.branch_sets.iter().position(|s| s.contains(&v))
+    }
+
+    /// Whether the branch sets cover every host vertex.
+    pub fn is_onto(&self, host: &Graph) -> bool {
+        let covered: usize = self.branch_sets.iter().map(|s| s.len()).sum();
+        covered == host.vertex_count()
+    }
+
+    /// Validates the three minor-map conditions against `host` and `minor`.
+    pub fn validate(&self, host: &Graph, minor: &Graph) -> Result<(), InvalidMinorMap> {
+        if self.branch_sets.len() != minor.vertex_count() {
+            return Err(InvalidMinorMap::WrongArity);
+        }
+        for (h, s) in self.branch_sets.iter().enumerate() {
+            if s.is_empty() {
+                return Err(InvalidMinorMap::EmptyBranchSet(h));
+            }
+            if let Some(&v) = s.iter().find(|&&v| v >= host.vertex_count()) {
+                return Err(InvalidMinorMap::UnknownVertex(v));
+            }
+            let vs: Vec<usize> = s.iter().copied().collect();
+            let (sub, _) = host.induced_subgraph(&vs);
+            if !sub.is_connected() {
+                return Err(InvalidMinorMap::DisconnectedBranchSet(h));
+            }
+        }
+        for a in 0..self.branch_sets.len() {
+            for b in (a + 1)..self.branch_sets.len() {
+                if self.branch_sets[a]
+                    .intersection(&self.branch_sets[b])
+                    .next()
+                    .is_some()
+                {
+                    return Err(InvalidMinorMap::Overlap(a, b));
+                }
+            }
+        }
+        for (a, b) in minor.edges() {
+            let realized = self.branch_sets[a]
+                .iter()
+                .any(|&u| host.neighbors(u).any(|w| self.branch_sets[b].contains(&w)));
+            if !realized {
+                return Err(InvalidMinorMap::EdgeNotRealized(a, b));
+            }
+        }
+        Ok(())
+    }
+
+    /// Extends the map to be onto a **connected** host by repeatedly
+    /// absorbing uncovered vertices into an adjacent branch set (the paper's
+    /// "we can assume w.l.o.g. that µ is onto" step).
+    ///
+    /// Panics if the host is disconnected from every branch set.
+    pub fn extend_onto(&mut self, host: &Graph) {
+        let mut owner: Vec<Option<usize>> = vec![None; host.vertex_count()];
+        for (h, s) in self.branch_sets.iter().enumerate() {
+            for &v in s {
+                owner[v] = Some(h);
+            }
+        }
+        loop {
+            let mut changed = false;
+            for v in 0..host.vertex_count() {
+                if owner[v].is_some() {
+                    continue;
+                }
+                if let Some(h) = host.neighbors(v).find_map(|u| owner[u]) {
+                    owner[v] = Some(h);
+                    self.branch_sets[h].insert(v);
+                    changed = true;
+                }
+            }
+            if owner.iter().all(|o| o.is_some()) {
+                return;
+            }
+            assert!(
+                changed,
+                "host has vertices unreachable from every branch set; extend_onto \
+                 requires a connected host"
+            );
+        }
+    }
+}
+
+/// Searches for a minor map from `minor` into `host`.
+///
+/// Strategy: backtracking over minor vertices in degree-descending order,
+/// growing branch sets on demand (each branch set starts as a singleton and
+/// may absorb up to `grow_budget` extra host vertices to realize adjacency).
+/// Complete for singleton branch sets (subgraph embeddings); with a positive
+/// budget it finds genuinely contracted minors on small hosts. Intended for
+/// the small graphs that appear in tests and reduction inputs — grid-shaped
+/// hosts should use [`MinorMap::identity`] instead.
+pub fn find_minor(host: &Graph, minor: &Graph, grow_budget: usize) -> Option<MinorMap> {
+    let hm = minor.vertex_count();
+    let mut order: Vec<usize> = (0..hm).collect();
+    order.sort_by_key(|&h| std::cmp::Reverse(minor.degree(h)));
+    let mut sets: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); hm];
+    let mut used: BTreeSet<usize> = BTreeSet::new();
+    if assign(host, minor, &order, 0, &mut sets, &mut used, grow_budget) {
+        Some(MinorMap::new(sets))
+    } else {
+        None
+    }
+}
+
+fn adjacency_ok(host: &Graph, minor: &Graph, sets: &[BTreeSet<usize>], placed: &[usize]) -> bool {
+    let h = *placed.last().expect("nonempty");
+    for &g in &placed[..placed.len() - 1] {
+        if minor.has_edge(h, g) {
+            let ok = sets[h]
+                .iter()
+                .any(|&u| host.neighbors(u).any(|w| sets[g].contains(&w)));
+            if !ok {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn assign(
+    host: &Graph,
+    minor: &Graph,
+    order: &[usize],
+    idx: usize,
+    sets: &mut Vec<BTreeSet<usize>>,
+    used: &mut BTreeSet<usize>,
+    grow_budget: usize,
+) -> bool {
+    if idx == order.len() {
+        return true;
+    }
+    let h = order[idx];
+    let placed: Vec<usize> = order[..=idx].to_vec();
+    for v in 0..host.vertex_count() {
+        if used.contains(&v) {
+            continue;
+        }
+        sets[h].insert(v);
+        used.insert(v);
+        if try_grow(host, minor, order, idx, sets, used, grow_budget, &placed) {
+            return true;
+        }
+        used.remove(&v);
+        sets[h].clear();
+    }
+    false
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_grow(
+    host: &Graph,
+    minor: &Graph,
+    order: &[usize],
+    idx: usize,
+    sets: &mut Vec<BTreeSet<usize>>,
+    used: &mut BTreeSet<usize>,
+    grow_budget: usize,
+    placed: &[usize],
+) -> bool {
+    if adjacency_ok(host, minor, sets, placed)
+        && assign(host, minor, order, idx + 1, sets, used, grow_budget)
+    {
+        return true;
+    }
+    let h = order[idx];
+    if sets[h].len() > grow_budget {
+        return false;
+    }
+    // Absorb one adjacent unused vertex and retry.
+    let frontier: Vec<usize> = sets[h]
+        .iter()
+        .flat_map(|&u| host.neighbors(u))
+        .filter(|v| !used.contains(v))
+        .collect();
+    for v in frontier {
+        if sets[h].contains(&v) {
+            continue;
+        }
+        sets[h].insert(v);
+        used.insert(v);
+        if try_grow(host, minor, order, idx, sets, used, grow_budget, placed) {
+            return true;
+        }
+        used.remove(&v);
+        sets[h].remove(&v);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::grid;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new(3);
+        g.make_clique(&[0, 1, 2]);
+        g
+    }
+
+    #[test]
+    fn identity_map_validates_on_grid() {
+        let g = grid(2, 3);
+        let m = MinorMap::identity(&(0..6).collect::<Vec<_>>());
+        m.validate(&g, &grid(2, 3)).unwrap();
+        assert!(m.is_onto(&g));
+    }
+
+    #[test]
+    fn invalid_maps_rejected() {
+        let host = grid(2, 2);
+        let minor = triangle();
+        // 2x2 grid (a 4-cycle) has no triangle minor with these sets:
+        let m = MinorMap::new(vec![
+            BTreeSet::from([0]),
+            BTreeSet::from([1]),
+            BTreeSet::from([3]),
+        ]);
+        // 0-1 edge ok, 1-3 edge ok, 0-3 not adjacent in C4 (ids 0,1,3: 0-1,1-3,0-2,2-3)
+        assert_eq!(
+            m.validate(&host, &minor),
+            Err(InvalidMinorMap::EdgeNotRealized(0, 2))
+        );
+        let m = MinorMap::new(vec![
+            BTreeSet::new(),
+            BTreeSet::from([1]),
+            BTreeSet::from([3]),
+        ]);
+        assert_eq!(
+            m.validate(&host, &minor),
+            Err(InvalidMinorMap::EmptyBranchSet(0))
+        );
+        let m = MinorMap::new(vec![
+            BTreeSet::from([0, 3]), // not connected in C4? 0-3 not edge => disconnected
+            BTreeSet::from([1]),
+            BTreeSet::from([2]),
+        ]);
+        assert_eq!(
+            m.validate(&host, &minor),
+            Err(InvalidMinorMap::DisconnectedBranchSet(0))
+        );
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let host = grid(1, 3);
+        let mut minor = Graph::new(2);
+        minor.add_edge(0, 1);
+        let m = MinorMap::new(vec![BTreeSet::from([0, 1]), BTreeSet::from([1, 2])]);
+        assert_eq!(
+            m.validate(&host, &minor),
+            Err(InvalidMinorMap::Overlap(0, 1))
+        );
+    }
+
+    #[test]
+    fn triangle_minor_of_c4_requires_contraction() {
+        // C4 has a triangle minor (contract one edge). Singleton budget fails,
+        // budget 1 succeeds.
+        let host = grid(2, 2); // the 4-cycle
+        let minor = triangle();
+        assert!(find_minor(&host, &minor, 0).is_none());
+        let m = find_minor(&host, &minor, 1).expect("triangle is a minor of C4");
+        m.validate(&host, &minor).unwrap();
+    }
+
+    #[test]
+    fn subgraph_embedding_found() {
+        // path of 3 embeds in a 3x3 grid with singleton branch sets.
+        let host = grid(3, 3);
+        let minor = grid(1, 3);
+        let m = find_minor(&host, &minor, 0).expect("path embeds");
+        m.validate(&host, &minor).unwrap();
+    }
+
+    #[test]
+    fn extend_onto_covers_connected_host() {
+        let host = grid(3, 3);
+        let mut m = find_minor(&host, &grid(2, 2), 0).expect("C4 embeds in grid");
+        m.validate(&host, &grid(2, 2)).unwrap();
+        m.extend_onto(&host);
+        assert!(m.is_onto(&host));
+        m.validate(&host, &grid(2, 2)).unwrap();
+    }
+
+    #[test]
+    fn preimage_unique_owner() {
+        let m = MinorMap::new(vec![BTreeSet::from([0, 1]), BTreeSet::from([4])]);
+        assert_eq!(m.preimage(1), Some(0));
+        assert_eq!(m.preimage(4), Some(1));
+        assert_eq!(m.preimage(9), None);
+    }
+
+    #[test]
+    fn grid_minor_of_bigger_grid() {
+        let host = grid(3, 4);
+        let minor = grid(2, 2);
+        let m = find_minor(&host, &minor, 0).expect("2x2 grid embeds in 3x4 grid");
+        m.validate(&host, &minor).unwrap();
+    }
+}

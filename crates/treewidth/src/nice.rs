@@ -1,0 +1,278 @@
+//! Nice tree decompositions: the normalized form used by textbook
+//! treewidth dynamic programming (leaf / introduce / forget / join nodes).
+//!
+//! Every tree decomposition of width `w` converts into a nice one of the
+//! same width with `O(w · n)` nodes. The toolkit's own DP (Prop 2.1) works
+//! on raw decompositions, but nice decompositions are part of any complete
+//! treewidth library and are exercised as an independent validation layer.
+
+use crate::decomposition::TreeDecomposition;
+use crate::graph::Graph;
+use std::collections::BTreeSet;
+
+/// A node of a nice tree decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NiceNode {
+    /// A leaf with an empty bag.
+    Leaf,
+    /// Introduces vertex `v` over the child's bag.
+    Introduce(usize),
+    /// Forgets vertex `v` from the child's bag.
+    Forget(usize),
+    /// Joins two children with identical bags.
+    Join,
+}
+
+/// A nice tree decomposition: a rooted binary tree whose bags change by one
+/// vertex at a time.
+#[derive(Debug, Clone)]
+pub struct NiceDecomposition {
+    /// The bag of each node.
+    pub bags: Vec<BTreeSet<usize>>,
+    /// The kind of each node.
+    pub kinds: Vec<NiceNode>,
+    /// Children of each node (0, 1, or 2).
+    pub children: Vec<Vec<usize>>,
+    /// The root node (its bag is empty).
+    pub root: usize,
+}
+
+impl NiceDecomposition {
+    /// Width: `max |bag| − 1`.
+    pub fn width(&self) -> usize {
+        self.bags
+            .iter()
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(1)
+            .saturating_sub(1)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// Validates the nice-decomposition invariants and that the underlying
+    /// decomposition is valid for `g`.
+    pub fn validate(&self, g: &Graph) -> Result<(), String> {
+        // Structural invariants per node kind.
+        for (i, kind) in self.kinds.iter().enumerate() {
+            let kids = &self.children[i];
+            match kind {
+                NiceNode::Leaf => {
+                    if !kids.is_empty() || !self.bags[i].is_empty() {
+                        return Err(format!("leaf {i} malformed"));
+                    }
+                }
+                NiceNode::Introduce(v) => {
+                    if kids.len() != 1 {
+                        return Err(format!("introduce {i} needs one child"));
+                    }
+                    let mut expect = self.bags[kids[0]].clone();
+                    if !expect.insert(*v) {
+                        return Err(format!("introduce {i} re-adds {v}"));
+                    }
+                    if expect != self.bags[i] {
+                        return Err(format!("introduce {i} bag mismatch"));
+                    }
+                }
+                NiceNode::Forget(v) => {
+                    if kids.len() != 1 {
+                        return Err(format!("forget {i} needs one child"));
+                    }
+                    let mut expect = self.bags[kids[0]].clone();
+                    if !expect.remove(v) {
+                        return Err(format!("forget {i} drops absent {v}"));
+                    }
+                    if expect != self.bags[i] {
+                        return Err(format!("forget {i} bag mismatch"));
+                    }
+                }
+                NiceNode::Join => {
+                    if kids.len() != 2 {
+                        return Err(format!("join {i} needs two children"));
+                    }
+                    if self.bags[kids[0]] != self.bags[i] || self.bags[kids[1]] != self.bags[i] {
+                        return Err(format!("join {i} bag mismatch"));
+                    }
+                }
+            }
+        }
+        if !self.bags[self.root].is_empty() {
+            return Err("root bag must be empty".into());
+        }
+        // Underlying decomposition validity: rebuild edges parent→child.
+        let mut edges = Vec::new();
+        for (i, kids) in self.children.iter().enumerate() {
+            for &c in kids {
+                edges.push((i, c));
+            }
+        }
+        let td = TreeDecomposition::new(self.bags.to_vec(), edges);
+        td.validate(g).map_err(|e| e.to_string())
+    }
+}
+
+/// Converts a (valid) tree decomposition into a nice one of the same width.
+pub fn make_nice(td: &TreeDecomposition, g: &Graph) -> NiceDecomposition {
+    assert!(td.validate(g).is_ok(), "input decomposition must be valid");
+    let mut nice = NiceDecomposition {
+        bags: Vec::new(),
+        kinds: Vec::new(),
+        children: Vec::new(),
+        root: 0,
+    };
+    if td.bag_count() == 0 {
+        let leaf = push(&mut nice, BTreeSet::new(), NiceNode::Leaf, vec![]);
+        nice.root = leaf;
+        return nice;
+    }
+    // Build adjacency and root the original tree at 0.
+    let n = td.bag_count();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in td.tree_edges() {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    // Recursive construction (explicit stack-free recursion is fine: bags
+    // are few).
+    fn build(
+        node: usize,
+        parent: Option<usize>,
+        td: &TreeDecomposition,
+        adj: &[Vec<usize>],
+        nice: &mut NiceDecomposition,
+    ) -> usize {
+        let bag = td.bags()[node].clone();
+        let kids: Vec<usize> = adj[node]
+            .iter()
+            .copied()
+            .filter(|&c| Some(c) != parent)
+            .collect();
+        // Each child subtree is morphed from the child's bag to this bag.
+        let mut child_roots: Vec<usize> = kids
+            .iter()
+            .map(|&c| {
+                let sub = build(c, Some(node), td, adj, nice);
+                morph(sub, &td.bags()[c].clone(), &bag, nice)
+            })
+            .collect();
+        // No children: build the bag from a leaf.
+        if child_roots.is_empty() {
+            let leaf = push(nice, BTreeSet::new(), NiceNode::Leaf, vec![]);
+            child_roots.push(morph(leaf, &BTreeSet::new(), &bag, nice));
+        }
+        // Join children pairwise.
+        let mut current = child_roots[0];
+        for &other in &child_roots[1..] {
+            current = push(nice, bag.clone(), NiceNode::Join, vec![current, other]);
+        }
+        current
+    }
+    /// Chain of forget/introduce nodes transforming bag `from` into `to`,
+    /// on top of node `below`.
+    fn morph(
+        mut below: usize,
+        from: &BTreeSet<usize>,
+        to: &BTreeSet<usize>,
+        nice: &mut NiceDecomposition,
+    ) -> usize {
+        let mut current = from.clone();
+        for &v in from.difference(to) {
+            let mut bag = current.clone();
+            bag.remove(&v);
+            below = push(nice, bag.clone(), NiceNode::Forget(v), vec![below]);
+            current = bag;
+        }
+        for &v in to.difference(from) {
+            let mut bag = current.clone();
+            bag.insert(v);
+            below = push(nice, bag.clone(), NiceNode::Introduce(v), vec![below]);
+            current = bag;
+        }
+        below
+    }
+    fn push(
+        nice: &mut NiceDecomposition,
+        bag: BTreeSet<usize>,
+        kind: NiceNode,
+        children: Vec<usize>,
+    ) -> usize {
+        nice.bags.push(bag);
+        nice.kinds.push(kind);
+        nice.children.push(children);
+        nice.bags.len() - 1
+    }
+    let top = build(0, None, td, &adj, &mut nice);
+    // Forget everything down to an empty root.
+    let top_bag = nice.bags[top].clone();
+    nice.root = morph(top, &top_bag, &BTreeSet::new(), &mut nice);
+    nice
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elimination::treewidth_exact;
+    use crate::grid::grid;
+
+    fn path(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 1..n {
+            g.add_edge(i - 1, i);
+        }
+        g
+    }
+
+    #[test]
+    fn nice_form_preserves_width() {
+        for g in [path(6), grid(2, 4), grid(3, 3)] {
+            let (w, td) = treewidth_exact(&g);
+            let nice = make_nice(&td, &g);
+            nice.validate(&g).unwrap();
+            assert_eq!(nice.width(), w, "width preserved");
+        }
+    }
+
+    #[test]
+    fn node_kinds_partition() {
+        let g = grid(2, 3);
+        let (_, td) = treewidth_exact(&g);
+        let nice = make_nice(&td, &g);
+        nice.validate(&g).unwrap();
+        // Every vertex is introduced at least once and forgotten exactly as
+        // many times as introduced.
+        let mut introduced = vec![0usize; g.vertex_count()];
+        let mut forgotten = vec![0usize; g.vertex_count()];
+        for k in &nice.kinds {
+            match k {
+                NiceNode::Introduce(v) => introduced[*v] += 1,
+                NiceNode::Forget(v) => forgotten[*v] += 1,
+                _ => {}
+            }
+        }
+        for v in 0..g.vertex_count() {
+            assert!(introduced[v] >= 1, "vertex {v} never introduced");
+            assert_eq!(introduced[v], forgotten[v], "vertex {v} balance");
+        }
+    }
+
+    #[test]
+    fn single_bag_decomposition() {
+        let mut g = Graph::new(3);
+        g.make_clique(&[0, 1, 2]);
+        let td = TreeDecomposition::single_bag(0..3);
+        let nice = make_nice(&td, &g);
+        nice.validate(&g).unwrap();
+        assert_eq!(nice.width(), 2);
+    }
+
+    #[test]
+    fn root_is_empty() {
+        let g = path(4);
+        let (_, td) = treewidth_exact(&g);
+        let nice = make_nice(&td, &g);
+        assert!(nice.bags[nice.root].is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! Deciding semantic treewidth: is a given OMQ / CQS equivalent to one
+//! whose query has treewidth ≤ k? (Theorems 5.1, 5.6, 5.10 — the meta
+//! problems behind the dichotomies.)
+//!
+//! Run with: `cargo run --example semantic_treewidth`
+
+use gtgd::chase::parse_tgds;
+use gtgd::omq::approx::{cqs_uniformly_ucqk_equivalent, omq_ucqk_equivalent, GroundingPolicy};
+use gtgd::omq::{Cqs, EvalConfig, Omq};
+use gtgd::query::{parse_ucq, tw::ucq_treewidth};
+
+fn main() {
+    let cfg = EvalConfig::default();
+    let policy = GroundingPolicy::default();
+
+    // ---- Example 4.4 (first part): the ontology lowers the treewidth ----
+    let sigma = parse_tgds("R2(X) -> R4(X)").unwrap();
+    let q =
+        parse_ucq("Q() :- P(X2,X1), P(X4,X1), P(X2,X3), P(X4,X3), R1(X1), R2(X2), R3(X3), R4(X4)")
+            .unwrap();
+    println!("q has syntactic treewidth {}", ucq_treewidth(&q));
+
+    let q1 = Omq::full_schema(sigma.clone(), q.clone());
+    let (v, witness) = omq_ucqk_equivalent(&q1, 1, &policy, &cfg);
+    println!("OMQ (S, Σ, q): UCQ_1-equivalent? {}", v.holds);
+    if let Some(w) = witness {
+        println!(
+            "  witness from (G, UCQ_1): {} disjuncts, treewidth {}",
+            w.query.disjuncts.len(),
+            ucq_treewidth(&w.query)
+        );
+    }
+    assert!(v.holds);
+
+    // Dropping the ontology flips the verdict: q is a treewidth-2 core.
+    let q0 = Omq::full_schema(vec![], q.clone());
+    let (v0, _) = omq_ucqk_equivalent(&q0, 1, &policy, &cfg);
+    println!("OMQ (S, ∅, q): UCQ_1-equivalent? {}", v0.holds);
+    assert!(!v0.holds);
+
+    // But k = 2 suffices without any ontology (q itself is in UCQ_2).
+    let (v2, _) = omq_ucqk_equivalent(&q0, 2, &policy, &cfg);
+    println!("OMQ (S, ∅, q): UCQ_2-equivalent? {}", v2.holds);
+    assert!(v2.holds);
+
+    // ---- The same story closed-world: CQSs (Theorem 5.10) ----
+    let s = Cqs::new(sigma, q.clone());
+    let (cv, rewriting) = cqs_uniformly_ucqk_equivalent(&s, 1, &cfg);
+    println!("CQS (Σ, q): uniformly UCQ_1-equivalent? {}", cv.holds);
+    assert!(cv.holds);
+    if let Some(r) = rewriting {
+        println!(
+            "  constraint-aware rewriting: {} disjuncts, treewidth {}",
+            r.query.disjuncts.len(),
+            ucq_treewidth(&r.query)
+        );
+    }
+    let s0 = Cqs::new(vec![], q);
+    let (cv0, _) = cqs_uniformly_ucqk_equivalent(&s0, 1, &cfg);
+    println!("CQS (∅, q): uniformly UCQ_1-equivalent? {}", cv0.holds);
+    assert!(!cv0.holds);
+
+    // ---- An existential ontology bridging query components ----
+    let sigma2 = parse_tgds("A(X) -> E(X,Y), B(Y)").unwrap();
+    let q2 = parse_ucq("Q(X) :- E(X,Y), B(Y). Q(X) :- A(X)").unwrap();
+    let omq2 = Omq::full_schema(sigma2, q2);
+    let (v3, _) = omq_ucqk_equivalent(&omq2, 1, &policy, &cfg);
+    println!("existential-bridge OMQ: UCQ_1-equivalent? {}", v3.holds);
+    assert!(v3.holds);
+}

@@ -1,0 +1,50 @@
+//! `gtgd` — evaluate a query script open- or closed-world.
+//!
+//! ```text
+//! gtgd script.gtgd         # evaluate a script file
+//! gtgd -                   # read the script from stdin
+//! ```
+//!
+//! See `gtgd::script` for the script format.
+
+use gtgd::script::{eval_script, Mode};
+use std::io::Read;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: gtgd <script-file | ->");
+        std::process::exit(2);
+    });
+    let src = if arg == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .expect("read stdin");
+        buf
+    } else {
+        std::fs::read_to_string(&arg).unwrap_or_else(|e| {
+            eprintln!("cannot read {arg}: {e}");
+            std::process::exit(2);
+        })
+    };
+    match eval_script(&src) {
+        Ok(out) => {
+            let mode = match out.mode {
+                Mode::Open => "open-world (OMQ)",
+                Mode::Closed => "closed-world (CQS)",
+            };
+            println!(
+                "{mode}; {} answer(s); exact = {}",
+                out.answers.len(),
+                out.exact
+            );
+            for a in &out.answers {
+                println!("  ({a})");
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

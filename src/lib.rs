@@ -1,0 +1,14 @@
+//! `gtgd` — facade crate for the guarded-TGD query-evaluation toolkit.
+//!
+//! Re-exports the public API of every workspace crate so downstream users
+//! (and the root-level examples and integration tests) need a single
+//! dependency. See the README for a tour and DESIGN.md for the system
+//! inventory.
+
+pub mod script;
+
+pub use gtgd_chase as chase;
+pub use gtgd_core as omq;
+pub use gtgd_data as data;
+pub use gtgd_query as query;
+pub use gtgd_treewidth as treewidth;

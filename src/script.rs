@@ -1,0 +1,264 @@
+//! A small script format and interpreter for the `gtgd` CLI: declare facts,
+//! TGDs, and a query, then evaluate open-world (OMQ) or closed-world (CQS).
+//!
+//! ```text
+//! # comments start with '#'
+//! mode open                          # or: mode closed
+//! fact Emp(ann).
+//! fact WorksIn(ann, sales).
+//! tgd Emp(X) -> WorksIn(X, D).
+//! tgd WorksIn(X, D) -> Dept(D).
+//! query Q(X) :- WorksIn(X, D), Dept(D).
+//! ```
+//!
+//! Multiple `query` lines form a UCQ. In `closed` mode the facts must
+//! satisfy the TGDs (they are integrity constraints); in `open` mode the
+//! TGDs are an ontology.
+
+use gtgd_chase::{parse_tgd, Tgd};
+use gtgd_core::{evaluate_omq, Cqs, EvalConfig, Omq};
+use gtgd_data::{GroundAtom, Instance, Predicate, Value};
+use gtgd_query::{parse_cq, Cq, Ucq};
+
+/// Evaluation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Open-world: certain answers of the OMQ (Section 3.1).
+    Open,
+    /// Closed-world: direct evaluation under the constraint promise
+    /// (Section 3.2).
+    Closed,
+}
+
+/// A parsed script.
+#[derive(Debug, Clone)]
+pub struct Script {
+    /// The database.
+    pub facts: Instance,
+    /// The TGDs (ontology or constraints, depending on mode).
+    pub tgds: Vec<Tgd>,
+    /// The query disjuncts.
+    pub queries: Vec<Cq>,
+    /// Evaluation mode.
+    pub mode: Mode,
+}
+
+/// Script errors.
+#[derive(Debug, Clone)]
+pub struct ScriptError {
+    /// Line number (1-based).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+fn err(line: usize, message: impl Into<String>) -> ScriptError {
+    ScriptError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a fact like `Emp(ann)` or `WorksIn(ann, sales)`.
+fn parse_fact(src: &str, line: usize) -> Result<GroundAtom, ScriptError> {
+    let src = src.trim().trim_end_matches('.');
+    let open = src
+        .find('(')
+        .ok_or_else(|| err(line, "expected '(' in fact"))?;
+    if !src.ends_with(')') {
+        return Err(err(line, "expected ')' at end of fact"));
+    }
+    let pred = src[..open].trim();
+    if pred.is_empty() {
+        return Err(err(line, "empty predicate name"));
+    }
+    let inner = &src[open + 1..src.len() - 1];
+    let args: Vec<Value> = if inner.trim().is_empty() {
+        Vec::new()
+    } else {
+        inner
+            .split(',')
+            .map(|a| Value::named(a.trim().trim_matches('"')))
+            .collect()
+    };
+    Ok(GroundAtom::new(Predicate::new(pred), args))
+}
+
+/// Parses a script.
+pub fn parse_script(src: &str) -> Result<Script, ScriptError> {
+    let mut facts = Instance::new();
+    let mut tgds = Vec::new();
+    let mut queries = Vec::new();
+    let mut mode = Mode::Open;
+    for (i, raw) in src.lines().enumerate() {
+        let line = i + 1;
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let (keyword, rest) = match text.split_once(char::is_whitespace) {
+            Some((k, r)) => (k, r.trim()),
+            None => (text, ""),
+        };
+        match keyword {
+            "mode" => {
+                mode = match rest.trim_end_matches('.') {
+                    "open" => Mode::Open,
+                    "closed" => Mode::Closed,
+                    other => return Err(err(line, format!("unknown mode {other:?}"))),
+                };
+            }
+            "fact" => {
+                facts.insert(parse_fact(rest, line)?);
+            }
+            "tgd" => {
+                let t =
+                    parse_tgd(rest.trim_end_matches('.')).map_err(|e| err(line, e.to_string()))?;
+                tgds.push(t);
+            }
+            "query" => {
+                let q =
+                    parse_cq(rest.trim_end_matches('.')).map_err(|e| err(line, e.to_string()))?;
+                queries.push(q);
+            }
+            other => return Err(err(line, format!("unknown directive {other:?}"))),
+        }
+    }
+    if queries.is_empty() {
+        return Err(err(src.lines().count(), "script has no query"));
+    }
+    let arity = queries[0].arity();
+    if queries.iter().any(|q| q.arity() != arity) {
+        return Err(err(0, "all query lines must share arity"));
+    }
+    Ok(Script {
+        facts,
+        tgds,
+        queries,
+        mode,
+    })
+}
+
+/// Evaluation output.
+#[derive(Debug, Clone)]
+pub struct ScriptOutput {
+    /// Sorted answers rendered as comma-joined constants.
+    pub answers: Vec<String>,
+    /// Whether the answer set is provably complete (always true for closed
+    /// mode).
+    pub exact: bool,
+    /// The mode that was run.
+    pub mode: Mode,
+}
+
+/// Runs a parsed script.
+pub fn run_script(script: &Script) -> Result<ScriptOutput, Box<dyn std::error::Error>> {
+    let ucq = Ucq::new(script.queries.clone());
+    let (answers, exact) = match script.mode {
+        Mode::Open => {
+            let omq = Omq::full_schema(script.tgds.clone(), ucq);
+            let out = evaluate_omq(&omq, &script.facts, &EvalConfig::default());
+            (out.answers, out.exact)
+        }
+        Mode::Closed => {
+            let cqs = Cqs::new(script.tgds.clone(), ucq);
+            (cqs.evaluate(&script.facts)?, true)
+        }
+    };
+    let mut rendered: Vec<String> = answers
+        .into_iter()
+        .map(|t| {
+            t.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    rendered.sort();
+    Ok(ScriptOutput {
+        answers: rendered,
+        exact,
+        mode: script.mode,
+    })
+}
+
+/// Parses and runs in one step.
+pub fn eval_script(src: &str) -> Result<ScriptOutput, Box<dyn std::error::Error>> {
+    let script = parse_script(src)?;
+    run_script(&script)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_world_script() {
+        let out = eval_script(
+            "# demo\n\
+             fact Emp(ann).\n\
+             tgd Emp(X) -> WorksIn(X, D).\n\
+             tgd WorksIn(X, D) -> Dept(D).\n\
+             query Q(X) :- WorksIn(X, D), Dept(D).\n",
+        )
+        .unwrap();
+        assert!(out.exact);
+        assert_eq!(out.answers, vec!["ann"]);
+    }
+
+    #[test]
+    fn closed_world_script_checks_promise() {
+        let bad = eval_script(
+            "mode closed\n\
+             fact Emp(ann, sales).\n\
+             tgd Emp(X, D) -> Dept(D).\n\
+             query Q(X) :- Emp(X, D).\n",
+        );
+        assert!(bad.is_err(), "promise violated: no Dept(sales)");
+        let good = eval_script(
+            "mode closed\n\
+             fact Emp(ann, sales).\n\
+             fact Dept(sales).\n\
+             tgd Emp(X, D) -> Dept(D).\n\
+             query Q(X) :- Emp(X, D).\n",
+        )
+        .unwrap();
+        assert_eq!(good.answers, vec!["ann"]);
+    }
+
+    #[test]
+    fn ucq_scripts() {
+        let out = eval_script(
+            "fact A(x1).\nfact B(x2).\n\
+             query Q(X) :- A(X).\nquery Q(X) :- B(X).\n",
+        )
+        .unwrap();
+        assert_eq!(out.answers, vec!["x1", "x2"]);
+    }
+
+    #[test]
+    fn parse_errors_carry_lines() {
+        let e = parse_script("fact Broken(\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse_script("nonsense foo\nquery Q(X) :- A(X).").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse_script("fact A(x).").unwrap_err();
+        assert!(e.message.contains("no query"));
+    }
+
+    #[test]
+    fn zero_ary_facts_and_boolean_queries() {
+        let out = eval_script("fact Go().\nquery Q() :- Go().\n").unwrap();
+        assert_eq!(out.answers, vec![""]);
+        let out = eval_script("fact Stop().\nquery Q() :- Go().\n").unwrap();
+        assert!(out.answers.is_empty());
+    }
+}

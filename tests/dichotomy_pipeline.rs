@@ -1,0 +1,125 @@
+//! End-to-end checks of the dichotomy machinery: the clique reductions
+//! (Theorem 5.13) against brute force on graph zoos, and the OMQ→CQS
+//! reduction (Prop 5.8) on ontology workloads.
+
+use gtgd::chase::{satisfies_all, ChaseBudget};
+use gtgd::data::{GroundAtom, Instance, Value};
+use gtgd::omq::grohe::{has_clique, validate_h0};
+use gtgd::omq::reduction::{
+    clique_to_cqs_instance, decide_clique_via_cqs, grid_cqs_family, marked_grid_cqs_family,
+};
+use gtgd::omq::{evaluate_omq, omq_to_cqs_database, EvalConfig, Omq};
+use gtgd::treewidth::Graph;
+
+/// Deterministic pseudo-random graph via a multiplicative hash.
+fn pseudo_random_graph(n: usize, density_mod: u64, seed: u64) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let h = ((u as u64 * 2654435761) ^ (v as u64 * 40503) ^ seed).wrapping_mul(2654435761)
+                >> 16;
+            if h % 10 < density_mod {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+#[test]
+fn clique_reduction_matches_brute_force_across_random_graphs() {
+    for k in [2usize, 3] {
+        let fam = grid_cqs_family(k);
+        for seed in 0..6u64 {
+            for n in [5usize, 7] {
+                let g = pseudo_random_graph(n, 4 + seed % 3, seed);
+                assert_eq!(
+                    decide_clique_via_cqs(&g, k, &fam),
+                    has_clique(&g, k),
+                    "k={k} n={n} seed={seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn marked_reduction_satisfies_constraints_and_matches() {
+    let k = 3;
+    let fam = marked_grid_cqs_family(k);
+    for seed in 0..4u64 {
+        let g = pseudo_random_graph(6, 5, seed * 7 + 1);
+        let reduced = clique_to_cqs_instance(&g, k, &fam);
+        assert!(
+            satisfies_all(&reduced.grohe.instance, &fam.cqs.sigma),
+            "D* |= Σ (Theorem 7.1(3)) seed={seed}"
+        );
+        assert_eq!(
+            gtgd::query::ucq_holds_boolean(&fam.cqs.query, &reduced.grohe.instance),
+            has_clique(&g, k),
+            "seed={seed}"
+        );
+    }
+}
+
+#[test]
+fn grohe_h0_projection_is_a_homomorphism() {
+    let k = 2;
+    let fam = grid_cqs_family(k);
+    let g = pseudo_random_graph(6, 6, 99);
+    let reduced = clique_to_cqs_instance(&g, k, &fam);
+    // h0 maps D* onto a copy of D′ built from the same freezing.
+    let d_prime: Instance = fam
+        .p_prime
+        .atoms
+        .iter()
+        .map(|a| a.ground(&reduced.frozen))
+        .collect();
+    let gd = &reduced.grohe;
+    assert!(validate_h0(gd, &d_prime));
+}
+
+#[test]
+fn omq_to_cqs_round_trip_on_ontology_workloads() {
+    let sigma = gtgd::chase::parse_tgds(
+        "Project(P) -> LedBy(P,M), Mgr(M). \
+         Mgr(M) -> Clearance(M). \
+         LedBy(P,M) -> Active(P)",
+    )
+    .unwrap();
+    let q = Omq::full_schema(
+        sigma.clone(),
+        gtgd::query::parse_ucq("Q(P) :- Project(P), Active(P), LedBy(P,M), Clearance(M)").unwrap(),
+    );
+    for n in [3usize, 8, 15] {
+        let db: Instance = (0..n)
+            .map(|i| GroundAtom::named("Project", &[&format!("p{i}")]))
+            .collect();
+        let d_star = omq_to_cqs_database(&q, &db, &ChaseBudget::unbounded()).unwrap();
+        assert!(satisfies_all(&d_star, &sigma), "Lemma 6.8(1)");
+        let open = evaluate_omq(&q, &db, &EvalConfig::default());
+        assert!(open.exact);
+        let closed: std::collections::HashSet<Vec<Value>> =
+            gtgd::query::evaluate_ucq(&q.query, &d_star)
+                .into_iter()
+                .filter(|t| t.iter().all(|v| db.dom_contains(*v)))
+                .collect();
+        assert_eq!(open.answers, closed, "Lemma 6.8(2), n={n}");
+        assert_eq!(closed.len(), n, "every project is certain-active-cleared");
+    }
+}
+
+#[test]
+fn reduction_no_instance_on_empty_graph_families() {
+    let fam = grid_cqs_family(3);
+    // Triangle-free bipartite graphs never have 3-cliques.
+    for n in [4usize, 6] {
+        let mut g = Graph::new(n);
+        for u in 0..n / 2 {
+            for v in n / 2..n {
+                g.add_edge(u, v);
+            }
+        }
+        assert!(!decide_clique_via_cqs(&g, 3, &fam));
+    }
+}

@@ -1,0 +1,254 @@
+//! Property-based tests (proptest) on the toolkit's core invariants.
+
+use gtgd::chase::{chase, parse_tgds, satisfies_all, ChaseBudget};
+use gtgd::data::{GroundAtom, Instance, Value};
+use gtgd::query::{
+    check_answer, contractions, core_of, cq_contained, cq_equivalent,
+    decomp_eval::check_answer_decomposed, evaluate_cq, Cq, QAtom, Term, Var,
+};
+use gtgd::treewidth::{treewidth_exact, Graph};
+use proptest::prelude::*;
+
+/// A random small graph as an edge list over `n ≤ 8` vertices.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (
+        2usize..8,
+        proptest::collection::vec((0usize..8, 0usize..8), 0..16),
+    )
+        .prop_map(|(n, edges)| {
+            let mut g = Graph::new(n);
+            for (u, v) in edges {
+                if u < n && v < n && u != v {
+                    g.add_edge(u, v);
+                }
+            }
+            g
+        })
+}
+
+/// A random binary-relation database over a small domain.
+fn arb_db() -> impl Strategy<Value = Instance> {
+    proptest::collection::vec((0usize..5, 0usize..5), 1..10).prop_map(|pairs| {
+        Instance::from_atoms(
+            pairs
+                .into_iter()
+                .map(|(a, b)| GroundAtom::named("E", &[&format!("d{a}"), &format!("d{b}")])),
+        )
+    })
+}
+
+/// A random connected-ish Boolean CQ over `E` with ≤ 5 variables.
+fn arb_cq() -> impl Strategy<Value = Cq> {
+    proptest::collection::vec((0u32..5, 0u32..5), 1..6).prop_map(|pairs| {
+        let max = pairs.iter().map(|&(a, b)| a.max(b)).max().unwrap_or(0);
+        let names: Vec<String> = (0..=max).map(|i| format!("V{i}")).collect();
+        let atoms = pairs
+            .into_iter()
+            .map(|(a, b)| {
+                QAtom::new(
+                    gtgd::data::Predicate::new("E"),
+                    vec![Term::Var(Var(a)), Term::Var(Var(b))],
+                )
+            })
+            .collect();
+        Cq::new(names, atoms, vec![])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exact treewidth is sandwiched by the degeneracy lower bound and both
+    /// greedy upper bounds, and its decomposition validates.
+    #[test]
+    fn treewidth_bounds_consistent(g in arb_graph()) {
+        use gtgd::treewidth::{degeneracy_lower_bound, treewidth_upper_bound, Heuristic};
+        let (w, d) = treewidth_exact(&g);
+        prop_assert!(d.validate(&g).is_ok());
+        prop_assert_eq!(d.width(), w);
+        prop_assert!(degeneracy_lower_bound(&g) <= w);
+        for h in [Heuristic::MinDegree, Heuristic::MinFill] {
+            prop_assert!(treewidth_upper_bound(&g, h).0 >= w);
+        }
+    }
+
+    /// The core is equivalent to the original query and is itself a fixed
+    /// point of core computation.
+    #[test]
+    fn core_is_equivalent_retract(q in arb_cq()) {
+        let c = core_of(&q);
+        prop_assert!(cq_equivalent(&q, &c));
+        let cc = core_of(&c);
+        prop_assert_eq!(cc.atom_count(), c.atom_count());
+        prop_assert!(c.atom_count() <= q.atom_count());
+    }
+
+    /// Every contraction of a CQ is contained in it.
+    #[test]
+    fn contractions_are_contained(q in arb_cq()) {
+        for c in contractions(&q) {
+            prop_assert!(cq_contained(&c, &q), "contraction {c} ⊄ {q}");
+        }
+    }
+
+    /// The Prop 2.1 DP agrees with backtracking on Boolean queries over
+    /// random databases.
+    #[test]
+    fn dp_agrees_with_backtracking(q in arb_cq(), d in arb_db()) {
+        prop_assert_eq!(
+            check_answer_decomposed(&q, &d, &[]),
+            check_answer(&q, &d, &[])
+        );
+    }
+
+    /// The chase of a full TGD set reaches a model, and evaluation over it
+    /// is monotone in the database.
+    #[test]
+    fn full_chase_reaches_model(d in arb_db()) {
+        let sigma = parse_tgds("E(X,Y), E(Y,Z) -> E(X,Z)").unwrap();
+        let r = chase(&d, &sigma, &ChaseBudget::unbounded());
+        prop_assert!(r.complete);
+        prop_assert!(satisfies_all(&r.instance, &sigma));
+        // Monotonicity: answers over D are preserved over chase(D).
+        let q = gtgd::query::parse_cq("Q(X) :- E(X,Y)").unwrap();
+        let before = evaluate_cq(&q, &d);
+        let after = evaluate_cq(&q, &r.instance);
+        prop_assert!(before.is_subset(&after));
+    }
+
+    /// Guarded ground saturation contains the database and only named
+    /// constants.
+    #[test]
+    fn ground_saturation_sound(d in arb_db()) {
+        let sigma = parse_tgds("E(X,Y) -> Reach(X,Z). Reach(X,Z) -> Mark(X)").unwrap();
+        let sat = gtgd::chase::ground_saturation(&d, &sigma);
+        for a in d.iter() {
+            prop_assert!(sat.contains(a));
+        }
+        for v in sat.dom() {
+            prop_assert!(v.is_named());
+        }
+        // Mark(x) holds exactly for constants with outgoing edges.
+        for v in d.dom() {
+            let has_out = d.iter().any(|a| a.args[0] == *v);
+            let marked = sat.contains(&GroundAtom::new(
+                gtgd::data::Predicate::new("Mark"),
+                vec![*v],
+            ));
+            prop_assert_eq!(has_out, marked);
+        }
+    }
+
+    /// The Grohe database's h0 is always a homomorphism to D′, and the
+    /// reduction verdict always matches brute force (k = 2).
+    #[test]
+    fn grohe_reduction_correct_k2(g in arb_graph()) {
+        use gtgd::omq::grohe::has_clique;
+        use gtgd::omq::reduction::{decide_clique_via_cqs, grid_cqs_family};
+        let fam = grid_cqs_family(2);
+        prop_assert_eq!(decide_clique_via_cqs(&g, 2, &fam), has_clique(&g, 2));
+    }
+
+    /// OMQ evaluation is monotone under database extension (certain answers
+    /// only grow).
+    #[test]
+    fn omq_monotone(d in arb_db()) {
+        use gtgd::omq::{evaluate_omq, EvalConfig, Omq};
+        let sigma = parse_tgds("E(X,Y) -> Conn(X)").unwrap();
+        let q = Omq::full_schema(sigma, gtgd::query::parse_ucq("Q(X) :- Conn(X)").unwrap());
+        let small = evaluate_omq(&q, &d, &EvalConfig::default());
+        let mut bigger = d.clone();
+        bigger.insert(GroundAtom::named("E", &["extra1", "extra2"]));
+        let big = evaluate_omq(&q, &bigger, &EvalConfig::default());
+        prop_assert!(small.answers.is_subset(&big.answers));
+    }
+
+    /// Specializations are syntactically well formed: V always contains the
+    /// answer variables and the contraction part is a genuine contraction.
+    #[test]
+    fn specializations_well_formed(q in arb_cq()) {
+        for s in gtgd::query::specializations(&q) {
+            for v in &s.cq.answer_vars {
+                prop_assert!(s.v.contains(v));
+            }
+            prop_assert!(s.cq.atom_count() <= q.atom_count());
+            prop_assert!(cq_contained(&s.cq, &q));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The CQ parser never panics on arbitrary input — it returns a result.
+    #[test]
+    fn parser_never_panics(input in ".{0,80}") {
+        let _ = gtgd::query::parse_cq(&input);
+        let _ = gtgd::query::parse_ucq(&input);
+        let _ = gtgd::chase::parse_tgd(&input);
+    }
+
+    /// Parsing round-trips through Display for well-formed CQs.
+    #[test]
+    fn parser_display_roundtrip(q in arb_cq()) {
+        let printed = q.to_string();
+        let reparsed = gtgd::query::parse_cq(&printed).expect("display output parses");
+        prop_assert!(cq_equivalent(&q, &reparsed));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Prop D.2 as a property: the linear rewriting agrees with chase-based
+    /// evaluation on random databases.
+    #[test]
+    fn linear_rewriting_agrees_with_chase(d in arb_db()) {
+        use gtgd::chase::linear_rewrite;
+        let sigma = parse_tgds("E(X,Y) -> R(Y,Z). R(Y,Z) -> M(Y)").unwrap();
+        let q = gtgd::query::parse_ucq("Q(X) :- E(X,Y), M(Y)").unwrap();
+        let rewritten = linear_rewrite(&q, &sigma);
+        let via_rewrite: std::collections::HashSet<Vec<Value>> =
+            gtgd::query::evaluate_ucq(&rewritten, &d)
+                .into_iter()
+                .filter(|t| t.iter().all(|v| d.dom_contains(*v)))
+                .collect();
+        let reference = chase(&d, &sigma, &ChaseBudget::levels(4));
+        let via_chase: std::collections::HashSet<Vec<Value>> =
+            gtgd::query::evaluate_ucq(&q, &reference.instance)
+                .into_iter()
+                .filter(|t| t.iter().all(|v| d.dom_contains(*v)))
+                .collect();
+        prop_assert_eq!(via_rewrite, via_chase);
+    }
+
+    /// Yannakakis agrees with backtracking on acyclic queries over random
+    /// databases.
+    #[test]
+    fn yannakakis_agrees(d in arb_db()) {
+        use gtgd::query::check_answer_yannakakis;
+        let q = gtgd::query::parse_cq("Q(X) :- E(X,Y), E(Y,Z)").unwrap();
+        for v in d.dom().to_vec() {
+            let expected = check_answer(&q, &d, &[v]);
+            prop_assert_eq!(check_answer_yannakakis(&q, &d, &[v]), Some(expected));
+        }
+    }
+}
+
+/// Non-proptest sanity: instance equality is set semantics, used throughout
+/// the properties above.
+#[test]
+fn instance_set_semantics() {
+    let a = Instance::from_atoms([
+        GroundAtom::named("E", &["x", "y"]),
+        GroundAtom::named("E", &["y", "z"]),
+    ]);
+    let b = Instance::from_atoms([
+        GroundAtom::named("E", &["y", "z"]),
+        GroundAtom::named("E", &["x", "y"]),
+        GroundAtom::named("E", &["x", "y"]),
+    ]);
+    assert_eq!(a, b);
+    assert_eq!(a.dom().len(), 3);
+    let _ = Value::named("x");
+}

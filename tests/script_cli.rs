@@ -1,0 +1,60 @@
+//! End-to-end checks of the script engine and the shipped sample scripts.
+
+use gtgd::script::{eval_script, parse_script, Mode};
+
+#[test]
+fn shipped_hr_script_runs_open_world() {
+    let src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/scripts/hr.gtgd"
+    ))
+    .expect("sample script present");
+    let out = eval_script(&src).expect("script evaluates");
+    assert_eq!(out.mode, Mode::Open);
+    assert!(out.exact);
+    // The ontology guarantees both employees a managed department.
+    assert_eq!(out.answers, vec!["ann", "bob"]);
+}
+
+#[test]
+fn shipped_inventory_script_runs_closed_world() {
+    let src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/scripts/inventory.gtgd"
+    ))
+    .expect("sample script present");
+    let script = parse_script(&src).unwrap();
+    assert_eq!(script.mode, Mode::Closed);
+    let out = eval_script(&src).unwrap();
+    assert_eq!(out.answers, vec!["gadget", "widget"]);
+}
+
+#[test]
+fn closed_world_script_rejects_violating_facts() {
+    let src = "mode closed\n\
+               fact Stock(widget, aisle3).\n\
+               tgd Stock(Item, Loc) -> Location(Loc).\n\
+               query Q(Item) :- Stock(Item, Loc).\n";
+    assert!(eval_script(src).is_err(), "missing Location(aisle3)");
+}
+
+#[test]
+fn open_world_script_with_dl_style_hierarchy() {
+    let src = "fact Cat(tom).\n\
+               tgd Cat(X) -> Animal(X).\n\
+               tgd Animal(X) -> Eats(X, F), Food(F).\n\
+               query Q(X) :- Eats(X, F), Food(F).\n";
+    let out = eval_script(src).unwrap();
+    assert!(out.exact);
+    assert_eq!(out.answers, vec!["tom"]);
+}
+
+#[test]
+fn facts_loader_matches_script_facts() {
+    // The data-crate bulk loader and the script engine agree on syntax.
+    let facts = gtgd::data::parse_facts("Emp(ann). WorksIn(ann, sales)").unwrap();
+    assert_eq!(facts.len(), 2);
+    let rendered = gtgd::data::render_facts(&facts);
+    let reparsed = gtgd::data::parse_facts(&rendered).unwrap();
+    assert_eq!(facts, reparsed);
+}
