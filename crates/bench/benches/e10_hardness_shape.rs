@@ -1,17 +1,14 @@
 //! E10 — the hardness side (Prop 3.3(1) vs 3.3(3)): clique-query OMQs blow
 //! up in `k`, path-query OMQs do not.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtgd_bench::harness;
 use gtgd_bench::workloads::{clique_cq, graph_db, path_cq, plant_clique, random_graph};
 use gtgd_chase::parse_tgds;
 use gtgd_core::{check_omq, check_omq_fpt, EvalConfig, Omq};
 use gtgd_query::Ucq;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e10_hardness_shape");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(900));
+fn main() {
+    harness::group("e10_hardness_shape");
     let sigma = parse_tgds("E(X,Y) -> Node(X), Node(Y)").unwrap();
     let mut g = random_graph(13, 0.5, 97);
     plant_clique(&mut g, 5, 13);
@@ -19,20 +16,12 @@ fn bench(c: &mut Criterion) {
     let cfg = EvalConfig::default();
     for &k in &[2usize, 3, 4, 5] {
         let qc = Omq::full_schema(sigma.clone(), Ucq::single(clique_cq(k)));
-        group.bench_with_input(BenchmarkId::new("clique_query", k), &db, |b, db| {
-            b.iter(|| check_omq(&qc, db, &[], &cfg))
+        harness::case(&format!("clique_query/{k}"), || {
+            check_omq(&qc, &db, &[], &cfg)
         });
         let qp = Omq::full_schema(sigma.clone(), Ucq::single(path_cq(k)));
-        group.bench_with_input(BenchmarkId::new("path_query", k), &db, |b, db| {
-            b.iter(|| check_omq_fpt(&qp, db, &[], &cfg))
+        harness::case(&format!("path_query/{k}"), || {
+            check_omq_fpt(&qp, &db, &[], &cfg)
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().without_plots();
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,38 +1,27 @@
 //! E11 — Prop D.2: UCQ rewriting for linear TGDs vs chase-based evaluation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtgd_bench::harness;
 use gtgd_bench::workloads::org_db;
 use gtgd_chase::{linear_rewrite, parse_tgds};
 use gtgd_core::{evaluate_omq, EvalConfig, Omq};
 use gtgd_query::{evaluate_ucq, parse_ucq};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e11_linear_rewriting");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(900));
+fn main() {
+    harness::group("e11_linear_rewriting");
     let sigma =
         parse_tgds("Emp(X) -> WorksIn(X,D). WorksIn(X,D) -> Dept(D). Dept(D) -> Unit(D)").unwrap();
     let q = parse_ucq("Q(X) :- WorksIn(X,D), Unit(D)").unwrap();
-    group.bench_function("rewrite_offline", |b| b.iter(|| linear_rewrite(&q, &sigma)));
+    harness::case("rewrite_offline", || linear_rewrite(&q, &sigma));
     let rewritten = linear_rewrite(&q, &sigma);
     let omq = Omq::full_schema(sigma, q);
     let cfg = EvalConfig::default();
     for &n in &[100usize, 400] {
         let db = org_db(n);
-        group.bench_with_input(BenchmarkId::new("eval_rewriting", n), &db, |b, db| {
-            b.iter(|| evaluate_ucq(&rewritten, db))
+        harness::case(&format!("eval_rewriting/{n}"), || {
+            evaluate_ucq(&rewritten, &db)
         });
-        group.bench_with_input(BenchmarkId::new("eval_via_chase", n), &db, |b, db| {
-            b.iter(|| evaluate_omq(&omq, db, &cfg))
+        harness::case(&format!("eval_via_chase/{n}"), || {
+            evaluate_omq(&omq, &db, &cfg)
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().without_plots();
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,35 +1,30 @@
-//! E12 — evaluation-engine shootout on acyclic queries.
+//! E12 — evaluation-engine shootout on acyclic queries, including the
+//! parallel homomorphism engine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtgd_bench::harness;
 use gtgd_bench::workloads::grid_db;
 use gtgd_query::{
     check_answer_yannakakis, decomp_eval::check_answer_decomposed, holds_boolean, parse_cq,
+    HomSearch,
 };
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e12_engine_shootout");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(900));
+fn main() {
+    harness::group("e12_engine_shootout");
     let q = parse_cq("Q() :- H(A,B), H(B,C), H(C,D), H(D,E), H(E,F)").unwrap();
     for &n in &[100usize, 400] {
         let db = grid_db(4, n);
-        group.bench_with_input(BenchmarkId::new("yannakakis", n), &db, |b, db| {
-            b.iter(|| check_answer_yannakakis(&q, db, &[]))
+        harness::case(&format!("yannakakis/{n}"), || {
+            check_answer_yannakakis(&q, &db, &[])
         });
-        group.bench_with_input(BenchmarkId::new("decomposition_dp", n), &db, |b, db| {
-            b.iter(|| check_answer_decomposed(&q, db, &[]))
+        harness::case(&format!("decomposition_dp/{n}"), || {
+            check_answer_decomposed(&q, &db, &[])
         });
-        group.bench_with_input(BenchmarkId::new("backtracking", n), &db, |b, db| {
-            b.iter(|| holds_boolean(&q, db))
+        harness::case(&format!("backtracking/{n}"), || holds_boolean(&q, &db));
+        harness::case(&format!("enumerate_seq/{n}"), || {
+            HomSearch::new(&q.atoms, &db).all().len()
+        });
+        harness::case(&format!("enumerate_par4/{n}"), || {
+            HomSearch::new(&q.atoms, &db).par_all(4).len()
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().without_plots();
-    targets = bench
-}
-criterion_main!(benches);

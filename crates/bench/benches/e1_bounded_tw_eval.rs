@@ -1,16 +1,13 @@
 //! E1 — Prop 2.1: bounded-treewidth CQ evaluation scales polynomially in
 //! `|D|` with the degree tracking `k + 1`; backtracking is the baseline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtgd_bench::harness;
 use gtgd_bench::workloads::{grid_db, grid_query};
 use gtgd_query::decomp_eval::check_answer_decomposed;
 use gtgd_query::holds_boolean;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e1_bounded_tw_eval");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(900));
+fn main() {
+    harness::group("e1_bounded_tw_eval");
     for &cols in &[20usize, 60, 180] {
         let db = grid_db(4, cols);
         for (name, q) in [
@@ -18,24 +15,12 @@ fn bench(c: &mut Criterion) {
             ("tw2_ladder", grid_query(2, 3)),
             ("tw3_grid", grid_query(3, 3)),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("dp_{name}"), cols),
-                &db,
-                |b, db| b.iter(|| check_answer_decomposed(&q, db, &[])),
-            );
-            group.bench_with_input(
-                BenchmarkId::new(format!("backtrack_{name}"), cols),
-                &db,
-                |b, db| b.iter(|| holds_boolean(&q, db)),
-            );
+            harness::case(&format!("dp_{name}/{cols}"), || {
+                check_answer_decomposed(&q, &db, &[])
+            });
+            harness::case(&format!("backtrack_{name}/{cols}"), || {
+                holds_boolean(&q, &db)
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().without_plots();
-    targets = bench
-}
-criterion_main!(benches);

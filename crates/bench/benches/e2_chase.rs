@@ -1,16 +1,14 @@
 //! E2 — chase growth across TGD classes: linear chains, full transitive
-//! closure, and guarded ground saturation (`chase↓`).
+//! closure, and guarded ground saturation (`chase↓`), sequential and
+//! parallel.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtgd_bench::harness;
 use gtgd_bench::workloads::{chain_ontology, org_db, org_ontology, path_db, tc_ontology};
-use gtgd_chase::{chase, ground_saturation, ChaseBudget};
+use gtgd_chase::{chase, ground_saturation, par_chase, par_ground_saturation, ChaseBudget};
 use gtgd_data::{GroundAtom, Instance};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e2_chase");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(900));
+fn main() {
+    harness::group("e2_chase");
     let chain = chain_ontology(8);
     let tc = tc_ontology();
     let org = org_ontology();
@@ -18,24 +16,22 @@ fn bench(c: &mut Criterion) {
         let unary: Instance = (0..n)
             .map(|i| GroundAtom::named("A0", &[&format!("x{i}")]))
             .collect();
-        group.bench_with_input(BenchmarkId::new("linear_chain", n), &unary, |b, db| {
-            b.iter(|| chase(db, &chain, &ChaseBudget::unbounded()))
+        harness::case(&format!("linear_chain/{n}"), || {
+            chase(&unary, &chain, &ChaseBudget::unbounded())
         });
         let pdb = path_db(n.min(120));
-        group.bench_with_input(BenchmarkId::new("full_tc", n), &pdb, |b, db| {
-            b.iter(|| chase(db, &tc, &ChaseBudget::unbounded()))
+        harness::case(&format!("full_tc/{n}"), || {
+            chase(&pdb, &tc, &ChaseBudget::unbounded())
+        });
+        harness::case(&format!("full_tc_par4/{n}"), || {
+            par_chase(&pdb, &tc, &ChaseBudget::unbounded(), 4)
         });
         let odb = org_db(n);
-        group.bench_with_input(BenchmarkId::new("guarded_saturation", n), &odb, |b, db| {
-            b.iter(|| ground_saturation(db, &org))
+        harness::case(&format!("guarded_saturation/{n}"), || {
+            ground_saturation(&odb, &org)
+        });
+        harness::case(&format!("guarded_saturation_par4/{n}"), || {
+            par_ground_saturation(&odb, &org, 4)
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().without_plots();
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,16 +1,13 @@
 //! E3 — Prop 3.3(3): FPT OMQ evaluation in `(G, UCQ_1)` — polynomial in
 //! `|D|` for a fixed OMQ.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtgd_bench::harness;
 use gtgd_bench::workloads::{org_db, org_ontology, val};
 use gtgd_core::{check_omq_fpt, EvalConfig, Omq};
 use gtgd_query::parse_ucq;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e3_omq_fpt");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(900));
+fn main() {
+    harness::group("e3_omq_fpt");
     let q = Omq::full_schema(
         org_ontology(),
         parse_ucq("Q(X) :- Emp(X), WorksIn(X,D), HasMgr(D,M)").unwrap(),
@@ -18,16 +15,8 @@ fn bench(c: &mut Criterion) {
     let cfg = EvalConfig::default();
     for &n in &[25usize, 100, 400] {
         let db = org_db(n);
-        group.bench_with_input(BenchmarkId::new("check_fpt", n), &db, |b, db| {
-            b.iter(|| check_omq_fpt(&q, db, &[val("e0")], &cfg))
+        harness::case(&format!("check_fpt/{n}"), || {
+            check_omq_fpt(&q, &db, &[val("e0")], &cfg)
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().without_plots();
-    targets = bench
-}
-criterion_main!(benches);

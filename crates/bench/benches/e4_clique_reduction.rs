@@ -2,43 +2,28 @@
 //! treewidth) evaluation on reduced databases grows sharply with `k`; a
 //! bounded-treewidth query over the same data stays flat.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtgd_bench::harness;
 use gtgd_bench::workloads::{plant_clique, random_graph};
 use gtgd_core::{clique_to_cqs_instance, grid_cqs_family};
 use gtgd_query::decomp_eval::check_answer_decomposed;
 use gtgd_query::parse_cq;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e4_clique_reduction");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(900));
+fn main() {
+    harness::group("e4_clique_reduction");
     for &k in &[2usize, 3] {
         let fam = grid_cqs_family(k);
         let mut g = random_graph(8, 0.5, 11);
         plant_clique(&mut g, k, 5);
-        group.bench_with_input(BenchmarkId::new("build_dstar", k), &g, |b, g| {
-            b.iter(|| clique_to_cqs_instance(g, k, &fam))
+        harness::case(&format!("build_dstar/{k}"), || {
+            clique_to_cqs_instance(&g, k, &fam)
         });
         let reduced = clique_to_cqs_instance(&g, k, &fam);
-        group.bench_with_input(
-            BenchmarkId::new("eval_grid_query", k),
-            &reduced.grohe.instance,
-            |b, db| b.iter(|| gtgd_query::ucq_holds_boolean(&fam.cqs.query, db)),
-        );
+        harness::case(&format!("eval_grid_query/{k}"), || {
+            gtgd_query::ucq_holds_boolean(&fam.cqs.query, &reduced.grohe.instance)
+        });
         let path = parse_cq("Q() :- H(A,B), H(B,C)").unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("eval_path_query", k),
-            &reduced.grohe.instance,
-            |b, db| b.iter(|| check_answer_decomposed(&path, db, &[])),
-        );
+        harness::case(&format!("eval_path_query/{k}"), || {
+            check_answer_decomposed(&path, &reduced.grohe.instance, &[])
+        });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().without_plots();
-    targets = bench
-}
-criterion_main!(benches);

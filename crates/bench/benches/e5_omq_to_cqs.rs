@@ -2,17 +2,14 @@
 //! scales polynomially in `|D|`, and closed-world evaluation over it is
 //! cheap.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtgd_bench::harness;
 use gtgd_bench::workloads::org_db;
 use gtgd_chase::{parse_tgds, ChaseBudget};
 use gtgd_core::{omq_to_cqs_database, Omq};
 use gtgd_query::{evaluate_ucq, parse_ucq};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e5_omq_to_cqs");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(900));
+fn main() {
+    harness::group("e5_omq_to_cqs");
     let sigma =
         parse_tgds("Emp(X) -> WorksIn(X,D). WorksIn(X,D) -> Dept(D). Dept(D) -> Audited(D)")
             .unwrap();
@@ -22,20 +19,12 @@ fn bench(c: &mut Criterion) {
     );
     for &n in &[25usize, 100, 400] {
         let db = org_db(n);
-        group.bench_with_input(BenchmarkId::new("build_dstar", n), &db, |b, db| {
-            b.iter(|| omq_to_cqs_database(&q, db, &ChaseBudget::unbounded()).unwrap())
+        harness::case(&format!("build_dstar/{n}"), || {
+            omq_to_cqs_database(&q, &db, &ChaseBudget::unbounded()).unwrap()
         });
         let d_star = omq_to_cqs_database(&q, &db, &ChaseBudget::unbounded()).unwrap();
-        group.bench_with_input(BenchmarkId::new("closed_eval", n), &d_star, |b, db| {
-            b.iter(|| evaluate_ucq(&q.query, db))
+        harness::case(&format!("closed_eval/{n}"), || {
+            evaluate_ucq(&q.query, &d_star)
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().without_plots();
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! E6 — Theorem 5.1: deciding UCQ_k-equivalence of guarded OMQs
 //! (the 2ExpTime meta problem, exercised on the Example 4.4 family).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtgd_bench::harness;
 use gtgd_chase::parse_tgds;
 use gtgd_core::{omq_ucqk_equivalent, EvalConfig, GroundingPolicy, Omq};
 use gtgd_query::parse_ucq;
@@ -26,25 +26,14 @@ fn example_4_4(extra: usize) -> Omq {
     )
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e6_meta_omq");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(900));
+fn main() {
+    harness::group("e6_meta_omq");
     let cfg = EvalConfig::default();
     let policy = GroundingPolicy::default();
     for &extra in &[0usize, 2, 4] {
         let q = example_4_4(extra);
-        group.bench_with_input(BenchmarkId::new("decide_ucq1_equiv", extra), &q, |b, q| {
-            b.iter(|| omq_ucqk_equivalent(q, 1, &policy, &cfg))
+        harness::case(&format!("decide_ucq1_equiv/{extra}"), || {
+            omq_ucqk_equivalent(&q, 1, &policy, &cfg)
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().without_plots();
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,16 +1,13 @@
 //! E7 — Theorem 5.10 / Prop 5.11: the contraction-based UCQ_k-equivalence
 //! decision for CQSs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtgd_bench::harness;
 use gtgd_chase::parse_tgds;
 use gtgd_core::{cqs_uniformly_ucqk_equivalent, Cqs, EvalConfig};
 use gtgd_query::parse_ucq;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e7_meta_cqs");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(900));
+fn main() {
+    harness::group("e7_meta_cqs");
     let cfg = EvalConfig::default();
     for &extra in &[0usize, 2, 4] {
         let mut atoms = vec![
@@ -30,16 +27,8 @@ fn bench(c: &mut Criterion) {
             parse_tgds("R2(X) -> R4(X)").unwrap(),
             parse_ucq(&format!("Q() :- {}", atoms.join(", "))).unwrap(),
         );
-        group.bench_with_input(BenchmarkId::new("decide_ucq1_equiv", extra), &s, |b, s| {
-            b.iter(|| cqs_uniformly_ucqk_equivalent(s, 1, &cfg))
+        harness::case(&format!("decide_ucq1_equiv/{extra}"), || {
+            cqs_uniformly_ucqk_equivalent(&s, 1, &cfg)
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().without_plots();
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! E8 — Grohe's baseline: CQ core computation (semantic treewidth of plain
 //! CQs, Theorem 4.1's decidability footnote).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtgd_bench::harness;
 use gtgd_query::{core_of, parse_cq};
 
 fn redundant_query(pendant: usize) -> gtgd_query::Cq {
@@ -16,23 +16,10 @@ fn redundant_query(pendant: usize) -> gtgd_query::Cq {
     parse_cq(&format!("Q() :- {}", atoms.join(", "))).unwrap()
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e8_cq_core");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(900));
+fn main() {
+    harness::group("e8_cq_core");
     for &pendant in &[4usize, 8, 12] {
         let q = redundant_query(pendant);
-        group.bench_with_input(BenchmarkId::new("core_of", pendant), &q, |b, q| {
-            b.iter(|| core_of(q))
-        });
+        harness::case(&format!("core_of/{pendant}"), || core_of(&q));
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().without_plots();
-    targets = bench
-}
-criterion_main!(benches);

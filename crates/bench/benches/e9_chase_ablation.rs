@@ -1,33 +1,22 @@
 //! E9 — ablation: oblivious vs restricted chase on a workload where many
 //! triggers are already satisfied by the data.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gtgd_bench::harness;
 use gtgd_bench::workloads::org_db;
 use gtgd_chase::{chase, parse_tgds, restricted_chase, ChaseBudget};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e9_chase_ablation");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(900));
+fn main() {
+    harness::group("e9_chase_ablation");
     let sigma =
         parse_tgds("Emp(X) -> WorksIn(X,D). WorksIn(X,D) -> Dept(D). Dept(D) -> Audited(D)")
             .unwrap();
     for &n in &[50usize, 200] {
         let db = org_db(n);
-        group.bench_with_input(BenchmarkId::new("oblivious", n), &db, |b, db| {
-            b.iter(|| chase(db, &sigma, &ChaseBudget::unbounded()))
+        harness::case(&format!("oblivious/{n}"), || {
+            chase(&db, &sigma, &ChaseBudget::unbounded())
         });
-        group.bench_with_input(BenchmarkId::new("restricted", n), &db, |b, db| {
-            b.iter(|| restricted_chase(db, &sigma, &ChaseBudget::unbounded()))
+        harness::case(&format!("restricted/{n}"), || {
+            restricted_chase(&db, &sigma, &ChaseBudget::unbounded())
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().without_plots();
-    targets = bench
-}
-criterion_main!(benches);

@@ -2,34 +2,59 @@
 //!
 //! Usage:
 //! ```text
-//! experiments            # run everything
-//! experiments E4 E6      # run selected experiments
+//! experiments                    # run everything
+//! experiments E4 E6              # run selected experiments
 //! experiments --json out.json E1
+//! experiments --jobs 4           # run independent series concurrently
 //! ```
+//!
+//! With `--jobs N`, independent experiment series run on an N-worker pool;
+//! tables are still printed in request order. Timings measured under
+//! `--jobs > 1` are noisier (series share cores), so published numbers
+//! should come from a sequential run — the flag exists to make full-suite
+//! regeneration fast on developer machines.
 
-use gtgd_bench::{run_experiment, ExperimentTable};
+use gtgd_bench::{run_experiment, tables_to_json, ExperimentTable};
+use gtgd_data::Pool;
 use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
+    let mut jobs = 1usize;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--json" {
-            json_path = args.get(i + 1).cloned();
-            i += 2;
-        } else {
-            ids.push(args[i].clone());
-            i += 1;
+        match args[i].as_str() {
+            "--json" => {
+                json_path = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--jobs" => {
+                jobs = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs expects a positive integer");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            other => {
+                ids.push(other.to_string());
+                i += 1;
+            }
         }
     }
     if ids.is_empty() {
-        ids = (1..=14).map(|i| format!("E{i}")).collect();
+        ids = (1..=15).map(|i| format!("E{i}")).collect();
     }
+    let results: Vec<Option<ExperimentTable>> =
+        Pool::with_workers(jobs).map(&ids, |id| run_experiment(id));
     let mut tables: Vec<ExperimentTable> = Vec::new();
-    for id in &ids {
-        match run_experiment(id) {
+    for (id, result) in ids.iter().zip(results) {
+        match result {
             Some(t) => {
                 println!("{}", t.render());
                 tables.push(t);
@@ -39,8 +64,8 @@ fn main() {
     }
     if let Some(path) = json_path {
         let mut f = std::fs::File::create(&path).expect("create json output");
-        let body = serde_json::to_string_pretty(&tables).expect("serialize");
-        f.write_all(body.as_bytes()).expect("write json");
+        f.write_all(tables_to_json(&tables).as_bytes())
+            .expect("write json");
         eprintln!("wrote {path}");
     }
 }

@@ -1,0 +1,45 @@
+//! A minimal wall-clock bench harness (criterion replacement).
+//!
+//! The offline build cannot depend on criterion, and the experiment claims
+//! under test are *shapes* (polynomial vs FPT vs exponential growth), not
+//! microsecond-accurate point estimates. Each case warms up once, then runs
+//! repeatedly inside a fixed time budget and reports the median and
+//! minimum. Bench targets stay `harness = false` binaries, so
+//! `cargo bench --bench e2_chase` works as before.
+
+use std::time::{Duration, Instant};
+
+/// Per-case time budget. Override with `GTGD_BENCH_MS` (milliseconds).
+fn budget() -> Duration {
+    let ms = std::env::var("GTGD_BENCH_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+/// Runs one bench case: warm up, measure until the budget is exhausted
+/// (at least 5 and at most 200 runs), print `label  median  min  runs`.
+pub fn case<T>(label: &str, mut f: impl FnMut() -> T) {
+    f(); // warmup
+    let mut times_ms: Vec<f64> = Vec::new();
+    let start = Instant::now();
+    let budget = budget();
+    while (start.elapsed() < budget || times_ms.len() < 5) && times_ms.len() < 200 {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        times_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    times_ms.sort_by(f64::total_cmp);
+    let median = times_ms[times_ms.len() / 2];
+    let min = times_ms[0];
+    println!(
+        "{label:<44} median {median:10.3} ms   min {min:10.3} ms   ({} runs)",
+        times_ms.len()
+    );
+}
+
+/// Prints a group header, mirroring criterion's group naming in output.
+pub fn group(name: &str) {
+    println!("== bench group: {name} ==");
+}

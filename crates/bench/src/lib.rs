@@ -3,6 +3,9 @@
 //! EXPERIMENTS.md for paper-vs-measured).
 
 pub mod experiments;
+pub mod harness;
+pub mod json;
 pub mod workloads;
 
 pub use experiments::{all_experiments, run_experiment, ExperimentTable};
+pub use json::tables_to_json;

@@ -3,11 +3,9 @@
 //! cliques), and scalable guarded ontologies.
 
 use gtgd_chase::{parse_tgds, Tgd};
-use gtgd_data::{GroundAtom, Instance, Predicate, Value};
+use gtgd_data::{GroundAtom, Instance, Predicate, Rng, Value};
 use gtgd_query::{Cq, QAtom, Term, Ucq, Var};
 use gtgd_treewidth::Graph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A path database `E(n0,n1), …, E(n_{len-1}, n_len)`.
 pub fn path_db(len: usize) -> Instance {
@@ -42,11 +40,11 @@ pub fn grid_db(rows: usize, cols: usize) -> Instance {
 
 /// An Erdős–Rényi random graph `G(n, p)`, deterministic per seed.
 pub fn random_graph(n: usize, p: f64, seed: u64) -> Graph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed(seed);
     let mut g = Graph::new(n);
     for u in 0..n {
         for v in (u + 1)..n {
-            if rng.gen_bool(p) {
+            if rng.chance(p) {
                 g.add_edge(u, v);
             }
         }
@@ -183,12 +181,12 @@ pub fn boolean_ucq(q: Cq) -> Ucq {
 
 /// Plants a `k`-clique into a graph (for yes-instances).
 pub fn plant_clique(g: &mut Graph, k: usize, seed: u64) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed(seed);
     let n = g.vertex_count();
     assert!(n >= k);
     let mut chosen: Vec<usize> = Vec::new();
     while chosen.len() < k {
-        let v = rng.gen_range(0..n);
+        let v = rng.range(0, n);
         if !chosen.contains(&v) {
             chosen.push(v);
         }

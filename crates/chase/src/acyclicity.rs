@@ -1,4 +1,4 @@
-//! Weak acyclicity of TGD sets (Fagin et al. [22]): the standard sufficient
+//! Weak acyclicity of TGD sets (Fagin et al. \[22\]): the standard sufficient
 //! condition for chase termination, used to decide when the chase itself can
 //! serve as a finite universal model (see `witness`).
 

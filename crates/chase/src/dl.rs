@@ -1,5 +1,5 @@
 //! An ELHI⊥ description-logic front-end (the paper's Section 1 contrast:
-//! the DL-based characterizations of [7] concern ELHI⊥, "essentially a
+//! the DL-based characterizations of \[7\] concern ELHI⊥, "essentially a
 //! fragment of guarded TGDs"). This module makes that fragment concrete:
 //! ELHI⊥ TBoxes translate into **guarded** TGDs, so every guarded-OMQ
 //! algorithm in this toolkit applies to DL ontologies unchanged.

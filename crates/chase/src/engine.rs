@@ -23,7 +23,10 @@ use std::ops::ControlFlow;
 pub struct ChaseBudget {
     /// Stop after materializing all atoms of this level.
     pub max_level: Option<usize>,
-    /// Stop once at least this many atoms exist (checked between rounds).
+    /// Hard cap on materialized atoms: trigger firing stops as soon as the
+    /// instance plus the atoms pending insertion reaches this count, even in
+    /// the middle of a round. The final instance may exceed the cap by at
+    /// most one head's worth of atoms (the trigger that reached it).
     pub max_atoms: Option<usize>,
 }
 
@@ -48,6 +51,11 @@ impl ChaseBudget {
             max_level: None,
             max_atoms: Some(max_atoms),
         }
+    }
+
+    /// Whether a projected atom count exhausts the atom budget.
+    pub fn atoms_exhausted(&self, projected: usize) -> bool {
+        self.max_atoms.is_some_and(|max| projected >= max)
     }
 }
 
@@ -105,10 +113,11 @@ pub fn chase(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget) -> ChaseResult {
             }
         }
         let mut new_atoms: Vec<GroundAtom> = Vec::new();
-        for (ti, tgd) in tgds.iter().enumerate() {
+        let mut hit_cap = false;
+        'round: for (ti, tgd) in tgds.iter().enumerate() {
             if tgd.body.is_empty() {
                 if level == 0 && fired.insert((ti, Vec::new())) {
-                    fire(tgd, &HashMap::new(), &instance, &mut new_atoms);
+                    fire(tgd, &HashMap::new(), &mut new_atoms);
                 }
                 continue;
             }
@@ -119,34 +128,9 @@ pub fn chase(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget) -> ChaseResult {
             for pin in 0..tgd.body.len() {
                 let pinned = &tgd.body[pin];
                 for d in &delta {
-                    if d.predicate != pinned.predicate || d.args.len() != pinned.args.len() {
+                    let Some(seed) = unify_pinned(pinned, d) else {
                         continue;
-                    }
-                    // Unify the pinned atom with the delta atom.
-                    let mut seed: HashMap<Var, Value> = HashMap::new();
-                    let mut ok = true;
-                    for (t, &gv) in pinned.args.iter().zip(d.args.iter()) {
-                        match *t {
-                            gtgd_query::Term::Const(c) => {
-                                if c != gv {
-                                    ok = false;
-                                    break;
-                                }
-                            }
-                            gtgd_query::Term::Var(v) => match seed.get(&v) {
-                                Some(&b) if b != gv => {
-                                    ok = false;
-                                    break;
-                                }
-                                _ => {
-                                    seed.insert(v, gv);
-                                }
-                            },
-                        }
-                    }
-                    if !ok {
-                        continue;
-                    }
+                    };
                     let rest: Vec<gtgd_query::QAtom> = tgd
                         .body
                         .iter()
@@ -157,16 +141,26 @@ pub fn chase(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget) -> ChaseResult {
                     HomSearch::new(&rest, &instance)
                         .fix(seed.iter().map(|(&v, &x)| (v, x)))
                         .for_each(|h| {
+                            if budget.atoms_exhausted(instance.len() + new_atoms.len()) {
+                                hit_cap = true;
+                                return ControlFlow::Break(());
+                            }
                             let trigger: Vec<Value> = body_vars.iter().map(|v| h[v]).collect();
                             if fired.insert((ti, trigger)) {
-                                fire(tgd, h, &instance, &mut new_atoms);
+                                fire(tgd, h, &mut new_atoms);
                             }
                             ControlFlow::Continue(())
                         });
+                    if hit_cap {
+                        break 'round;
+                    }
                 }
             }
         }
         if new_atoms.is_empty() {
+            if hit_cap {
+                complete = false;
+            }
             break;
         }
         level += 1;
@@ -182,6 +176,15 @@ pub fn chase(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget) -> ChaseResult {
             // All "new" atoms were already present (possible when a full TGD
             // re-derives existing atoms); fixpoint.
             max_level = level - 1;
+            if hit_cap {
+                complete = false;
+            }
+            break;
+        }
+        if hit_cap {
+            // The atom budget was exhausted mid-round: stop here rather than
+            // searching another round's triggers.
+            complete = false;
             break;
         }
     }
@@ -195,7 +198,7 @@ pub fn chase(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget) -> ChaseResult {
 
 /// Fires a trigger: instantiate the head, replacing each existential
 /// variable with a fresh null.
-fn fire(tgd: &Tgd, h: &HashMap<Var, Value>, _instance: &Instance, out: &mut Vec<GroundAtom>) {
+pub(crate) fn fire(tgd: &Tgd, h: &HashMap<Var, Value>, out: &mut Vec<GroundAtom>) {
     let mut assignment = h.clone();
     for z in tgd.existential_vars() {
         assignment.insert(z, Value::fresh_null());
@@ -203,6 +206,34 @@ fn fire(tgd: &Tgd, h: &HashMap<Var, Value>, _instance: &Instance, out: &mut Vec<
     for atom in &tgd.head {
         out.push(atom.ground(&assignment));
     }
+}
+
+/// Unifies a body atom pinned to a delta atom, returning the induced
+/// variable bindings, or `None` on a predicate/arity/constant clash.
+pub(crate) fn unify_pinned(
+    pinned: &gtgd_query::QAtom,
+    d: &GroundAtom,
+) -> Option<HashMap<Var, Value>> {
+    if d.predicate != pinned.predicate || d.args.len() != pinned.args.len() {
+        return None;
+    }
+    let mut seed: HashMap<Var, Value> = HashMap::new();
+    for (t, &gv) in pinned.args.iter().zip(d.args.iter()) {
+        match *t {
+            gtgd_query::Term::Const(c) => {
+                if c != gv {
+                    return None;
+                }
+            }
+            gtgd_query::Term::Var(v) => match seed.get(&v) {
+                Some(&b) if b != gv => return None,
+                _ => {
+                    seed.insert(v, gv);
+                }
+            },
+        }
+    }
+    Some(seed)
 }
 
 #[cfg(test)]
@@ -289,7 +320,55 @@ mod tests {
         let d = db(&[("P", &["a"])]);
         let r = chase(&d, &tgds, &ChaseBudget::atoms(20));
         assert!(!r.complete);
-        assert!(r.instance.len() >= 20);
+        // Single-atom heads: the hard cap is hit exactly.
+        assert_eq!(r.instance.len(), 20);
+    }
+
+    #[test]
+    fn atom_budget_is_enforced_within_a_round() {
+        // One round would fire 100 triggers; the cap must stop firing
+        // mid-round, not after materializing the whole round.
+        let tgds = parse_tgds("P(X) -> Q(X)").unwrap();
+        let names: Vec<String> = (0..100).map(|i| format!("c{i}")).collect();
+        let d = Instance::from_atoms(names.iter().map(|n| GroundAtom::named("P", &[n.as_str()])));
+        let r = chase(&d, &tgds, &ChaseBudget::atoms(110));
+        assert!(!r.complete);
+        assert_eq!(r.instance.len(), 110);
+        assert_eq!(r.levels.iter().filter(|&&l| l == 1).count(), 10);
+    }
+
+    #[test]
+    fn atom_budget_overshoots_by_at_most_one_head() {
+        // Three-atom heads: the trigger that reaches the cap still fires
+        // whole, so the overshoot is bounded by head size - 1.
+        let tgds = parse_tgds("P(X) -> A(X,Y), B(Y), C(Y)").unwrap();
+        let names: Vec<String> = (0..10).map(|i| format!("c{i}")).collect();
+        let d = Instance::from_atoms(names.iter().map(|n| GroundAtom::named("P", &[n.as_str()])));
+        let r = chase(&d, &tgds, &ChaseBudget::atoms(14));
+        assert!(!r.complete);
+        assert!(r.instance.len() >= 14);
+        assert!(r.instance.len() <= 14 + 2);
+    }
+
+    #[test]
+    fn atom_budget_already_exhausted_keeps_database() {
+        let tgds = parse_tgds("P(X) -> Q(X)").unwrap();
+        let d = db(&[("P", &["a"]), ("P", &["b"]), ("P", &["c"])]);
+        let r = chase(&d, &tgds, &ChaseBudget::atoms(3));
+        assert!(!r.complete);
+        assert_eq!(r.instance, d);
+        assert_eq!(r.max_level, 0);
+    }
+
+    #[test]
+    fn atom_budget_at_fixpoint_boundary_is_complete() {
+        // The fixpoint is reached before the budget: the run is complete
+        // even though the final size equals the cap.
+        let tgds = parse_tgds("P(X) -> Q(X)").unwrap();
+        let d = db(&[("P", &["a"])]);
+        let r = chase(&d, &tgds, &ChaseBudget::atoms(3));
+        assert!(r.complete);
+        assert_eq!(r.instance.len(), 2);
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod acyclicity;
 pub mod dl;
 pub mod engine;
 pub mod linearize;
+pub mod par_engine;
 pub mod restricted;
 pub mod rewrite;
 pub mod tgd;
@@ -37,6 +38,7 @@ pub use acyclicity::is_weakly_acyclic;
 pub use dl::{abox_consistent, parse_dl_ontology, parse_tbox, tbox_to_tgds, Axiom, Concept, Role};
 pub use engine::{chase, ChaseBudget, ChaseResult};
 pub use linearize::{linearize, Linearization};
+pub use par_engine::{par_chase, par_ground_saturation};
 pub use restricted::{restricted_chase, RestrictedChaseResult};
 pub use rewrite::linear_rewrite;
 pub use tgd::{parse_tgd, parse_tgds, satisfies, satisfies_all, Tgd, TgdClass};

@@ -1,0 +1,386 @@
+//! Parallel chase and ground saturation on the std-only worker pool.
+//!
+//! Both entry points are *deterministic for any worker count* and agree with
+//! their sequential counterparts:
+//!
+//! * [`par_chase`] runs the oblivious semi-naive chase of
+//!   [`crate::engine::chase`] with each round's delta-pinned trigger search
+//!   partitioned across workers. Workers only *discover* triggers — they
+//!   never allocate nulls — and the collected triggers are fired
+//!   sequentially in canonical (TGD, pin, delta) order, so null naming is
+//!   exactly as reproducible as in a sequential run. Results agree with the
+//!   sequential chase up to isomorphism (null identities come from a global
+//!   counter, so absolute labels differ across runs of either engine; see
+//!   `gtgd_query::instance_isomorphic`).
+//!
+//! * [`par_ground_saturation`] computes `chase↓(D, Σ)` with the closure
+//!   work of a Kleene round distributed across workers, each owning its own
+//!   memoizing [`Saturator`]. The output contains only named constants, so
+//!   it is *equal* (as a set) to the sequential
+//!   [`crate::types::ground_saturation`]. On top of the thread-level
+//!   parallelism the round itself is restructured: (1) bag restrictions are
+//!   assembled from a value → atom index built once per round instead of a
+//!   per-bag `restrict_to` scan of the whole instance; (2) only *dirty*
+//!   bags — those whose restriction grew since they were last closed — are
+//!   reconsidered; (3) dirty bags are canonicalized first and grouped by
+//!   [`CanonType`], so the expensive closure computation runs once per
+//!   *type* and every same-type bag just decodes the canonical closure
+//!   through its own constant ordering (the caller-side analogue of the
+//!   saturator's stable-key fast path, but it also covers keys on recursive
+//!   type cycles, which the saturator must otherwise recompute every call).
+//!   These changes make the parallel path much faster even at one worker.
+
+use crate::engine::{fire, unify_pinned, ChaseBudget, ChaseResult};
+use crate::tgd::Tgd;
+use crate::types::{canonicalize, decode, CanonType, Saturator, TAtom};
+use gtgd_data::{GroundAtom, Instance, Pool, Value};
+use gtgd_query::{HomSearch, QAtom, Var};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::ops::ControlFlow;
+
+/// A discovered trigger: which TGD, its canonical key (the body-variable
+/// images, for once-only firing), and the full homomorphism.
+type Trigger = (usize, Vec<Value>, HashMap<Var, Value>);
+
+/// Runs the oblivious chase of `db` under `tgds` within `budget`, searching
+/// each round's triggers on `workers` worker threads. Agrees with
+/// [`crate::engine::chase`] up to null renaming (isomorphism), with
+/// identical levels, completeness, and atom counts.
+pub fn par_chase(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget, workers: usize) -> ChaseResult {
+    let pool = Pool::with_workers(workers);
+    let mut instance = db.clone();
+    let mut levels = vec![0usize; instance.len()];
+    let mut fired: HashSet<(usize, Vec<Value>)> = HashSet::new();
+    let mut complete = true;
+    let mut max_level = 0usize;
+
+    // Per-(TGD, pin) search fixtures, computed once.
+    let body_vars: Vec<Vec<Var>> = tgds.iter().map(|t| t.body_vars()).collect();
+    let rests: Vec<Vec<Vec<QAtom>>> = tgds
+        .iter()
+        .map(|t| {
+            (0..t.body.len())
+                .map(|pin| {
+                    t.body
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != pin)
+                        .map(|(_, a)| a.clone())
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut delta: Vec<GroundAtom> = instance.iter().cloned().collect();
+    let mut level = 0usize;
+    loop {
+        if let Some(max) = budget.max_level {
+            if level >= max {
+                complete = false;
+                break;
+            }
+        }
+        if budget.atoms_exhausted(instance.len()) {
+            complete = false;
+            break;
+        }
+        let mut new_atoms: Vec<GroundAtom> = Vec::new();
+        let mut hit_cap = false;
+        for (ti, tgd) in tgds.iter().enumerate() {
+            if tgd.body.is_empty() && level == 0 && fired.insert((ti, Vec::new())) {
+                fire(tgd, &HashMap::new(), &mut new_atoms);
+            }
+        }
+        // One task per (TGD, pinned body atom, delta atom). The task order
+        // is exactly the sequential engine's loop nest order, so firing the
+        // merged trigger list in task order reproduces the sequential
+        // engine's trigger sequence.
+        let tasks: Vec<(usize, usize, usize)> = tgds
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.body.is_empty())
+            .flat_map(|(ti, t)| {
+                let nd = delta.len();
+                (0..t.body.len()).flat_map(move |pin| (0..nd).map(move |di| (ti, pin, di)))
+            })
+            .collect();
+        let found: Vec<Vec<Trigger>> = pool.map_chunks(&tasks, |_, chunk| {
+            let mut out: Vec<Trigger> = Vec::new();
+            for &(ti, pin, di) in chunk {
+                let tgd = &tgds[ti];
+                let Some(seed) = unify_pinned(&tgd.body[pin], &delta[di]) else {
+                    continue;
+                };
+                HomSearch::new(&rests[ti][pin], &instance)
+                    .fix(seed.iter().map(|(&v, &x)| (v, x)))
+                    .for_each(|h| {
+                        let key: Vec<Value> = body_vars[ti].iter().map(|v| h[v]).collect();
+                        out.push((ti, key, h.clone()));
+                        ControlFlow::Continue(())
+                    });
+            }
+            out
+        });
+        // Sequential merge: dedup against `fired` and fire in canonical
+        // order. Null allocation happens only here, on one thread.
+        'merge: for chunk in found {
+            for (ti, key, h) in chunk {
+                if budget.atoms_exhausted(instance.len() + new_atoms.len()) {
+                    hit_cap = true;
+                    break 'merge;
+                }
+                if fired.insert((ti, key)) {
+                    fire(&tgds[ti], &h, &mut new_atoms);
+                }
+            }
+        }
+        if new_atoms.is_empty() {
+            if hit_cap {
+                complete = false;
+            }
+            break;
+        }
+        level += 1;
+        max_level = level;
+        delta = Vec::new();
+        for a in new_atoms {
+            if instance.insert(a.clone()) {
+                levels.push(level);
+                delta.push(a);
+            }
+        }
+        if delta.is_empty() {
+            max_level = level - 1;
+            if hit_cap {
+                complete = false;
+            }
+            break;
+        }
+        if hit_cap {
+            complete = false;
+            break;
+        }
+    }
+    ChaseResult {
+        instance,
+        levels,
+        complete,
+        max_level,
+    }
+}
+
+/// `chase↓(D, Σ)` with closure work distributed over `workers` worker
+/// threads (one memoizing [`Saturator`] each), dirty-bag tracking, and
+/// one closure computation per canonical bag type per round. Returns the
+/// same instance (as a set) as [`crate::types::ground_saturation`].
+pub fn par_ground_saturation(db: &Instance, tgds: &[Tgd], workers: usize) -> Instance {
+    let pool = Pool::with_workers(workers);
+    let mut saturators: Vec<Saturator> =
+        (0..pool.workers()).map(|_| Saturator::new(tgds)).collect();
+    let mut ground = db.clone();
+    // Atom count of each bag's restriction when it was last closed. The
+    // instance only grows, so a count match means the restriction is
+    // unchanged and the bag's last closure is still exact.
+    let mut closed_sizes: HashMap<Vec<Value>, usize> = HashMap::new();
+    // When any worker's memo grew, previously-closed bags may have been
+    // under-approximated (recursive type cycles), so the next round must
+    // re-close everything, matching the sequential Kleene iteration.
+    let mut refine_all = true;
+    loop {
+        // Per-atom bags in first-appearance order (as in the sequential
+        // version: every guarded set of D is dom(α) for some atom α).
+        let mut seen_bags: HashSet<Vec<Value>> = HashSet::new();
+        let mut bags: Vec<Vec<Value>> = Vec::new();
+        for a in ground.iter() {
+            let mut d = a.dom();
+            d.sort_unstable();
+            if seen_bags.insert(d.clone()) {
+                bags.push(d);
+            }
+        }
+        // Value → atom-id index, built once per round. Bag restrictions are
+        // assembled from it instead of scanning the whole instance per bag.
+        let mut atoms_of: HashMap<Value, Vec<usize>> = HashMap::new();
+        for (i, a) in ground.iter().enumerate() {
+            let mut vals = a.args.clone();
+            vals.sort_unstable();
+            vals.dedup();
+            for v in vals {
+                atoms_of.entry(v).or_default().push(i);
+            }
+        }
+        let mut work: Vec<(Vec<Value>, Instance)> = Vec::new();
+        for consts in bags {
+            let keep: HashSet<Value> = consts.iter().copied().collect();
+            let mut ids: Vec<usize> = Vec::new();
+            let mut seen: HashSet<usize> = HashSet::new();
+            for v in &consts {
+                if let Some(list) = atoms_of.get(v) {
+                    for &i in list {
+                        if seen.insert(i) && ground.atom(i).args.iter().all(|x| keep.contains(x)) {
+                            ids.push(i);
+                        }
+                    }
+                }
+            }
+            if refine_all || closed_sizes.get(&consts) != Some(&ids.len()) {
+                closed_sizes.insert(consts.clone(), ids.len());
+                ids.sort_unstable();
+                let restriction = Instance::from_atoms(ids.iter().map(|&i| ground.atom(i).clone()));
+                work.push((consts, restriction));
+            }
+        }
+        if work.is_empty() {
+            // Every bag was closed against its current restriction with no
+            // memo growth since: fixpoint.
+            return ground;
+        }
+        // Canonicalize the dirty bags (parallel), then group them by type:
+        // two bags of the same canonical type have, by guardedness, the same
+        // closure up to the renaming their orderings realize, so only one
+        // representative per type needs the (expensive) closure computation.
+        let canons: Vec<(CanonType, Vec<Value>)> = pool
+            .map_chunks(&work, |_, chunk| {
+                chunk
+                    .iter()
+                    .map(|(consts, bag)| canonicalize(bag, consts))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        let mut type_index: HashMap<&CanonType, usize> = HashMap::new();
+        let mut distinct: Vec<(CanonType, Vec<Value>)> = Vec::new();
+        let mut bag_type: Vec<usize> = Vec::with_capacity(canons.len());
+        for (key, perm) in &canons {
+            let next = distinct.len();
+            let idx = *type_index.entry(key).or_insert(next);
+            if idx == next {
+                distinct.push((key.clone(), perm.clone()));
+            }
+            bag_type.push(idx);
+        }
+        // Close each distinct type once, distributed over the per-worker
+        // saturators; collect the closures in canonical coordinates.
+        let closures: Vec<BTreeSet<TAtom>> = pool
+            .map_with_state(&distinct, &mut saturators, |sat, _, chunk| {
+                chunk
+                    .iter()
+                    .map(|(key, perm)| {
+                        sat.close_canonical(key, perm);
+                        sat.encoded_closure(key).expect("closed above").clone()
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        // Translate each bag's type closure through the bag's own ordering
+        // and merge. All atoms are over the bag's constants, hence ground.
+        let mut added = false;
+        for (ti, (_, perm)) in bag_type.iter().zip(&canons) {
+            let bag_closure = decode(&closures[*ti], perm);
+            for a in bag_closure.iter() {
+                added |= ground.insert(a.clone());
+            }
+        }
+        let mut memo_changed = false;
+        for s in &mut saturators {
+            memo_changed |= s.take_changed();
+        }
+        refine_all = memo_changed;
+        if !added && !memo_changed {
+            return ground;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::chase;
+    use crate::tgd::parse_tgds;
+    use crate::types::ground_saturation;
+    use gtgd_query::instance_isomorphic;
+
+    fn db(atoms: &[(&str, &[&str])]) -> Instance {
+        Instance::from_atoms(atoms.iter().map(|(p, args)| GroundAtom::named(p, args)))
+    }
+
+    #[test]
+    fn par_chase_matches_sequential_full_tgds() {
+        let tgds = parse_tgds("E(X,Y), E(Y,Z) -> E(X,Z)").unwrap();
+        let d = db(&[("E", &["a", "b"]), ("E", &["b", "c"]), ("E", &["c", "d"])]);
+        let seq = chase(&d, &tgds, &ChaseBudget::unbounded());
+        for w in [1, 2, 4] {
+            let par = par_chase(&d, &tgds, &ChaseBudget::unbounded(), w);
+            assert!(par.complete);
+            // Full TGDs create no nulls, so the instances are equal.
+            assert_eq!(par.instance, seq.instance, "workers {w}");
+            assert_eq!(par.max_level, seq.max_level);
+            assert_eq!(par.levels, seq.levels);
+        }
+    }
+
+    #[test]
+    fn par_chase_isomorphic_with_existentials() {
+        let tgds =
+            parse_tgds("Emp(X) -> WorksIn(X,D), Dept(D). Dept(D) -> HasMgr(D,M), Emp(M)").unwrap();
+        let d = db(&[("Emp", &["ann"]), ("Emp", &["bob"])]);
+        let seq = chase(&d, &tgds, &ChaseBudget::levels(4));
+        for w in [1, 2, 4] {
+            let par = par_chase(&d, &tgds, &ChaseBudget::levels(4), w);
+            assert_eq!(par.instance.len(), seq.instance.len(), "workers {w}");
+            assert_eq!(par.levels, seq.levels);
+            assert_eq!(par.complete, seq.complete);
+            assert!(instance_isomorphic(&par.instance, &seq.instance));
+        }
+    }
+
+    #[test]
+    fn par_chase_respects_atom_budget() {
+        let tgds = parse_tgds("P(X) -> Q(X,Y). Q(X,Y) -> P(Y)").unwrap();
+        let d = db(&[("P", &["a"])]);
+        for w in [1, 3] {
+            let r = par_chase(&d, &tgds, &ChaseBudget::atoms(20), w);
+            assert!(!r.complete);
+            assert_eq!(r.instance.len(), 20);
+        }
+    }
+
+    #[test]
+    fn par_chase_empty_body_and_empty_db() {
+        let tgds = parse_tgds("-> R(X,X)").unwrap();
+        let r = par_chase(&Instance::new(), &tgds, &ChaseBudget::unbounded(), 4);
+        assert!(r.complete);
+        assert_eq!(r.instance.len(), 1);
+    }
+
+    #[test]
+    fn par_saturation_equals_sequential() {
+        let tgds = parse_tgds(
+            "Emp(X) -> WorksIn(X,D), Dept(D). \
+             WorksIn(X,D), Dept(D) -> Super(D,X). \
+             Super(D,X) -> Emp(X)",
+        )
+        .unwrap();
+        let d = db(&[("Emp", &["a"]), ("Emp", &["b"]), ("WorksIn", &["a", "d0"])]);
+        let seq = ground_saturation(&d, &tgds);
+        for w in [1, 2, 4] {
+            assert_eq!(par_ground_saturation(&d, &tgds, w), seq, "workers {w}");
+        }
+    }
+
+    #[test]
+    fn par_saturation_recursive_types() {
+        // A recursive linear TGD set whose closure cycles through types.
+        let tgds = parse_tgds("A(X) -> R(X,Y), B(Y). B(X) -> R(X,Y), A(Y). R(X,Y), R(Y,X) -> S(X)")
+            .unwrap();
+        let d = db(&[("A", &["a"]), ("R", &["a", "b"]), ("R", &["b", "a"])]);
+        let seq = ground_saturation(&d, &tgds);
+        for w in [1, 2, 4] {
+            assert_eq!(par_ground_saturation(&d, &tgds, w), seq, "workers {w}");
+        }
+    }
+}

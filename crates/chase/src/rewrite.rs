@@ -1,4 +1,4 @@
-//! UCQ rewriting for linear TGDs (Proposition D.2, from [15]):
+//! UCQ rewriting for linear TGDs (Proposition D.2, from \[15\]):
 //! given Σ ∈ L and a UCQ `q`, compute a UCQ `q′` with
 //! `q(chase(D, Σ)) = q′(D)` for every database `D`.
 //!

@@ -15,7 +15,7 @@
 //! * [`type_of_atom`]: `type_{D,Σ}(α)` (Appendix A.1).
 //!
 //! This is the ExpTime (for bounded arity) decision machinery that the paper
-//! invokes from [14]/[24]; only *reachable* types are ever materialized.
+//! invokes from \[14\]/\[24\]; only *reachable* types are ever materialized.
 
 use crate::tgd::{Tgd, TgdClass};
 use gtgd_data::{GroundAtom, Instance, Predicate, Value};
@@ -236,6 +236,13 @@ impl<'a> Saturator<'a> {
         self.memo.len()
     }
 
+    /// Reads and clears the memo-growth flag. Outer Kleene loops that drive
+    /// their own saturators (e.g. the parallel ground saturation) use this
+    /// to decide whether another refinement pass is needed.
+    pub fn take_changed(&mut self) -> bool {
+        std::mem::take(&mut self.changed)
+    }
+
     /// Closes a bag: returns every atom over `consts` entailed by the chase
     /// of the bag's atoms under the TGDs. `atoms` must only mention
     /// `consts`.
@@ -244,22 +251,33 @@ impl<'a> Saturator<'a> {
             .iter()
             .all(|a| a.args.iter().all(|v| consts.contains(v))));
         let (key, perm) = canonicalize(atoms, consts);
-        if self.stable.contains(&key) {
-            return decode(&self.memo[&key], &perm);
+        self.close_canonical(&key, &perm)
+    }
+
+    /// [`Self::close_bag`] for a bag already in canonical form: `key` is the
+    /// bag's type and `perm` an ordering realizing it
+    /// (`perm[canonical_position] = value`), as returned by
+    /// [`canonicalize`]. Callers that group bags by type pay for one closure
+    /// computation per *type*; the canonical-coordinate result is afterwards
+    /// available from [`Self::encoded_closure`] and decodes to every
+    /// same-type bag through that bag's own ordering.
+    pub fn close_canonical(&mut self, key: &CanonType, perm: &[Value]) -> Instance {
+        if self.stable.contains(key) {
+            return decode(&self.memo[key], perm);
         }
-        if self.in_progress.contains(&key) {
+        if self.in_progress.contains(key) {
             // Recursive type cycle: return the current approximation; the
             // outer Kleene iteration refines it.
             self.ip_hits += 1;
-            let current = self.memo.get(&key).unwrap_or(&key.atoms);
-            return decode(current, &perm);
+            let current = self.memo.get(key).unwrap_or(&key.atoms);
+            return decode(current, perm);
         }
         let hits_before = self.ip_hits;
         let start = self
             .memo
             .entry(key.clone())
             .or_insert_with(|| key.atoms.clone());
-        let mut current = decode(start, &perm);
+        let mut current = decode(start, perm);
         self.in_progress.insert(key.clone());
         loop {
             let mut grew = false;
@@ -303,7 +321,7 @@ impl<'a> Saturator<'a> {
                     child.extend_from(&current.restrict_to(&child_set));
                     let closed = self.close_bag(&child, &child_consts);
                     // Import what came back over our constants.
-                    let ours: HashSet<Value> = consts.iter().copied().collect();
+                    let ours: HashSet<Value> = perm.iter().copied().collect();
                     for a in closed.restrict_to(&ours).iter() {
                         grew |= current.insert(a.clone());
                     }
@@ -313,14 +331,14 @@ impl<'a> Saturator<'a> {
                 break;
             }
         }
-        self.in_progress.remove(&key);
+        self.in_progress.remove(key);
         let position: HashMap<Value, u8> = perm
             .iter()
             .enumerate()
             .map(|(i, &v)| (v, i as u8))
             .collect();
         let final_enc = encode(&current, &position);
-        let entry = self.memo.get_mut(&key).expect("inserted above");
+        let entry = self.memo.get_mut(key).expect("inserted above");
         if *entry != final_enc {
             debug_assert!(entry.is_subset(&final_enc), "closure must be monotone");
             *entry = final_enc;
@@ -329,9 +347,15 @@ impl<'a> Saturator<'a> {
         if self.ip_hits == hits_before {
             // No recursive cycle below: this is the exact least fixpoint of
             // the key's downward cone.
-            self.stable.insert(key);
+            self.stable.insert(key.clone());
         }
         current
+    }
+
+    /// The closure of `key` in canonical coordinates, if some earlier close
+    /// computed (or, mid-iteration, approximated) it.
+    pub fn encoded_closure(&self, key: &CanonType) -> Option<&BTreeSet<TAtom>> {
+        self.memo.get(key)
     }
 
     /// `chase↓(D, Σ)`: all atoms over `dom(D)` entailed by the chase —

@@ -1,5 +1,5 @@
 //! The Grohe database `D* = D*(G, D, D′, A, µ)` (Theorem 7.1 / Appendix
-//! H.1): the engine of every W[1]-hardness proof in the paper.
+//! H.1): the engine of every W\[1\]-hardness proof in the paper.
 //!
 //! Given a graph `G`, a clique size `k`, databases `D ⊆ D′`, a set
 //! `A ⊆ dom(D)` whose restricted Gaifman graph contains the `k × K`-grid as

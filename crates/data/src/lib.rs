@@ -29,6 +29,8 @@
 pub mod atom;
 pub mod homomorphism;
 pub mod instance;
+pub mod par;
+pub mod rng;
 pub mod schema;
 pub mod symbols;
 pub mod text;
@@ -37,6 +39,8 @@ pub mod value;
 pub use atom::GroundAtom;
 pub use homomorphism::{is_homomorphism, Valuation};
 pub use instance::Instance;
+pub use par::{default_workers, Pool};
+pub use rng::Rng;
 pub use schema::{Predicate, Schema};
 pub use symbols::Symbol;
 pub use text::{parse_fact, parse_facts, render_facts, FactParseError};

@@ -100,4 +100,54 @@ mod tests {
         let ids: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert!(ids.windows(2).all(|w| w[0] == w[1]));
     }
+
+    #[test]
+    fn concurrent_interning_hammer_many_names_many_threads() {
+        // 16 threads race to intern the same 200 names, every thread in a
+        // different order, interleaved with reads. All threads must agree on
+        // every id, ids must be distinct per name, and the id → name lookup
+        // must round-trip. This exercises the read-then-upgrade race in
+        // `Symbol::new`: two threads can both miss the read lock and reach
+        // the write path for the same name.
+        const THREADS: usize = 16;
+        const NAMES: usize = 200;
+        let maps: Vec<Vec<(String, u32)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    scope.spawn(move || {
+                        (0..NAMES)
+                            .map(|i| {
+                                // Per-thread visit order: stride through the
+                                // name space so write races actually overlap.
+                                let i = (i * (t + 1) + t) % NAMES;
+                                let name = format!("hammer-{i}");
+                                let sym = Symbol::new(&name);
+                                assert_eq!(sym.name(), name, "lookup must round-trip");
+                                (name, sym.id())
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut agreed: HashMap<String, u32> = HashMap::new();
+        for per_thread in &maps {
+            for (name, id) in per_thread {
+                match agreed.get(name) {
+                    Some(&prev) => assert_eq!(prev, *id, "threads disagree on {name}"),
+                    None => {
+                        agreed.insert(name.clone(), *id);
+                    }
+                }
+            }
+        }
+        assert_eq!(agreed.len(), NAMES);
+        let distinct: std::collections::HashSet<u32> = agreed.values().copied().collect();
+        assert_eq!(distinct.len(), NAMES, "ids must be distinct per name");
+        // Ids are stable: re-interning after the race returns the same ids.
+        for (name, id) in &agreed {
+            assert_eq!(Symbol::new(name).id(), *id);
+        }
+    }
 }

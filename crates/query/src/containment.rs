@@ -1,5 +1,5 @@
 //! Classical (constraint-free) containment and equivalence of CQs and UCQs
-//! via the Chandra–Merlin canonical-database test [17].
+//! via the Chandra–Merlin canonical-database test \[17\].
 
 use crate::cq::{Cq, Ucq};
 use crate::eval::{check_answer, check_answer_ucq};

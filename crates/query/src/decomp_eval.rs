@@ -1,4 +1,4 @@
-//! Bounded-treewidth CQ evaluation (Proposition 2.1 / [18]):
+//! Bounded-treewidth CQ evaluation (Proposition 2.1 / \[18\]):
 //! given `q ∈ CQ_k`, a database `D`, and a candidate answer `c̄`, decide
 //! `c̄ ∈ q(D)` in time `O(‖D‖^{k+1} · ‖q‖)` by dynamic programming over a
 //! tree decomposition of the existential Gaifman graph.

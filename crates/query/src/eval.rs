@@ -17,6 +17,16 @@ pub fn evaluate_cq(q: &Cq, i: &Instance) -> HashSet<Vec<Value>> {
     out
 }
 
+/// `q(I)` evaluated on a `workers`-wide pool (see [`HomSearch::par_all`]).
+/// Returns the same set as [`evaluate_cq`].
+pub fn evaluate_cq_par(q: &Cq, i: &Instance, workers: usize) -> HashSet<Vec<Value>> {
+    HomSearch::new(&q.atoms, i)
+        .par_all(workers)
+        .into_iter()
+        .map(|h| q.answer_vars.iter().map(|v| h[v]).collect())
+        .collect()
+}
+
 /// Whether `c̄ ∈ q(I)` (the evaluation problem's decision form).
 pub fn check_answer(q: &Cq, i: &Instance, answer: &[Value]) -> bool {
     assert_eq!(answer.len(), q.arity(), "candidate answer has wrong arity");

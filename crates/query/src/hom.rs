@@ -12,7 +12,7 @@
 //! indexes.
 
 use crate::cq::{QAtom, Term, Var};
-use gtgd_data::{Instance, Valuation, Value};
+use gtgd_data::{Instance, Pool, Valuation, Value};
 use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
 
@@ -105,6 +105,97 @@ impl<'a> HomSearch<'a> {
             ControlFlow::Continue(())
         });
         out
+    }
+
+    /// All homomorphisms, enumerated on a `workers`-wide pool.
+    ///
+    /// The top-level candidate list of the most selective atom is split
+    /// across workers; each worker runs the sequential backtracking search
+    /// on its share. Returns the same *set* as [`HomSearch::all`] (the
+    /// enumeration order differs: it follows the split atom's candidate
+    /// order), and the output is deterministic for any worker count because
+    /// per-chunk results are concatenated in chunk order.
+    pub fn par_all(&self, workers: usize) -> Vec<HashMap<Var, Value>> {
+        if workers <= 1 || self.atoms.is_empty() {
+            return self.all();
+        }
+        // Validate fixed bindings against the modes, mirroring `for_each`.
+        if self.injective {
+            let mut used = HashSet::new();
+            for &v in self.fixed.values() {
+                if !used.insert(v) {
+                    return Vec::new();
+                }
+            }
+        }
+        if let Some(allowed) = &self.allowed {
+            if self.fixed.values().any(|v| !allowed.contains(v)) {
+                return Vec::new();
+            }
+        }
+        let (split, _) = (0..self.atoms.len())
+            .map(|i| (i, self.candidates(&self.atoms[i], &self.fixed).len()))
+            .min_by_key(|&(_, n)| n)
+            .expect("atoms nonempty");
+        let cand = self.candidates(&self.atoms[split], &self.fixed);
+        let rest: Vec<QAtom> = self
+            .atoms
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != split)
+            .map(|(_, a)| a.clone())
+            .collect();
+        let per_chunk = Pool::with_workers(workers).map_chunks(&cand, |_, chunk| {
+            let mut out: Vec<HashMap<Var, Value>> = Vec::new();
+            for &ci in chunk {
+                let Some(seed) = self.unify_candidate(&self.atoms[split], ci) else {
+                    continue;
+                };
+                // Distinct candidates seed distinct bindings for the split
+                // atom's variables, so the per-candidate answer sets are
+                // disjoint: no cross-chunk deduplication is needed.
+                let sub = HomSearch {
+                    atoms: &rest,
+                    target: self.target,
+                    fixed: seed,
+                    injective: self.injective,
+                    allowed: self.allowed.clone(),
+                };
+                sub.for_each(|h| {
+                    out.push(h.clone());
+                    ControlFlow::Continue(())
+                });
+            }
+            out
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    /// Extends the fixed bindings by unifying `atom` with the target atom
+    /// `ci`; `None` on clash with a constant or an existing binding.
+    fn unify_candidate(&self, atom: &QAtom, ci: usize) -> Option<HashMap<Var, Value>> {
+        let ground = self.target.atom(ci);
+        if ground.args.len() != atom.args.len() {
+            return None;
+        }
+        let mut seed = self.fixed.clone();
+        for (t, &gv) in atom.args.iter().zip(ground.args.iter()) {
+            match *t {
+                Term::Const(c) => {
+                    if c != gv {
+                        return None;
+                    }
+                }
+                Term::Var(v) => match seed.get(&v) {
+                    Some(&b) if b != gv => return None,
+                    Some(_) => {}
+                    None => {
+                        seed.insert(v, gv);
+                    }
+                },
+            }
+        }
+        Some(seed)
     }
 
     /// Number of homomorphisms (without materializing them).
@@ -400,6 +491,138 @@ mod tests {
         });
         assert!(stopped);
         assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn empty_atom_list_yields_exactly_the_fixed_assignment() {
+        let db = path_db(2);
+        let atoms: Vec<QAtom> = Vec::new();
+        // No atoms, no fixed bindings: one empty homomorphism.
+        let homs = HomSearch::new(&atoms, &db).all();
+        assert_eq!(homs.len(), 1);
+        assert!(homs[0].is_empty());
+        // No atoms with fixed bindings: the fixed assignment itself.
+        let homs = HomSearch::new(&atoms, &db).fix([(Var(0), v("n0"))]).all();
+        assert_eq!(homs, vec![HashMap::from([(Var(0), v("n0"))])]);
+        assert_eq!(HomSearch::new(&atoms, &db).count(), 1);
+        assert_eq!(HomSearch::new(&atoms, &db).par_all(4).len(), 1);
+    }
+
+    #[test]
+    fn fixing_a_variable_absent_from_atoms_is_kept() {
+        let q = parse_cq("Q() :- E(X,Y)").unwrap();
+        let db = path_db(2);
+        let ghost = Var(99);
+        let homs = HomSearch::new(&q.atoms, &db).fix([(ghost, v("n0"))]).all();
+        assert_eq!(homs.len(), 2);
+        assert!(homs.iter().all(|h| h[&ghost] == v("n0")));
+        // Injectivity counts the ghost binding's value as used.
+        let inj = HomSearch::new(&q.atoms, &db)
+            .fix([(ghost, v("n0"))])
+            .injective()
+            .all();
+        assert_eq!(inj.len(), 1); // E(n0,n1) would reuse n0
+                                  // And an image restriction excluding the ghost's value kills all.
+        let allowed: HashSet<Value> = [v("n1"), v("n2")].into_iter().collect();
+        assert!(HomSearch::new(&q.atoms, &db)
+            .fix([(ghost, v("n0"))])
+            .restrict_images(allowed)
+            .all()
+            .is_empty());
+    }
+
+    #[test]
+    fn restrict_images_combined_with_injective() {
+        let q = parse_cq("Q() :- E(X,Y), E(Y,Z)").unwrap();
+        let db = path_db(3);
+        let allowed: HashSet<Value> = [v("n0"), v("n1"), v("n2")].into_iter().collect();
+        let homs = HomSearch::new(&q.atoms, &db)
+            .restrict_images(allowed.clone())
+            .injective()
+            .all();
+        // Only the walk n0→n1→n2 stays inside the allowed set injectively.
+        assert_eq!(homs.len(), 1);
+        let h = &homs[0];
+        let imgs: HashSet<Value> = h.values().copied().collect();
+        assert_eq!(imgs, allowed);
+    }
+
+    #[test]
+    fn duplicate_fixed_values_fail_injective_search() {
+        let q = parse_cq("Q(X,Y) :- E(X,Y)").unwrap();
+        let db = path_db(2);
+        let fixed = [(q.answer_vars[0], v("n0")), (q.answer_vars[1], v("n0"))];
+        assert!(HomSearch::new(&q.atoms, &db)
+            .fix(fixed)
+            .injective()
+            .all()
+            .is_empty());
+        assert!(HomSearch::new(&q.atoms, &db)
+            .fix(fixed)
+            .injective()
+            .par_all(3)
+            .is_empty());
+    }
+
+    #[test]
+    fn par_all_matches_all_as_a_set() {
+        fn key(h: &HashMap<Var, Value>) -> Vec<(Var, Value)> {
+            let mut kv: Vec<(Var, Value)> = h.iter().map(|(&k, &x)| (k, x)).collect();
+            kv.sort_unstable();
+            kv
+        }
+        let db = path_db(6);
+        for q in [
+            "Q() :- E(X,Y)",
+            "Q() :- E(X,Y), E(Y,Z)",
+            "Q() :- E(X,Y), E(Y,Z), E(Z,W)",
+            "Q() :- E(X,X)",
+            "Q() :- E(n0, Y)",
+        ] {
+            let q = parse_cq(q).unwrap();
+            let mut seq: Vec<_> = HomSearch::new(&q.atoms, &db)
+                .all()
+                .iter()
+                .map(key)
+                .collect();
+            seq.sort();
+            for w in [1usize, 2, 4, 7] {
+                let mut par: Vec<_> = HomSearch::new(&q.atoms, &db)
+                    .par_all(w)
+                    .iter()
+                    .map(key)
+                    .collect();
+                par.sort();
+                assert_eq!(par, seq, "query {:?} workers {w}", q.atoms.len());
+            }
+        }
+    }
+
+    #[test]
+    fn par_all_respects_modes() {
+        let db = Instance::from_atoms([
+            GroundAtom::named("E", &["a", "b"]),
+            GroundAtom::named("E", &["b", "a"]),
+            GroundAtom::named("E", &["a", "a"]),
+        ]);
+        let q = parse_cq("Q() :- E(X,Y), E(Y,X)").unwrap();
+        let seq = HomSearch::new(&q.atoms, &db).injective().all().len();
+        assert_eq!(
+            HomSearch::new(&q.atoms, &db).injective().par_all(4).len(),
+            seq
+        );
+        let allowed: HashSet<Value> = [v("a")].into_iter().collect();
+        let seq = HomSearch::new(&q.atoms, &db)
+            .restrict_images(allowed.clone())
+            .all()
+            .len();
+        assert_eq!(
+            HomSearch::new(&q.atoms, &db)
+                .restrict_images(allowed)
+                .par_all(4)
+                .len(),
+            seq
+        );
     }
 
     #[test]

@@ -4,7 +4,29 @@
 //! used to deduplicate rewriting and approximation outputs.
 
 use crate::cq::{Cq, Term, Var};
+use crate::hom::{instance_as_atoms, HomSearch};
+use gtgd_data::{Instance, Value};
 use std::collections::HashMap;
+
+/// Whether two instances are isomorphic *over the named constants*: equal
+/// up to a bijective renaming of nulls, with every named constant mapped to
+/// itself. This is the right equivalence for comparing chase results, where
+/// null identities are an artifact of trigger-firing order (e.g. sequential
+/// vs parallel runs) but database constants are shared.
+pub fn instance_isomorphic(a: &Instance, b: &Instance) -> bool {
+    if a.len() != b.len() || a.dom().len() != b.dom().len() {
+        return false;
+    }
+    let (atoms, var_of) = instance_as_atoms(a);
+    let fixed: Vec<(Var, Value)> = var_of
+        .iter()
+        .filter(|(v, _)| v.is_named())
+        .map(|(&val, &var)| (var, val))
+        .collect();
+    // An injective hom fixing the constants maps distinct atoms to distinct
+    // atoms; with equal atom counts it is onto, hence an isomorphism.
+    HomSearch::new(&atoms, b).fix(fixed).injective().exists()
+}
 
 /// Whether `q1` and `q2` are isomorphic: a bijection on variables mapping
 /// the atom set of one onto the other and the answer tuple pointwise.
@@ -159,6 +181,44 @@ mod tests {
         let t1 = parse_cq("Q() :- E(X,Y), E(Y,Z), E(Z,X)").unwrap();
         let t2 = parse_cq("Q() :- E(C,A), E(A,B), E(B,C)").unwrap();
         assert!(cq_isomorphic(&t1, &t2));
+    }
+
+    #[test]
+    fn instances_isomorphic_up_to_null_renaming() {
+        use gtgd_data::GroundAtom;
+        let n1 = Value::fresh_null();
+        let n2 = Value::fresh_null();
+        let m1 = Value::fresh_null();
+        let m2 = Value::fresh_null();
+        let a = Instance::from_atoms([
+            GroundAtom::new(gtgd_data::Predicate::new("R"), vec![Value::named("c"), n1]),
+            GroundAtom::new(gtgd_data::Predicate::new("R"), vec![n1, n2]),
+        ]);
+        let b = Instance::from_atoms([
+            GroundAtom::new(gtgd_data::Predicate::new("R"), vec![Value::named("c"), m1]),
+            GroundAtom::new(gtgd_data::Predicate::new("R"), vec![m1, m2]),
+        ]);
+        assert!(instance_isomorphic(&a, &b));
+        // Collapsing the two nulls breaks the bijection.
+        let c = Instance::from_atoms([
+            GroundAtom::new(gtgd_data::Predicate::new("R"), vec![Value::named("c"), m1]),
+            GroundAtom::new(gtgd_data::Predicate::new("R"), vec![m1, m1]),
+        ]);
+        assert!(!instance_isomorphic(&a, &c));
+    }
+
+    #[test]
+    fn instance_isomorphism_fixes_named_constants() {
+        use gtgd_data::GroundAtom;
+        // Same shape but different constants: NOT isomorphic over constants.
+        let a = Instance::from_atoms([GroundAtom::named("R", &["a", "b"])]);
+        let b = Instance::from_atoms([GroundAtom::named("R", &["b", "a"])]);
+        assert!(!instance_isomorphic(&a, &b));
+        assert!(instance_isomorphic(&a, &a));
+        // Different atom counts short-circuit.
+        let mut bigger = a.clone();
+        bigger.insert(GroundAtom::named("R", &["b", "b"]));
+        assert!(!instance_isomorphic(&a, &bigger));
     }
 
     #[test]

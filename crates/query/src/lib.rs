@@ -42,12 +42,14 @@ pub use contract::{
 pub use cq::{Cq, QAtom, Term, Ucq, Var};
 pub use cq_core::core_of;
 pub use decomp_eval::check_answer_decomposed;
-pub use eval::{check_answer, evaluate_cq, evaluate_ucq, holds_boolean, ucq_holds_boolean};
+pub use eval::{
+    check_answer, evaluate_cq, evaluate_cq_par, evaluate_ucq, holds_boolean, ucq_holds_boolean,
+};
 pub use hom::{
     all_homomorphisms, exists_homomorphism, find_homomorphism, instance_homomorphism,
     instance_homomorphism_fixing, HomSearch,
 };
-pub use iso::{cq_isomorphic, dedup_isomorphic};
+pub use iso::{cq_isomorphic, dedup_isomorphic, instance_isomorphic};
 pub use parser::{parse_cq, parse_ucq, ParseError};
 pub use semantic::{
     cq_semantic_treewidth, is_cq_semantically_at_most, is_ucq_semantically_at_most,

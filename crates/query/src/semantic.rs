@@ -8,7 +8,7 @@ use crate::cq_core::core_of;
 use crate::tw::{cq_treewidth, is_cq_treewidth_at_most};
 
 /// The semantic treewidth of a CQ: the treewidth of its core — the least
-/// `k` with `q ∈ CQ_k^≡` (Dalmau–Kolaitis–Vardi [20], as used in
+/// `k` with `q ∈ CQ_k^≡` (Dalmau–Kolaitis–Vardi \[20\], as used in
 /// Theorem 4.1).
 pub fn cq_semantic_treewidth(q: &Cq) -> usize {
     cq_treewidth(&core_of(q))
