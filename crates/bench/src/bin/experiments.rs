@@ -6,6 +6,7 @@
 //! experiments E4 E6              # run selected experiments
 //! experiments --json out.json E1
 //! experiments --jobs 4           # run independent series concurrently
+//! experiments --kernel-json BENCH_kernel.json   # kernel before/after only
 //! ```
 //!
 //! With `--jobs N`, independent experiment series run on an N-worker pool;
@@ -14,13 +15,14 @@
 //! should come from a sequential run — the flag exists to make full-suite
 //! regeneration fast on developer machines.
 
-use gtgd_bench::{run_experiment, tables_to_json, ExperimentTable};
+use gtgd_bench::{kernel_benchmark, kernel_json, run_experiment, tables_to_json, ExperimentTable};
 use gtgd_data::Pool;
 use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
+    let mut kernel_path: Option<String> = None;
     let mut jobs = 1usize;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
@@ -28,6 +30,10 @@ fn main() {
         match args[i].as_str() {
             "--json" => {
                 json_path = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--kernel-json" => {
+                kernel_path = args.get(i + 1).cloned();
                 i += 2;
             }
             "--jobs" => {
@@ -46,6 +52,27 @@ fn main() {
                 i += 1;
             }
         }
+    }
+    if let Some(path) = kernel_path {
+        // Kernel mode: run only the kernel-relevant series (E2/E9/E12/E15)
+        // and emit the before/after report; skips the full suite.
+        let metrics = kernel_benchmark();
+        for m in &metrics {
+            println!(
+                "{:>4} {:<18} n={:<4} before {:>9.3} ms  after {:>9.3} ms  speedup {:>6.2}x",
+                m.experiment,
+                m.metric,
+                m.n,
+                m.before_ms,
+                m.after_ms,
+                m.speedup()
+            );
+        }
+        let mut f = std::fs::File::create(&path).expect("create kernel json output");
+        f.write_all(kernel_json(&metrics).as_bytes())
+            .expect("write kernel json");
+        eprintln!("wrote {path}");
+        return;
     }
     if ids.is_empty() {
         ids = (1..=15).map(|i| format!("E{i}")).collect();

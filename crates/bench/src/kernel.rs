@@ -1,0 +1,216 @@
+//! Before/after benchmark for the compiled query kernel
+//! (`BENCH_kernel.json`).
+//!
+//! The kernel PR replaced the map-based `HomSearch` backtracker with
+//! compiled access plans (`gtgd_query::CompiledQuery`) and made the
+//! restricted chase incremental. This module re-runs the four experiment
+//! series the kernel touches (E2, E9, E12, E15), pulls the headline cells
+//! out of the freshly measured tables, and pairs them with the seed-commit
+//! baselines recorded in EXPERIMENTS.md before the kernel landed. The
+//! result is a small JSON report (`--kernel-json` on the experiments
+//! binary) that makes the speedup auditable without diffing prose.
+
+use crate::experiments::{
+    e12_engine_shootout, e15_parallel_shootout, e2_chase, e9_chase_ablation, ExperimentTable,
+};
+use crate::json::escape;
+
+/// One before/after measurement for a single experiment cell.
+#[derive(Debug, Clone)]
+pub struct KernelMetric {
+    /// Experiment id the cell comes from (`E2`, `E9`, `E12`, `E15`).
+    pub experiment: &'static str,
+    /// Human-readable metric name (the source column header).
+    pub metric: &'static str,
+    /// Workload size (the row key, first column of the table).
+    pub n: &'static str,
+    /// Seed-commit time in ms (EXPERIMENTS.md, best-of-3).
+    pub before_ms: f64,
+    /// Freshly measured time in ms (best-of-3, same workload).
+    pub after_ms: f64,
+}
+
+impl KernelMetric {
+    /// Speedup factor `before / after` (∞-safe: 0 if `after` is 0).
+    pub fn speedup(&self) -> f64 {
+        if self.after_ms > 0.0 {
+            self.before_ms / self.after_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Finds the cell at (row with first column == `row_key`, column named
+/// `col`) and parses it as milliseconds.
+fn cell_ms(t: &ExperimentTable, row_key: &str, col: &str) -> f64 {
+    let ci = t
+        .columns
+        .iter()
+        .position(|c| c == col)
+        .unwrap_or_else(|| panic!("{}: no column {col:?}", t.id));
+    let row = t
+        .rows
+        .iter()
+        .find(|r| r.first().is_some_and(|k| k == row_key))
+        .unwrap_or_else(|| panic!("{}: no row {row_key:?}", t.id));
+    row[ci]
+        .parse()
+        .unwrap_or_else(|_| panic!("{}: cell {row_key}/{col} is not a number", t.id))
+}
+
+/// Extracts the kernel-relevant cells from freshly measured tables,
+/// pairing each with its seed-commit baseline. Split from
+/// [`kernel_benchmark`] so tests can drive it with synthetic tables.
+pub fn kernel_metrics(
+    e2: &ExperimentTable,
+    e9: &ExperimentTable,
+    e12: &ExperimentTable,
+    e15: &ExperimentTable,
+) -> Vec<KernelMetric> {
+    // Baselines: EXPERIMENTS.md as of the pre-kernel seed commit
+    // (best-of-3 ms on the same container; largest workload per series).
+    let spec: [(
+        &'static str,
+        &ExperimentTable,
+        &'static str,
+        &'static str,
+        f64,
+    ); 8] = [
+        ("E9", e9, "restricted ms", "400", 236.0),
+        ("E9", e9, "oblivious ms", "400", 1.9),
+        ("E12", e12, "enum ms", "400", 4.74),
+        ("E12", e12, "enum par@4 ms", "400", 5.28),
+        ("E2", e2, "chase↓ ms", "400", 92.5),
+        ("E2", e2, "chase↓ par@4 ms", "400", 7.7),
+        ("E15", e15, "chase seq ms", "400", 553.0),
+        ("E15", e15, "chase par@4 ms", "400", 505.0),
+    ];
+    spec.iter()
+        .map(|&(experiment, table, metric, n, before_ms)| KernelMetric {
+            experiment,
+            metric,
+            n,
+            before_ms,
+            after_ms: cell_ms(table, n, metric),
+        })
+        .collect()
+}
+
+/// Runs E2, E9, E12 and E15 and returns the kernel before/after metrics.
+pub fn kernel_benchmark() -> Vec<KernelMetric> {
+    let e2 = e2_chase();
+    let e9 = e9_chase_ablation();
+    let e12 = e12_engine_shootout();
+    let e15 = e15_parallel_shootout();
+    kernel_metrics(&e2, &e9, &e12, &e15)
+}
+
+/// Renders the metrics as the `BENCH_kernel.json` document.
+pub fn kernel_json(metrics: &[KernelMetric]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"description\": \"{}\",\n",
+        escape(
+            "Compiled query kernel: before/after timings in ms (best-of-3) \
+             for the experiment cells the kernel touches. 'before' is the \
+             pre-kernel seed baseline from EXPERIMENTS.md; 'after' is \
+             measured by this run on the same workloads."
+        )
+    ));
+    out.push_str("  \"metrics\": [\n");
+    let items: Vec<String> = metrics
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\n      \"experiment\": \"{}\",\n      \"metric\": \"{}\",\n      \
+                 \"n\": \"{}\",\n      \"before_ms\": {:.3},\n      \"after_ms\": {:.3},\n      \
+                 \"speedup\": {:.2}\n    }}",
+                escape(m.experiment),
+                escape(m.metric),
+                escape(m.n),
+                m.before_ms,
+                m.after_ms,
+                m.speedup()
+            )
+        })
+        .collect();
+    out.push_str(&items.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(id: &str, columns: &[&str], rows: &[&[&str]]) -> ExperimentTable {
+        ExperimentTable {
+            id: id.into(),
+            title: String::new(),
+            claim: String::new(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: rows
+                .iter()
+                .map(|r| r.iter().map(|s| s.to_string()).collect())
+                .collect(),
+            notes: String::new(),
+        }
+    }
+
+    fn fixtures() -> (
+        ExperimentTable,
+        ExperimentTable,
+        ExperimentTable,
+        ExperimentTable,
+    ) {
+        let e2 = table(
+            "E2",
+            &["n", "chase↓ ms", "chase↓ par@4 ms"],
+            &[&["400", "40.0", "5.0"]],
+        );
+        let e9 = table(
+            "E9",
+            &["n", "oblivious ms", "restricted ms"],
+            &[&["200", "1.0", "30.0"], &["400", "2.0", "59.0"]],
+        );
+        let e12 = table(
+            "E12",
+            &["grid cols", "enum ms", "enum par@4 ms"],
+            &[&["400", "2.37", "2.64"]],
+        );
+        let e15 = table(
+            "E15",
+            &["n", "chase seq ms", "chase par@4 ms"],
+            &[&["400", "300.0", "280.0"]],
+        );
+        (e2, e9, e12, e15)
+    }
+
+    #[test]
+    fn extracts_largest_workload_cells() {
+        let (e2, e9, e12, e15) = fixtures();
+        let metrics = kernel_metrics(&e2, &e9, &e12, &e15);
+        assert_eq!(metrics.len(), 8);
+        let restricted = metrics
+            .iter()
+            .find(|m| m.experiment == "E9" && m.metric == "restricted ms")
+            .unwrap();
+        assert_eq!(restricted.n, "400");
+        assert_eq!(restricted.before_ms, 236.0);
+        assert_eq!(restricted.after_ms, 59.0);
+        assert!((restricted.speedup() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_is_balanced_and_complete() {
+        let (e2, e9, e12, e15) = fixtures();
+        let json = kernel_json(&kernel_metrics(&e2, &e9, &e12, &e15));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(json.matches("\"experiment\"").count(), 8);
+        assert!(json.contains("\"before_ms\": 236.000"));
+        assert!(json.contains("\"speedup\": 4.00"));
+    }
+}

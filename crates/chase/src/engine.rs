@@ -10,10 +10,10 @@
 //! body uses at least one atom created in round `ℓ` are searched, by pinning
 //! each body atom in turn to the round-`ℓ` delta.
 
+use crate::plan::TriggerPlan;
 use crate::tgd::Tgd;
 use gtgd_data::{GroundAtom, Instance, Value};
-use gtgd_query::{HomSearch, Var};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::ops::ControlFlow;
 
 /// Resource limits for a chase run. The chase of a database under TGDs with
@@ -88,7 +88,12 @@ impl ChaseResult {
 }
 
 /// Runs the oblivious chase of `db` under `tgds` within `budget`.
+///
+/// Each TGD is compiled into a trigger plan (`plan::TriggerPlan`) once; every round re-probes
+/// the cached plan with a delta atom pinned, instead of rebuilding atom
+/// lists per firing.
 pub fn chase(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget) -> ChaseResult {
+    let plans = TriggerPlan::compile_all(tgds);
     let mut instance = db.clone();
     let mut levels = vec![0usize; instance.len()];
     let mut fired: HashSet<(usize, Vec<Value>)> = HashSet::new();
@@ -115,39 +120,32 @@ pub fn chase(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget) -> ChaseResult {
         let mut new_atoms: Vec<GroundAtom> = Vec::new();
         let mut hit_cap = false;
         'round: for (ti, tgd) in tgds.iter().enumerate() {
+            let plan = &plans[ti];
             if tgd.body.is_empty() {
                 if level == 0 && fired.insert((ti, Vec::new())) {
-                    fire(tgd, &HashMap::new(), &mut new_atoms);
+                    plan.fire_row(&[], &mut new_atoms);
                 }
                 continue;
             }
             // Semi-naive: require some body atom to match a delta atom.
             // At level 0 the delta is the whole database, which covers all
             // initial triggers.
-            let body_vars = tgd.body_vars();
             for pin in 0..tgd.body.len() {
-                let pinned = &tgd.body[pin];
                 for d in &delta {
-                    let Some(seed) = unify_pinned(pinned, d) else {
+                    let Some(seed) = plan.body.unify_atom(pin, d) else {
                         continue;
                     };
-                    let rest: Vec<gtgd_query::QAtom> = tgd
-                        .body
-                        .iter()
-                        .enumerate()
-                        .filter(|&(i, _)| i != pin)
-                        .map(|(_, a)| a.clone())
-                        .collect();
-                    HomSearch::new(&rest, &instance)
-                        .fix(seed.iter().map(|(&v, &x)| (v, x)))
-                        .for_each(|h| {
+                    plan.body
+                        .search(&instance)
+                        .fix_slots(seed)
+                        .skip_atom(pin)
+                        .for_each_row(|row| {
                             if budget.atoms_exhausted(instance.len() + new_atoms.len()) {
                                 hit_cap = true;
                                 return ControlFlow::Break(());
                             }
-                            let trigger: Vec<Value> = body_vars.iter().map(|v| h[v]).collect();
-                            if fired.insert((ti, trigger)) {
-                                fire(tgd, h, &mut new_atoms);
+                            if fired.insert((ti, plan.trigger_key(row))) {
+                                plan.fire_row(row, &mut new_atoms);
                             }
                             ControlFlow::Continue(())
                         });
@@ -194,46 +192,6 @@ pub fn chase(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget) -> ChaseResult {
         complete,
         max_level,
     }
-}
-
-/// Fires a trigger: instantiate the head, replacing each existential
-/// variable with a fresh null.
-pub(crate) fn fire(tgd: &Tgd, h: &HashMap<Var, Value>, out: &mut Vec<GroundAtom>) {
-    let mut assignment = h.clone();
-    for z in tgd.existential_vars() {
-        assignment.insert(z, Value::fresh_null());
-    }
-    for atom in &tgd.head {
-        out.push(atom.ground(&assignment));
-    }
-}
-
-/// Unifies a body atom pinned to a delta atom, returning the induced
-/// variable bindings, or `None` on a predicate/arity/constant clash.
-pub(crate) fn unify_pinned(
-    pinned: &gtgd_query::QAtom,
-    d: &GroundAtom,
-) -> Option<HashMap<Var, Value>> {
-    if d.predicate != pinned.predicate || d.args.len() != pinned.args.len() {
-        return None;
-    }
-    let mut seed: HashMap<Var, Value> = HashMap::new();
-    for (t, &gv) in pinned.args.iter().zip(d.args.iter()) {
-        match *t {
-            gtgd_query::Term::Const(c) => {
-                if c != gv {
-                    return None;
-                }
-            }
-            gtgd_query::Term::Var(v) => match seed.get(&v) {
-                Some(&b) if b != gv => return None,
-                _ => {
-                    seed.insert(v, gv);
-                }
-            },
-        }
-    }
-    Some(seed)
 }
 
 #[cfg(test)]
@@ -369,6 +327,33 @@ mod tests {
         let r = chase(&d, &tgds, &ChaseBudget::atoms(3));
         assert!(r.complete);
         assert_eq!(r.instance.len(), 2);
+    }
+
+    #[test]
+    fn level_budget_zero_keeps_database() {
+        let tgds = parse_tgds("A(X) -> B(X)").unwrap();
+        let d = db(&[("A", &["a"])]);
+        let r = chase(&d, &tgds, &ChaseBudget::levels(0));
+        assert!(!r.complete);
+        assert_eq!(r.instance, d);
+        assert_eq!(r.max_level, 0);
+    }
+
+    #[test]
+    fn level_budget_edges_around_fixpoint() {
+        // The chain needs exactly 2 levels. `levels(2)` stops *at* the cap
+        // without searching the (empty) third round, so it cannot certify
+        // completeness; `levels(3)` searches it and does.
+        let tgds = parse_tgds("A(X) -> B(X). B(X) -> C(X).").unwrap();
+        let d = db(&[("A", &["a"])]);
+        let at = chase(&d, &tgds, &ChaseBudget::levels(2));
+        assert!(!at.complete);
+        assert_eq!(at.max_level, 2);
+        assert_eq!(at.instance.len(), 3);
+        let past = chase(&d, &tgds, &ChaseBudget::levels(3));
+        assert!(past.complete);
+        assert_eq!(past.instance.len(), 3);
+        assert_eq!(past.max_level, 2);
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod dl;
 pub mod engine;
 pub mod linearize;
 pub mod par_engine;
+pub(crate) mod plan;
 pub mod restricted;
 pub mod rewrite;
 pub mod tgd;

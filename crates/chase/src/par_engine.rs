@@ -30,17 +30,18 @@
 //!   type cycles, which the saturator must otherwise recompute every call).
 //!   These changes make the parallel path much faster even at one worker.
 
-use crate::engine::{fire, unify_pinned, ChaseBudget, ChaseResult};
+use crate::engine::{ChaseBudget, ChaseResult};
+use crate::plan::TriggerPlan;
 use crate::tgd::Tgd;
 use crate::types::{canonicalize, decode, CanonType, Saturator, TAtom};
 use gtgd_data::{GroundAtom, Instance, Pool, Value};
-use gtgd_query::{HomSearch, QAtom, Var};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::ops::ControlFlow;
 
 /// A discovered trigger: which TGD, its canonical key (the body-variable
-/// images, for once-only firing), and the full homomorphism.
-type Trigger = (usize, Vec<Value>, HashMap<Var, Value>);
+/// images, for once-only firing), and the full body row (slot order of the
+/// TGD's compiled body plan).
+type Trigger = (usize, Vec<Value>, Vec<Value>);
 
 /// Runs the oblivious chase of `db` under `tgds` within `budget`, searching
 /// each round's triggers on `workers` worker threads. Agrees with
@@ -54,23 +55,9 @@ pub fn par_chase(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget, workers: usi
     let mut complete = true;
     let mut max_level = 0usize;
 
-    // Per-(TGD, pin) search fixtures, computed once.
-    let body_vars: Vec<Vec<Var>> = tgds.iter().map(|t| t.body_vars()).collect();
-    let rests: Vec<Vec<Vec<QAtom>>> = tgds
-        .iter()
-        .map(|t| {
-            (0..t.body.len())
-                .map(|pin| {
-                    t.body
-                        .iter()
-                        .enumerate()
-                        .filter(|&(i, _)| i != pin)
-                        .map(|(_, a)| a.clone())
-                        .collect()
-                })
-                .collect()
-        })
-        .collect();
+    // Per-TGD trigger plans, compiled once and shared (read-only) across
+    // workers.
+    let plans = TriggerPlan::compile_all(tgds);
 
     let mut delta: Vec<GroundAtom> = instance.iter().cloned().collect();
     let mut level = 0usize;
@@ -89,7 +76,7 @@ pub fn par_chase(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget, workers: usi
         let mut hit_cap = false;
         for (ti, tgd) in tgds.iter().enumerate() {
             if tgd.body.is_empty() && level == 0 && fired.insert((ti, Vec::new())) {
-                fire(tgd, &HashMap::new(), &mut new_atoms);
+                plans[ti].fire_row(&[], &mut new_atoms);
             }
         }
         // One task per (TGD, pinned body atom, delta atom). The task order
@@ -108,15 +95,16 @@ pub fn par_chase(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget, workers: usi
         let found: Vec<Vec<Trigger>> = pool.map_chunks(&tasks, |_, chunk| {
             let mut out: Vec<Trigger> = Vec::new();
             for &(ti, pin, di) in chunk {
-                let tgd = &tgds[ti];
-                let Some(seed) = unify_pinned(&tgd.body[pin], &delta[di]) else {
+                let plan = &plans[ti];
+                let Some(seed) = plan.body.unify_atom(pin, &delta[di]) else {
                     continue;
                 };
-                HomSearch::new(&rests[ti][pin], &instance)
-                    .fix(seed.iter().map(|(&v, &x)| (v, x)))
-                    .for_each(|h| {
-                        let key: Vec<Value> = body_vars[ti].iter().map(|v| h[v]).collect();
-                        out.push((ti, key, h.clone()));
+                plan.body
+                    .search(&instance)
+                    .fix_slots(seed)
+                    .skip_atom(pin)
+                    .for_each_row(|row| {
+                        out.push((ti, plan.trigger_key(row), row.to_vec()));
                         ControlFlow::Continue(())
                     });
             }
@@ -125,13 +113,13 @@ pub fn par_chase(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget, workers: usi
         // Sequential merge: dedup against `fired` and fire in canonical
         // order. Null allocation happens only here, on one thread.
         'merge: for chunk in found {
-            for (ti, key, h) in chunk {
+            for (ti, key, row) in chunk {
                 if budget.atoms_exhausted(instance.len() + new_atoms.len()) {
                     hit_cap = true;
                     break 'merge;
                 }
                 if fired.insert((ti, key)) {
-                    fire(&tgds[ti], &h, &mut new_atoms);
+                    plans[ti].fire_row(&row, &mut new_atoms);
                 }
             }
         }
@@ -346,6 +334,39 @@ mod tests {
             let r = par_chase(&d, &tgds, &ChaseBudget::atoms(20), w);
             assert!(!r.complete);
             assert_eq!(r.instance.len(), 20);
+        }
+    }
+
+    #[test]
+    fn par_chase_budget_edges_match_sequential() {
+        // Both budget dimensions at their edges (mid-round exact hit,
+        // already-exhausted, multi-atom-head overshoot, level cap at and
+        // past the fixpoint): the cached trigger plans must stop exactly
+        // where the sequential engine does, at every width.
+        let single = parse_tgds("P(X) -> Q(X)").unwrap();
+        let multi = parse_tgds("P(X) -> A(X,Y), B(Y), C(Y)").unwrap();
+        let chain = parse_tgds("A(X) -> B(X). B(X) -> C(X).").unwrap();
+        let names: Vec<String> = (0..30).map(|i| format!("c{i}")).collect();
+        let wide =
+            Instance::from_atoms(names.iter().map(|n| GroundAtom::named("P", &[n.as_str()])));
+        let small = db(&[("A", &["a"])]);
+        let cases: [(&Instance, &[Tgd], ChaseBudget); 6] = [
+            (&wide, &single, ChaseBudget::atoms(35)),
+            (&wide, &single, ChaseBudget::atoms(30)),
+            (&wide, &multi, ChaseBudget::atoms(34)),
+            (&small, &chain, ChaseBudget::levels(0)),
+            (&small, &chain, ChaseBudget::levels(2)),
+            (&small, &chain, ChaseBudget::levels(3)),
+        ];
+        for (d, tgds, budget) in cases {
+            let seq = chase(d, tgds, &budget);
+            for w in [1, 2, 4] {
+                let par = par_chase(d, tgds, &budget, w);
+                assert_eq!(par.complete, seq.complete, "{budget:?} at width {w}");
+                assert_eq!(par.instance.len(), seq.instance.len(), "{budget:?} at {w}");
+                assert_eq!(par.max_level, seq.max_level, "{budget:?} at {w}");
+                assert_eq!(par.levels, seq.levels, "{budget:?} at {w}");
+            }
         }
     }
 

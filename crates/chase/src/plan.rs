@@ -1,0 +1,211 @@
+//! Cached trigger plans: each TGD compiled once per chase run.
+//!
+//! The engines used to rebuild the "rest of the body" atom list and re-hash
+//! variable bindings for every (pin, delta-atom) pair — for every firing.
+//! A [`TriggerPlan`] compiles the body and head of a TGD into the
+//! slot-based kernel form ([`CompiledQuery`]) up front:
+//!
+//! * the **body plan** is probed every round with a delta atom pinned via
+//!   [`CompiledQuery::unify_atom`] + [`gtgd_query::KernelSearch::skip_atom`]
+//!   — no atom lists are cloned, ever;
+//! * the **trigger key** (the body-variable images that deduplicate
+//!   oblivious-chase firings) is read straight out of the kernel row via
+//!   precomputed slots, in the same ascending-variable order as the legacy
+//!   engine, so `fired`-set semantics are unchanged;
+//! * the **head plan** grounds head atoms from the row plus fresh nulls,
+//!   allocating nulls in ascending existential-variable order — the exact
+//!   null-naming sequence of the legacy `fire`, which keeps sequential and
+//!   parallel chases bit-identical;
+//! * the **head satisfaction check** of the restricted chase is a compiled
+//!   head query with the frontier slots pre-linked to body slots.
+
+use crate::tgd::Tgd;
+use gtgd_data::{GroundAtom, Instance, Predicate, Value};
+use gtgd_query::{CompiledQuery, Term};
+
+/// One argument of a compiled head atom.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum HeadArg {
+    /// A constant from the TGD head.
+    Const(Value),
+    /// A frontier variable: read this slot of the body row.
+    Body(u32),
+    /// An existential variable: use the `i`-th fresh null of the firing.
+    Exist(u32),
+}
+
+/// A compiled head atom.
+#[derive(Debug, Clone)]
+pub(crate) struct HeadAtomPlan {
+    pub predicate: Predicate,
+    pub args: Vec<HeadArg>,
+}
+
+/// A TGD compiled for repeated trigger search and firing.
+#[derive(Debug, Clone)]
+pub(crate) struct TriggerPlan {
+    /// The compiled body (one slot per body variable).
+    pub body: CompiledQuery,
+    /// Body slots in ascending variable order — the legacy trigger-key
+    /// order ([`Tgd::body_vars`]).
+    pub key_slots: Vec<usize>,
+    /// The compiled head atoms for firing.
+    pub head: Vec<HeadAtomPlan>,
+    /// Number of existential variables (fresh nulls per firing).
+    pub n_exist: usize,
+    /// The compiled head as a query (for restricted-chase satisfaction
+    /// checks).
+    pub head_query: CompiledQuery,
+    /// `(head slot, body slot)` pairs linking each frontier variable.
+    pub frontier_links: Vec<(usize, usize)>,
+}
+
+impl TriggerPlan {
+    /// Compiles one TGD.
+    pub fn new(tgd: &Tgd) -> TriggerPlan {
+        let body = CompiledQuery::compile(&tgd.body);
+        let key_slots = tgd
+            .body_vars()
+            .iter()
+            .map(|&v| body.slot_of(v).expect("body vars are interned"))
+            .collect();
+        let exist = tgd.existential_vars();
+        let head = tgd
+            .head
+            .iter()
+            .map(|a| HeadAtomPlan {
+                predicate: a.predicate,
+                args: a
+                    .args
+                    .iter()
+                    .map(|t| match *t {
+                        Term::Const(c) => HeadArg::Const(c),
+                        Term::Var(v) => match body.slot_of(v) {
+                            Some(s) => HeadArg::Body(s as u32),
+                            None => {
+                                let i = exist
+                                    .iter()
+                                    .position(|&z| z == v)
+                                    .expect("non-frontier head var is existential");
+                                HeadArg::Exist(i as u32)
+                            }
+                        },
+                    })
+                    .collect(),
+            })
+            .collect();
+        let head_query = CompiledQuery::compile(&tgd.head);
+        let frontier_links = tgd
+            .frontier()
+            .iter()
+            .map(|&v| {
+                (
+                    head_query.slot_of(v).expect("frontier occurs in head"),
+                    body.slot_of(v).expect("frontier occurs in body"),
+                )
+            })
+            .collect();
+        TriggerPlan {
+            body,
+            key_slots,
+            head,
+            n_exist: exist.len(),
+            head_query,
+            frontier_links,
+        }
+    }
+
+    /// Compiles every TGD of a rule set.
+    pub fn compile_all(tgds: &[Tgd]) -> Vec<TriggerPlan> {
+        tgds.iter().map(TriggerPlan::new).collect()
+    }
+
+    /// The trigger key (body-variable images in ascending variable order)
+    /// of a body row.
+    pub fn trigger_key(&self, row: &[Value]) -> Vec<Value> {
+        self.key_slots.iter().map(|&s| row[s]).collect()
+    }
+
+    /// Fires the trigger witnessed by `row`: instantiates the head with
+    /// fresh nulls for the existential variables (allocated in ascending
+    /// variable order, like the legacy engine) and appends the atoms to
+    /// `out`.
+    pub fn fire_row(&self, row: &[Value], out: &mut Vec<GroundAtom>) {
+        let nulls: Vec<Value> = (0..self.n_exist).map(|_| Value::fresh_null()).collect();
+        for atom in &self.head {
+            out.push(GroundAtom::new(
+                atom.predicate,
+                atom.args
+                    .iter()
+                    .map(|a| match *a {
+                        HeadArg::Const(c) => c,
+                        HeadArg::Body(s) => row[s as usize],
+                        HeadArg::Exist(i) => nulls[i as usize],
+                    })
+                    .collect(),
+            ))
+        }
+    }
+
+    /// Whether the trigger's head is already satisfied in `instance`
+    /// (restricted-chase activity check): does the compiled head query
+    /// match with the frontier pinned to the body row's images?
+    pub fn head_satisfied(&self, row: &[Value], instance: &Instance) -> bool {
+        self.head_query
+            .search(instance)
+            .fix_slots(self.frontier_links.iter().map(|&(hs, bs)| (hs, row[bs])))
+            .exists()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tgd::parse_tgds;
+    use gtgd_data::Instance;
+
+    fn v(s: &str) -> Value {
+        Value::named(s)
+    }
+
+    #[test]
+    fn fire_row_grounds_head_with_fresh_nulls() {
+        let tgds = parse_tgds("Emp(X) -> WorksIn(X,D), Dept(D)").unwrap();
+        let plan = TriggerPlan::new(&tgds[0]);
+        assert_eq!(plan.n_exist, 1);
+        let mut out = Vec::new();
+        plan.fire_row(&[v("ann")], &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].args[0], v("ann"));
+        // Both head atoms share the same fresh null for D.
+        assert_eq!(out[0].args[1], out[1].args[0]);
+        assert!(matches!(out[0].args[1], Value::Null(_)));
+    }
+
+    #[test]
+    fn trigger_key_is_ascending_var_order() {
+        // Body vars Y(=1), X(=0) appear out of order in the body text; the
+        // key must still come out in ascending Var order, like
+        // `Tgd::body_vars`.
+        let tgds = parse_tgds("R(Y,X) -> S(X,Y)").unwrap();
+        let plan = TriggerPlan::new(&tgds[0]);
+        let bv = tgds[0].body_vars();
+        let row_y_x = [v("a"), v("b")]; // slot order: first occurrence = Y, X
+        let key = plan.trigger_key(&row_y_x);
+        let by_var: Vec<Value> = bv
+            .iter()
+            .map(|&u| row_y_x[plan.body.slot_of(u).unwrap()])
+            .collect();
+        assert_eq!(key, by_var);
+    }
+
+    #[test]
+    fn head_satisfied_checks_frontier_extension() {
+        let tgds = parse_tgds("P(X) -> R(X,Y)").unwrap();
+        let plan = TriggerPlan::new(&tgds[0]);
+        let with = Instance::from_atoms([GroundAtom::named("R", &["a", "b"])]);
+        let without = Instance::from_atoms([GroundAtom::named("R", &["z", "b"])]);
+        assert!(plan.head_satisfied(&[v("a")], &with));
+        assert!(!plan.head_satisfied(&[v("a")], &without));
+    }
+}

@@ -19,7 +19,7 @@
 
 use crate::tgd::{Tgd, TgdClass};
 use gtgd_data::{GroundAtom, Instance, Predicate, Value};
-use gtgd_query::{HomSearch, Term, Var};
+use gtgd_query::{CompiledQuery, Term, Var};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::ops::ControlFlow;
 
@@ -199,6 +199,10 @@ pub struct Saturator<'a> {
     /// Set when any memo entry grew during the last operation; drives the
     /// outer Kleene iteration of [`ground_saturation`].
     changed: bool,
+    /// Compiled body plans, one per TGD. Bag closures run the same small
+    /// body searches thousands of times over tiny instances, so the
+    /// per-search compile cost is paid once here instead.
+    plans: Vec<CompiledQuery>,
 }
 
 impl<'a> Saturator<'a> {
@@ -227,6 +231,10 @@ impl<'a> Saturator<'a> {
             stable: HashSet::new(),
             ip_hits: 0,
             changed: false,
+            plans: tgds
+                .iter()
+                .map(|t| CompiledQuery::compile(&t.body))
+                .collect(),
         }
     }
 
@@ -281,13 +289,20 @@ impl<'a> Saturator<'a> {
         self.in_progress.insert(key.clone());
         loop {
             let mut grew = false;
-            for tgd in self.tgds {
+            for (ti, tgd) in self.tgds.iter().enumerate() {
                 let frontier = tgd.frontier();
                 let exist = tgd.existential_vars();
                 let homs: Vec<HashMap<Var, Value>> = {
+                    let plan = &self.plans[ti];
                     let mut out = Vec::new();
-                    HomSearch::new(&tgd.body, &current).for_each(|h| {
-                        out.push(h.clone());
+                    plan.search(&current).for_each_row(|row| {
+                        out.push(
+                            plan.vars()
+                                .iter()
+                                .copied()
+                                .zip(row.iter().copied())
+                                .collect(),
+                        );
                         ControlFlow::Continue(())
                     });
                     out

@@ -86,6 +86,29 @@ impl Instance {
         &self.atoms[idx]
     }
 
+    /// All atoms in insertion order as one slice — the bulk accessor used
+    /// by compiled query plans to resolve candidate indexes without
+    /// per-atom bounds checks.
+    pub fn atoms(&self) -> &[GroundAtom] {
+        &self.atoms
+    }
+
+    /// Selectivity of predicate `p`: how many atoms carry it. Equivalent
+    /// to `atoms_with_pred(p).len()` without touching the slice.
+    pub fn pred_count(&self, p: Predicate) -> usize {
+        self.by_pred.get(&p).map_or(0, |v| v.len())
+    }
+
+    /// Selectivity of the `(p, pos, v)` index probed by the compiled
+    /// kernel: how many atoms with predicate `p` have value `v` at
+    /// argument position `pos`.
+    pub fn index_count(&self, p: Predicate, pos: usize, v: Value) -> usize {
+        let pos = u16::try_from(pos).expect("arity fits u16");
+        self.by_pred_pos_val
+            .get(&(p, pos, v))
+            .map_or(0, |ids| ids.len())
+    }
+
     /// `dom(I)`: distinct constants in first-occurrence order.
     pub fn dom(&self) -> &[Value] {
         &self.dom
@@ -276,6 +299,23 @@ mod tests {
         assert_eq!(i.atoms_matching(Predicate::new("R"), 1, v("b")).len(), 1);
         assert!(i.atoms_matching(Predicate::new("R"), 0, v("z")).is_empty());
         assert_eq!(i.dom(), &[v("a"), v("b"), v("c")]);
+    }
+
+    #[test]
+    fn selectivity_accessors_match_slices() {
+        let mut i = Instance::new();
+        i.insert(GroundAtom::named("R", &["a", "b"]));
+        i.insert(GroundAtom::named("R", &["a", "c"]));
+        i.insert(GroundAtom::named("S", &["a"]));
+        let r = Predicate::new("R");
+        assert_eq!(i.atoms().len(), i.len());
+        assert_eq!(i.pred_count(r), i.atoms_with_pred(r).len());
+        assert_eq!(i.pred_count(Predicate::new("T")), 0);
+        assert_eq!(
+            i.index_count(r, 0, v("a")),
+            i.atoms_matching(r, 0, v("a")).len()
+        );
+        assert_eq!(i.index_count(r, 1, v("z")), 0);
     }
 
     #[test]

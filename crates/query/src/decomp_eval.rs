@@ -8,6 +8,7 @@
 //! plain evaluation over a chase prefix; CQS evaluation in `(FG, UCQ_k)`
 //! uses it directly).
 
+use crate::compile::CompiledQuery;
 use crate::cq::{Cq, QAtom, Term, Ucq, Var};
 use crate::tw::existential_gaifman;
 use gtgd_data::{Instance, Value};
@@ -106,33 +107,18 @@ impl Relation {
 }
 
 /// The match relation of a single atom over `i`, projected to the atom's
-/// variables. Repeated variables and constants are enforced.
+/// variables. Repeated variables and constants are enforced by the compiled
+/// kernel's unification (slot order equals first-occurrence variable
+/// order, i.e. [`QAtom::vars`] order).
 fn atom_relation(atom: &QAtom, i: &Instance) -> Relation {
-    let vars = atom.vars();
+    let plan = CompiledQuery::compile(std::slice::from_ref(atom));
+    let vars = plan.vars().to_vec();
+    debug_assert_eq!(vars, atom.vars());
     let mut tuples = HashSet::new();
-    'outer: for &ai in i.atoms_with_pred(atom.predicate) {
-        let ground = i.atom(ai);
-        if ground.args.len() != atom.args.len() {
-            continue;
-        }
-        let mut binding: HashMap<Var, Value> = HashMap::new();
-        for (t, &gv) in atom.args.iter().zip(ground.args.iter()) {
-            match *t {
-                Term::Const(c) => {
-                    if c != gv {
-                        continue 'outer;
-                    }
-                }
-                Term::Var(v) => match binding.get(&v) {
-                    Some(&b) if b != gv => continue 'outer,
-                    _ => {
-                        binding.insert(v, gv);
-                    }
-                },
-            }
-        }
-        tuples.insert(vars.iter().map(|v| binding[v]).collect());
-    }
+    plan.search(i).for_each_row(|row| {
+        tuples.insert(row.to_vec());
+        std::ops::ControlFlow::Continue(())
+    });
     Relation { vars, tuples }
 }
 

@@ -1,44 +1,64 @@
 //! CQ and UCQ evaluation over instances (the problem of Section 2), plus the
 //! injectively-only satisfaction check `|=io` from Appendix D.
+//!
+//! Evaluation runs directly on the compiled kernel ([`crate::compile`]):
+//! answer projection reads slots out of the kernel's flat rows, so no
+//! per-witness `HashMap` is ever built.
 
-use crate::cq::{Cq, Ucq, Var};
-use crate::hom::HomSearch;
+use crate::compile::CompiledQuery;
+use crate::cq::{Cq, Ucq};
 use gtgd_data::{Instance, Value};
 use std::collections::HashSet;
 use std::ops::ControlFlow;
 
+/// Compiles `q` with its answer variables interned (they may be ghost) and
+/// resolves the answer slots.
+fn compile_for_answers(q: &Cq) -> (CompiledQuery, Vec<usize>) {
+    let plan = CompiledQuery::compile_with_extra(&q.atoms, q.answer_vars.iter().copied());
+    let slots = q
+        .answer_vars
+        .iter()
+        .map(|&v| plan.slot_of(v).expect("answer vars are interned"))
+        .collect();
+    (plan, slots)
+}
+
 /// `q(I)`: the set of answers to `q` over `I`.
 pub fn evaluate_cq(q: &Cq, i: &Instance) -> HashSet<Vec<Value>> {
+    let (plan, slots) = compile_for_answers(q);
     let mut out = HashSet::new();
-    HomSearch::new(&q.atoms, i).for_each(|h| {
-        out.insert(q.answer_vars.iter().map(|v| h[v]).collect());
+    plan.search(i).for_each_row(|row| {
+        out.insert(slots.iter().map(|&s| row[s]).collect());
         ControlFlow::Continue(())
     });
     out
 }
 
-/// `q(I)` evaluated on a `workers`-wide pool (see [`HomSearch::par_all`]).
-/// Returns the same set as [`evaluate_cq`].
+/// `q(I)` evaluated on a `workers`-wide pool (see
+/// [`crate::compile::KernelSearch::par_table`]). Returns the same set as
+/// [`evaluate_cq`].
 pub fn evaluate_cq_par(q: &Cq, i: &Instance, workers: usize) -> HashSet<Vec<Value>> {
-    HomSearch::new(&q.atoms, i)
-        .par_all(workers)
-        .into_iter()
-        .map(|h| q.answer_vars.iter().map(|v| h[v]).collect())
+    let (plan, slots) = compile_for_answers(q);
+    plan.search(i)
+        .par_table(workers)
+        .rows()
+        .map(|row| slots.iter().map(|&s| row[s]).collect())
         .collect()
 }
 
 /// Whether `c̄ ∈ q(I)` (the evaluation problem's decision form).
 pub fn check_answer(q: &Cq, i: &Instance, answer: &[Value]) -> bool {
     assert_eq!(answer.len(), q.arity(), "candidate answer has wrong arity");
-    HomSearch::new(&q.atoms, i)
-        .fix(bind_answer(q, answer))
+    let (plan, slots) = compile_for_answers(q);
+    plan.search(i)
+        .fix_slots(slots.into_iter().zip(answer.iter().copied()))
         .exists()
 }
 
 /// Whether a Boolean CQ holds: `I |= q`.
 pub fn holds_boolean(q: &Cq, i: &Instance) -> bool {
     assert!(q.is_boolean(), "holds_boolean requires a Boolean CQ");
-    HomSearch::new(&q.atoms, i).exists()
+    CompiledQuery::compile(&q.atoms).search(i).exists()
 }
 
 /// `q(I)` for a UCQ: the union of the disjuncts' answers.
@@ -65,28 +85,24 @@ pub fn ucq_holds_boolean(q: &Ucq, i: &Instance) -> bool {
 /// candidate answers are tuples of distinct constants.
 pub fn holds_injectively_only(q: &Cq, i: &Instance, answer: &[Value]) -> bool {
     assert_eq!(answer.len(), q.arity());
+    let (plan, slots) = compile_for_answers(q);
     let mut any = false;
     let mut all_injective = true;
-    HomSearch::new(&q.atoms, i)
-        .fix(bind_answer(q, answer))
-        .for_each(|h| {
+    let mut seen: HashSet<Value> = HashSet::new();
+    plan.search(i)
+        .fix_slots(slots.into_iter().zip(answer.iter().copied()))
+        .for_each_row(|row| {
             any = true;
-            let mut seen: HashSet<Value> = HashSet::new();
-            if h.values().any(|&v| !seen.insert(v)) {
+            // Slots are distinct variables, so a row is injective iff its
+            // values are pairwise distinct.
+            seen.clear();
+            if row.iter().any(|&v| !seen.insert(v)) {
                 all_injective = false;
                 return ControlFlow::Break(());
             }
             ControlFlow::Continue(())
         });
     any && all_injective
-}
-
-fn bind_answer(q: &Cq, answer: &[Value]) -> Vec<(Var, Value)> {
-    q.answer_vars
-        .iter()
-        .copied()
-        .zip(answer.iter().copied())
-        .collect()
 }
 
 #[cfg(test)]

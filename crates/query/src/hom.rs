@@ -10,9 +10,17 @@
 //! matches the pending atom with the most selective candidate list, where
 //! candidates come from the instance's `(predicate, position, value)`
 //! indexes.
+//!
+//! Since the compiled kernel landed ([`crate::compile`]), this type is a
+//! thin compatibility wrapper: it compiles the atoms once per call and runs
+//! the slot-based [`KernelSearch`], translating rows back into the
+//! `HashMap<Var, Value>` shape at the boundary. The answer *set* is
+//! identical to the historical implementation (see
+//! `tests/differential_kernel.rs`).
 
+use crate::compile::{CompiledQuery, KernelSearch};
 use crate::cq::{QAtom, Term, Var};
-use gtgd_data::{Instance, Pool, Valuation, Value};
+use gtgd_data::{Instance, Valuation, Value};
 use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
 
@@ -57,54 +65,65 @@ impl<'a> HomSearch<'a> {
         self
     }
 
-    /// Visits every homomorphism; the callback may stop enumeration by
-    /// returning [`ControlFlow::Break`]. Returns `true` if enumeration was
-    /// stopped early.
-    pub fn for_each(&self, mut f: impl FnMut(&HashMap<Var, Value>) -> ControlFlow<()>) -> bool {
-        let mut assignment = self.fixed.clone();
-        // Validate fixed bindings against the modes.
+    /// Compiles the atoms, also interning fixed-only (ghost) variables so
+    /// they survive into the output maps.
+    fn compiled(&self) -> CompiledQuery {
+        CompiledQuery::compile_with_extra(self.atoms, self.fixed.keys().copied())
+    }
+
+    /// Configures a kernel search over `plan` mirroring this wrapper's
+    /// fixed bindings and modes.
+    fn kernel<'s>(&'s self, plan: &'s CompiledQuery) -> KernelSearch<'s> {
+        let mut k = plan.search(self.target).fix_slots(
+            self.fixed
+                .iter()
+                .map(|(&v, &x)| (plan.slot_of(v).expect("fixed vars are interned"), x)),
+        );
         if self.injective {
-            let mut used = HashSet::new();
-            for &v in assignment.values() {
-                if !used.insert(v) {
-                    return false;
-                }
-            }
+            k = k.injective();
         }
         if let Some(allowed) = &self.allowed {
-            if assignment.values().any(|v| !allowed.contains(v)) {
-                return false;
-            }
+            k = k.restrict_images(allowed);
         }
-        let mut pending: Vec<usize> = (0..self.atoms.len()).collect();
-        let mut used: HashSet<Value> = assignment.values().copied().collect();
-        self.search(&mut pending, &mut assignment, &mut used, &mut f)
-            .is_break()
+        k
     }
 
-    /// The first homomorphism found, if any.
+    /// Visits every homomorphism; the callback may stop enumeration by
+    /// returning [`ControlFlow::Break`]. Returns `true` if enumeration was
+    /// stopped early. The map passed to the callback is reused between
+    /// calls — clone it to keep it.
+    pub fn for_each(&self, mut f: impl FnMut(&HashMap<Var, Value>) -> ControlFlow<()>) -> bool {
+        let plan = self.compiled();
+        let vars = plan.vars().to_vec();
+        let mut map: HashMap<Var, Value> = HashMap::with_capacity(vars.len());
+        self.kernel(&plan).for_each_row(|row| {
+            map.clear();
+            for (i, &v) in vars.iter().enumerate() {
+                map.insert(v, row[i]);
+            }
+            f(&map)
+        })
+    }
+
+    /// The first homomorphism found, if any. Short-circuits inside the
+    /// kernel: exactly one map is built, only on success.
     pub fn first(&self) -> Option<HashMap<Var, Value>> {
-        let mut out = None;
-        self.for_each(|h| {
-            out = Some(h.clone());
-            ControlFlow::Break(())
-        });
-        out
+        let plan = self.compiled();
+        let row = self.kernel(&plan).first_row()?;
+        Some(plan.vars().iter().copied().zip(row).collect())
     }
 
-    /// Whether any homomorphism exists.
+    /// Whether any homomorphism exists. Short-circuits without
+    /// materializing any assignment.
     pub fn exists(&self) -> bool {
-        self.first().is_some()
+        let plan = self.compiled();
+        self.kernel(&plan).exists()
     }
 
     /// All homomorphisms (deduplicated by construction).
     pub fn all(&self) -> Vec<HashMap<Var, Value>> {
-        let mut out = Vec::new();
-        self.for_each(|h| {
-            out.push(h.clone());
-            ControlFlow::Continue(())
-        });
-        out
+        let plan = self.compiled();
+        self.kernel(&plan).table().to_maps()
     }
 
     /// All homomorphisms, enumerated on a `workers`-wide pool.
@@ -116,191 +135,14 @@ impl<'a> HomSearch<'a> {
     /// order), and the output is deterministic for any worker count because
     /// per-chunk results are concatenated in chunk order.
     pub fn par_all(&self, workers: usize) -> Vec<HashMap<Var, Value>> {
-        if workers <= 1 || self.atoms.is_empty() {
-            return self.all();
-        }
-        // Validate fixed bindings against the modes, mirroring `for_each`.
-        if self.injective {
-            let mut used = HashSet::new();
-            for &v in self.fixed.values() {
-                if !used.insert(v) {
-                    return Vec::new();
-                }
-            }
-        }
-        if let Some(allowed) = &self.allowed {
-            if self.fixed.values().any(|v| !allowed.contains(v)) {
-                return Vec::new();
-            }
-        }
-        let (split, _) = (0..self.atoms.len())
-            .map(|i| (i, self.candidates(&self.atoms[i], &self.fixed).len()))
-            .min_by_key(|&(_, n)| n)
-            .expect("atoms nonempty");
-        let cand = self.candidates(&self.atoms[split], &self.fixed);
-        let rest: Vec<QAtom> = self
-            .atoms
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| i != split)
-            .map(|(_, a)| a.clone())
-            .collect();
-        let per_chunk = Pool::with_workers(workers).map_chunks(&cand, |_, chunk| {
-            let mut out: Vec<HashMap<Var, Value>> = Vec::new();
-            for &ci in chunk {
-                let Some(seed) = self.unify_candidate(&self.atoms[split], ci) else {
-                    continue;
-                };
-                // Distinct candidates seed distinct bindings for the split
-                // atom's variables, so the per-candidate answer sets are
-                // disjoint: no cross-chunk deduplication is needed.
-                let sub = HomSearch {
-                    atoms: &rest,
-                    target: self.target,
-                    fixed: seed,
-                    injective: self.injective,
-                    allowed: self.allowed.clone(),
-                };
-                sub.for_each(|h| {
-                    out.push(h.clone());
-                    ControlFlow::Continue(())
-                });
-            }
-            out
-        });
-        per_chunk.into_iter().flatten().collect()
-    }
-
-    /// Extends the fixed bindings by unifying `atom` with the target atom
-    /// `ci`; `None` on clash with a constant or an existing binding.
-    fn unify_candidate(&self, atom: &QAtom, ci: usize) -> Option<HashMap<Var, Value>> {
-        let ground = self.target.atom(ci);
-        if ground.args.len() != atom.args.len() {
-            return None;
-        }
-        let mut seed = self.fixed.clone();
-        for (t, &gv) in atom.args.iter().zip(ground.args.iter()) {
-            match *t {
-                Term::Const(c) => {
-                    if c != gv {
-                        return None;
-                    }
-                }
-                Term::Var(v) => match seed.get(&v) {
-                    Some(&b) if b != gv => return None,
-                    Some(_) => {}
-                    None => {
-                        seed.insert(v, gv);
-                    }
-                },
-            }
-        }
-        Some(seed)
+        let plan = self.compiled();
+        self.kernel(&plan).par_table(workers).to_maps()
     }
 
     /// Number of homomorphisms (without materializing them).
     pub fn count(&self) -> usize {
-        let mut n = 0usize;
-        self.for_each(|_| {
-            n += 1;
-            ControlFlow::Continue(())
-        });
-        n
-    }
-
-    /// Candidate atom ids in the target for `atom` under `assignment`,
-    /// using the most selective available index.
-    fn candidates(&self, atom: &QAtom, assignment: &HashMap<Var, Value>) -> Vec<usize> {
-        let mut best: Option<&[usize]> = None;
-        for (pos, t) in atom.args.iter().enumerate() {
-            let bound = match *t {
-                Term::Const(c) => Some(c),
-                Term::Var(v) => assignment.get(&v).copied(),
-            };
-            if let Some(val) = bound {
-                let ids = self.target.atoms_matching(atom.predicate, pos, val);
-                if best.is_none_or(|b| ids.len() < b.len()) {
-                    best = Some(ids);
-                }
-            }
-        }
-        best.unwrap_or_else(|| self.target.atoms_with_pred(atom.predicate))
-            .to_vec()
-    }
-
-    fn search(
-        &self,
-        pending: &mut Vec<usize>,
-        assignment: &mut HashMap<Var, Value>,
-        used: &mut HashSet<Value>,
-        f: &mut impl FnMut(&HashMap<Var, Value>) -> ControlFlow<()>,
-    ) -> ControlFlow<()> {
-        if pending.is_empty() {
-            return f(assignment);
-        }
-        // Pick the pending atom with the fewest candidates.
-        let (slot, _) = pending
-            .iter()
-            .enumerate()
-            .map(|(slot, &ai)| (slot, self.candidates(&self.atoms[ai], assignment).len()))
-            .min_by_key(|&(_, n)| n)
-            .expect("pending nonempty");
-        let ai = pending.swap_remove(slot);
-        let atom = &self.atoms[ai];
-        let cand = self.candidates(atom, assignment);
-        for ci in cand {
-            let ground = self.target.atom(ci);
-            if ground.args.len() != atom.args.len() {
-                continue;
-            }
-            // Try to unify, recording newly bound vars for rollback.
-            let mut newly: Vec<Var> = Vec::new();
-            let mut ok = true;
-            for (t, &gv) in atom.args.iter().zip(ground.args.iter()) {
-                match *t {
-                    Term::Const(c) => {
-                        if c != gv {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    Term::Var(v) => match assignment.get(&v) {
-                        Some(&bound) => {
-                            if bound != gv {
-                                ok = false;
-                                break;
-                            }
-                        }
-                        None => {
-                            if self.injective && used.contains(&gv) {
-                                ok = false;
-                                break;
-                            }
-                            if let Some(allowed) = &self.allowed {
-                                if !allowed.contains(&gv) {
-                                    ok = false;
-                                    break;
-                                }
-                            }
-                            assignment.insert(v, gv);
-                            used.insert(gv);
-                            newly.push(v);
-                        }
-                    },
-                }
-            }
-            if ok && self.search(pending, assignment, used, f).is_break() {
-                return ControlFlow::Break(());
-            }
-            for v in newly {
-                let val = assignment.remove(&v).expect("was bound");
-                used.remove(&val);
-            }
-        }
-        pending.push(ai);
-        let last = pending.len() - 1;
-        pending.swap(slot, last);
-        ControlFlow::Continue(())
+        let plan = self.compiled();
+        self.kernel(&plan).count()
     }
 }
 

@@ -20,6 +20,7 @@
 //! ```
 
 pub mod acyclic;
+pub mod compile;
 pub mod containment;
 pub mod contract;
 pub mod cq;
@@ -35,6 +36,7 @@ pub mod tw;
 pub use acyclic::{
     check_answer_yannakakis, evaluate_yannakakis, gyo_join_tree, is_alpha_acyclic, JoinTree,
 };
+pub use compile::{CTerm, CompiledQuery, KernelSearch, ValuationTable};
 pub use containment::{cq_contained, cq_equivalent, ucq_contained, ucq_equivalent};
 pub use contract::{
     contractions, injective_contraction, merge_vars, specializations, Specialization,
