@@ -7,6 +7,7 @@
 //! experiments --json out.json E1
 //! experiments --jobs 4           # run independent series concurrently
 //! experiments --kernel-json BENCH_kernel.json   # kernel before/after only
+//! experiments --wcoj-json BENCH_wcoj.json       # WCOJ vs backtracker only
 //! ```
 //!
 //! With `--jobs N`, independent experiment series run on an N-worker pool;
@@ -15,7 +16,10 @@
 //! should come from a sequential run — the flag exists to make full-suite
 //! regeneration fast on developer machines.
 
-use gtgd_bench::{kernel_benchmark, kernel_json, run_experiment, tables_to_json, ExperimentTable};
+use gtgd_bench::{
+    kernel_benchmark, kernel_json, run_experiment, tables_to_json, wcoj_benchmark, wcoj_json,
+    ExperimentTable,
+};
 use gtgd_data::Pool;
 use std::io::Write;
 
@@ -23,6 +27,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
     let mut kernel_path: Option<String> = None;
+    let mut wcoj_path: Option<String> = None;
     let mut jobs = 1usize;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
@@ -34,6 +39,10 @@ fn main() {
             }
             "--kernel-json" => {
                 kernel_path = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--wcoj-json" => {
+                wcoj_path = args.get(i + 1).cloned();
                 i += 2;
             }
             "--jobs" => {
@@ -71,6 +80,28 @@ fn main() {
         let mut f = std::fs::File::create(&path).expect("create kernel json output");
         f.write_all(kernel_json(&metrics).as_bytes())
             .expect("write kernel json");
+        eprintln!("wrote {path}");
+        return;
+    }
+    if let Some(path) = wcoj_path {
+        // WCOJ mode: measure the leapfrog executor against the forced
+        // backtracker live on the cyclic-shape workloads; skips the suite.
+        let metrics = wcoj_benchmark();
+        for m in &metrics {
+            println!(
+                "{:<38} backtrack {:>9.3} ms  wcoj {:>9.3} ms  speedup {:>6.2}x  \
+                 planner {:<9} agree {}",
+                m.workload,
+                m.backtrack_ms,
+                m.wcoj_ms,
+                m.speedup(),
+                m.planner,
+                m.answers_agree
+            );
+        }
+        let mut f = std::fs::File::create(&path).expect("create wcoj json output");
+        f.write_all(wcoj_json(&metrics).as_bytes())
+            .expect("write wcoj json");
         eprintln!("wrote {path}");
         return;
     }

@@ -6,8 +6,10 @@ pub mod experiments;
 pub mod harness;
 pub mod json;
 pub mod kernel;
+pub mod wcoj;
 pub mod workloads;
 
 pub use experiments::{all_experiments, run_experiment, ExperimentTable};
 pub use json::tables_to_json;
 pub use kernel::{kernel_benchmark, kernel_json, KernelMetric};
+pub use wcoj::{wcoj_benchmark, wcoj_json, WcojMetric};

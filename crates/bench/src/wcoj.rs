@@ -1,0 +1,252 @@
+//! Before/after benchmark for the worst-case-optimal join path
+//! (`BENCH_wcoj.json`).
+//!
+//! Unlike the kernel report, which compares against frozen seed-commit
+//! baselines, both sides here are measured *live* on the same build: the
+//! same `CompiledQuery` is forced onto `Strategy::Backtrack` and
+//! `Strategy::Wcoj` (see `gtgd_query::compile`), so the delta isolates the
+//! executor. The workloads are the cyclic shapes the WCOJ gate exists for:
+//! the E10 fixed 13-vertex clique series, the E4 clique→CQS reduction, and
+//! a triangle-count microbench. Each row also records which strategy the
+//! planner would pick on its own (`Strategy::Auto`) and that both
+//! executors returned the same answer count.
+
+use crate::experiments::bench_ms;
+use crate::json::escape;
+use crate::workloads::{clique_cq, graph_db, plant_clique, random_graph};
+use gtgd_core::{clique_to_cqs_instance, grid_cqs_family};
+use gtgd_data::Instance;
+use gtgd_query::{CompiledQuery, Strategy};
+
+/// One live before/after measurement for a single workload.
+#[derive(Debug, Clone)]
+pub struct WcojMetric {
+    /// Workload label (experiment id + parameters).
+    pub workload: String,
+    /// Answer-enumeration time in ms under the forced backtracker.
+    pub backtrack_ms: f64,
+    /// Same workload, same plan, forced leapfrog executor.
+    pub wcoj_ms: f64,
+    /// What `Strategy::Auto` picks for this plan (`"wcoj"` / `"backtrack"`).
+    pub planner: String,
+    /// Answer count (identical under both executors by assertion).
+    pub answers: usize,
+    /// Whether the two executors agreed exactly.
+    pub answers_agree: bool,
+}
+
+impl WcojMetric {
+    /// Speedup factor `backtrack / wcoj` (∞-safe: 0 if `wcoj_ms` is 0).
+    pub fn speedup(&self) -> f64 {
+        if self.wcoj_ms > 0.0 {
+            self.backtrack_ms / self.wcoj_ms
+        } else {
+            0.0
+        }
+    }
+}
+
+fn planner_label(plan: &CompiledQuery) -> String {
+    if plan.prefers_wcoj() {
+        "wcoj"
+    } else {
+        "backtrack"
+    }
+    .to_string()
+}
+
+/// Measures full answer enumeration of one compiled plan under both forced
+/// strategies.
+fn measure(workload: String, plan: &CompiledQuery, db: &Instance) -> WcojMetric {
+    let count = |s: Strategy| plan.search(db).strategy(s).count();
+    let backtrack_ms = bench_ms(|| count(Strategy::Backtrack));
+    let wcoj_ms = bench_ms(|| count(Strategy::Wcoj));
+    let n_bt = count(Strategy::Backtrack);
+    let n_wc = count(Strategy::Wcoj);
+    WcojMetric {
+        workload,
+        backtrack_ms,
+        wcoj_ms,
+        planner: planner_label(plan),
+        answers: n_wc,
+        answers_agree: n_bt == n_wc,
+    }
+}
+
+/// The E10 clique series on its fixed workload: `random_graph(13, 0.5, 97)`
+/// with a planted 5-clique, enumerating all `k`-clique homomorphisms for
+/// `k = 2..5`.
+pub fn e10_clique_metrics() -> Vec<WcojMetric> {
+    let g = {
+        let mut g = random_graph(13, 0.5, 97);
+        plant_clique(&mut g, 5, 13);
+        g
+    };
+    let db = graph_db(&g);
+    [2usize, 3, 4, 5]
+        .iter()
+        .map(|&k| {
+            let plan = CompiledQuery::compile(&clique_cq(k).atoms);
+            measure(format!("E10 clique k={k} (13 vertices)"), &plan, &db)
+        })
+        .collect()
+}
+
+/// The E4 reduction workload: the grid-CQS family evaluated over the
+/// reduced database `D*` of a 10-vertex graph with a planted `k`-clique.
+/// Boolean UCQ evaluation is a disjunct sweep; the measured quantity is
+/// the total answer enumeration over all disjuncts (the work the boolean
+/// check bounds).
+pub fn e4_reduction_metrics() -> Vec<WcojMetric> {
+    let mut out = Vec::new();
+    for &k in &[2usize, 3] {
+        let fam = grid_cqs_family(k);
+        let mut g = random_graph(10, 0.5, 11 + 10u64);
+        plant_clique(&mut g, k, 5);
+        let reduced = clique_to_cqs_instance(&g, k, &fam);
+        let db = &reduced.grohe.instance;
+        let plans: Vec<CompiledQuery> = fam
+            .cqs
+            .query
+            .disjuncts
+            .iter()
+            .map(|cq| CompiledQuery::compile(&cq.atoms))
+            .collect();
+        let total =
+            |s: Strategy| -> usize { plans.iter().map(|p| p.search(db).strategy(s).count()).sum() };
+        let backtrack_ms = bench_ms(|| total(Strategy::Backtrack));
+        let wcoj_ms = bench_ms(|| total(Strategy::Wcoj));
+        let n_bt = total(Strategy::Backtrack);
+        let n_wc = total(Strategy::Wcoj);
+        let planner = if plans.iter().all(|p| p.prefers_wcoj()) {
+            "wcoj".to_string()
+        } else if plans.iter().all(|p| !p.prefers_wcoj()) {
+            "backtrack".to_string()
+        } else {
+            "mixed".to_string()
+        };
+        out.push(WcojMetric {
+            workload: format!("E4 grid-CQS over D* (k={k}, 10 vertices)"),
+            backtrack_ms,
+            wcoj_ms,
+            planner,
+            answers: n_wc,
+            answers_agree: n_bt == n_wc,
+        });
+    }
+    out
+}
+
+/// Triangle counting on a sparse-ish random graph: the textbook
+/// worst-case-optimal-join workload (AGM bound `O(|E|^{3/2})` vs the
+/// pairwise-join blowup).
+pub fn triangle_count_metric() -> WcojMetric {
+    let db = graph_db(&random_graph(96, 0.15, 7));
+    let plan = CompiledQuery::compile(&clique_cq(3).atoms);
+    measure(
+        "triangle count (96 vertices, p=0.15)".to_string(),
+        &plan,
+        &db,
+    )
+}
+
+/// Runs every WCOJ workload and collects the report rows.
+pub fn wcoj_benchmark() -> Vec<WcojMetric> {
+    let mut metrics = e10_clique_metrics();
+    metrics.extend(e4_reduction_metrics());
+    metrics.push(triangle_count_metric());
+    metrics
+}
+
+/// Renders the metrics as the `BENCH_wcoj.json` document.
+pub fn wcoj_json(metrics: &[WcojMetric]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"description\": \"{}\",\n",
+        escape(
+            "Worst-case-optimal join path: live before/after timings in ms \
+             (best-of-3) for full answer enumeration of cyclic-shape \
+             workloads. 'backtrack' and 'wcoj' force the respective \
+             executor on the same compiled plan; 'planner' is what \
+             Strategy::Auto picks."
+        )
+    ));
+    out.push_str("  \"metrics\": [\n");
+    let items: Vec<String> = metrics
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\n      \"workload\": \"{}\",\n      \"backtrack_ms\": {:.3},\n      \
+                 \"wcoj_ms\": {:.3},\n      \"speedup\": {:.2},\n      \"planner\": \"{}\",\n      \
+                 \"answers\": {},\n      \"answers_agree\": {}\n    }}",
+                escape(&m.workload),
+                m.backtrack_ms,
+                m.wcoj_ms,
+                m.speedup(),
+                escape(&m.planner),
+                m.answers,
+                m.answers_agree
+            )
+        })
+        .collect();
+    out.push_str(&items.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_microbench_agrees_and_routes_wcoj() {
+        let m = triangle_count_metric();
+        assert!(m.answers_agree, "executors disagree: {m:?}");
+        assert_eq!(m.planner, "wcoj", "the triangle is cyclic");
+        assert!(m.answers > 0, "a 96-vertex p=0.15 graph has triangles");
+    }
+
+    #[test]
+    fn speedup_is_ratio_and_zero_safe() {
+        let mut m = WcojMetric {
+            workload: "x".into(),
+            backtrack_ms: 8.0,
+            wcoj_ms: 2.0,
+            planner: "wcoj".into(),
+            answers: 1,
+            answers_agree: true,
+        };
+        assert!((m.speedup() - 4.0).abs() < 1e-9);
+        m.wcoj_ms = 0.0;
+        assert_eq!(m.speedup(), 0.0);
+    }
+
+    #[test]
+    fn json_is_balanced_and_complete() {
+        let metrics = vec![
+            WcojMetric {
+                workload: "E10 clique k=5".into(),
+                backtrack_ms: 10.0,
+                wcoj_ms: 1.0,
+                planner: "wcoj".into(),
+                answers: 120,
+                answers_agree: true,
+            },
+            WcojMetric {
+                workload: "triangle".into(),
+                backtrack_ms: 3.0,
+                wcoj_ms: 1.5,
+                planner: "wcoj".into(),
+                answers: 6,
+                answers_agree: true,
+            },
+        ];
+        let json = wcoj_json(&metrics);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(json.matches("\"workload\"").count(), 2);
+        assert!(json.contains("\"speedup\": 10.00"));
+        assert!(json.contains("\"answers_agree\": true"));
+    }
+}

@@ -164,6 +164,7 @@ pub fn chase(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget) -> ChaseResult {
         level += 1;
         max_level = level;
         delta = Vec::new();
+        instance.reserve_additional(new_atoms.len());
         for a in new_atoms {
             if instance.insert(a.clone()) {
                 levels.push(level);

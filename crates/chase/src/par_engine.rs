@@ -132,6 +132,7 @@ pub fn par_chase(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget, workers: usi
         level += 1;
         max_level = level;
         delta = Vec::new();
+        instance.reserve_additional(new_atoms.len());
         for a in new_atoms {
             if instance.insert(a.clone()) {
                 levels.push(level);

@@ -121,6 +121,7 @@ pub fn restricted_chase(
         fired += 1;
         // Insert, keeping only the genuinely new atoms as the delta.
         let mut delta_start = instance.len();
+        instance.reserve_additional(new_atoms.len());
         for a in &new_atoms {
             instance.insert(a.clone());
         }

@@ -1,0 +1,344 @@
+//! Columnar tuple storage and sorted permutation indexes.
+//!
+//! The row-oriented [`crate::Instance`] indexes (`by_pred`,
+//! `by_pred_pos_val`) serve point probes: "which atoms have value `v` at
+//! position `pos`?". Worst-case-optimal join execution needs a different
+//! access path — *ordered* iteration over a predicate's tuples under an
+//! arbitrary attribute order, with logarithmic `seek`. This module provides
+//! it:
+//!
+//! * [`PredColumns`] mirrors one predicate's tuples column-by-column, in
+//!   insertion (row) order. It is maintained eagerly by
+//!   [`crate::Instance::insert`] — appending a tuple is `arity` pushes.
+//! * [`SortedPermutation`] is a permutation of row ids sorted
+//!   lexicographically by a chosen column order (ties broken by row id, so
+//!   the order is total and deterministic). It is what a trie iterator
+//!   walks.
+//! * [`SortedIndexCache`] builds permutations lazily on first demand and
+//!   maintains them **incrementally**: when a predicate grows by an insert
+//!   delta, the delta rows are sorted on their own (`O(d log d)`) and
+//!   merged with the existing permutation (`O(n + d)`) — a chase that
+//!   inserts a few atoms per round never pays a full `O(n log n)` re-sort.
+//!   The `full_builds` / `merge_extends` counters make that contract
+//!   observable (and testable).
+//!
+//! The cache lives behind a `RwLock` so concurrent readers (the parallel
+//! chase probes one shared instance from many workers) can build or reuse
+//! indexes through a shared `&Instance`.
+
+use crate::schema::Predicate;
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Arc, RwLock};
+
+/// Columnar mirror of one predicate's tuples (at one arity): `cols[j][r]`
+/// is argument `j` of the `r`-th inserted tuple. Row order is insertion
+/// order, which makes row ids stable — an index built over rows `0..n`
+/// stays valid when rows `n..m` are appended.
+#[derive(Debug, Clone, Default)]
+pub struct PredColumns {
+    cols: Vec<Vec<Value>>,
+    rows: usize,
+}
+
+impl PredColumns {
+    /// Number of rows (tuples).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The values of column `j` (argument position `j`), in row order.
+    pub fn col(&self, j: usize) -> &[Value] {
+        &self.cols[j]
+    }
+
+    /// Appends one tuple. All tuples must share one arity (the caller keys
+    /// arenas by `(predicate, arity)`).
+    pub(crate) fn push(&mut self, args: &[Value]) {
+        if self.cols.is_empty() && !args.is_empty() {
+            self.cols = vec![Vec::new(); args.len()];
+        }
+        debug_assert_eq!(self.cols.len(), args.len());
+        for (c, &v) in self.cols.iter_mut().zip(args) {
+            c.push(v);
+        }
+        self.rows += 1;
+    }
+}
+
+/// Row ids of one predicate sorted lexicographically by a column order,
+/// ties broken by row id. `perm()[i]` is the row id of the `i`-th tuple in
+/// sorted order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortedPermutation {
+    order: Vec<u16>,
+    perm: Vec<u32>,
+}
+
+impl SortedPermutation {
+    /// The column order the permutation is sorted by.
+    pub fn order(&self) -> &[u16] {
+        &self.order
+    }
+
+    /// The sorted row ids.
+    pub fn perm(&self) -> &[u32] {
+        &self.perm
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Whether no rows are covered.
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+}
+
+/// Counters and size of a [`SortedIndexCache`], for asserting the
+/// incremental-maintenance contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexStats {
+    /// Distinct sorted indexes currently cached.
+    pub indexes: usize,
+    /// How many times an index was built by a full sort (once per distinct
+    /// `(predicate, arity, column order)` key, ever).
+    pub full_builds: usize,
+    /// How many times an index was extended by sorting only the insert
+    /// delta and merging.
+    pub merge_extends: usize,
+}
+
+/// Cache key: `(predicate, arity, column order)`.
+type IndexKey = (Predicate, u16, Vec<u16>);
+
+/// Lazily built, incrementally maintained sorted permutation indexes, keyed
+/// by `(predicate, arity, column order)`.
+#[derive(Debug, Default)]
+pub struct SortedIndexCache {
+    map: RwLock<HashMap<IndexKey, Arc<SortedPermutation>>>,
+    full_builds: AtomicUsize,
+    merge_extends: AtomicUsize,
+}
+
+impl Clone for SortedIndexCache {
+    fn clone(&self) -> SortedIndexCache {
+        SortedIndexCache {
+            map: RwLock::new(self.map.read().expect("cache lock").clone()),
+            full_builds: AtomicUsize::new(self.full_builds.load(AtomicOrdering::Relaxed)),
+            merge_extends: AtomicUsize::new(self.merge_extends.load(AtomicOrdering::Relaxed)),
+        }
+    }
+}
+
+impl SortedIndexCache {
+    /// Current counters.
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            indexes: self.map.read().expect("cache lock").len(),
+            full_builds: self.full_builds.load(AtomicOrdering::Relaxed),
+            merge_extends: self.merge_extends.load(AtomicOrdering::Relaxed),
+        }
+    }
+
+    /// The permutation of `columns`' rows sorted by `order`, building it on
+    /// first demand and extending it by sorted-merge when `columns` has
+    /// grown since the cached build. `columns = None` (predicate absent)
+    /// yields an empty, uncached permutation.
+    pub fn get_or_build(
+        &self,
+        p: Predicate,
+        arity: usize,
+        order: &[u16],
+        columns: Option<&PredColumns>,
+    ) -> Arc<SortedPermutation> {
+        let arity16 = u16::try_from(arity).expect("arity fits u16");
+        let rows = columns.map_or(0, |c| c.rows());
+        if rows == 0 {
+            // Not cached: an empty permutation has nothing to amortize, and
+            // caching it would turn the eventual first build into a "merge".
+            return Arc::new(SortedPermutation {
+                order: order.to_vec(),
+                perm: Vec::new(),
+            });
+        }
+        let key = (p, arity16, order.to_vec());
+        if let Some(cached) = self.map.read().expect("cache lock").get(&key) {
+            if cached.len() == rows {
+                return Arc::clone(cached);
+            }
+        }
+        let cols = columns.expect("rows > 0 implies columns");
+        debug_assert!(order.iter().all(|&j| (j as usize) < arity));
+        let cmp = |a: u32, b: u32| -> Ordering {
+            for &j in order {
+                let col = cols.col(j as usize);
+                match col[a as usize].cmp(&col[b as usize]) {
+                    Ordering::Equal => {}
+                    other => return other,
+                }
+            }
+            a.cmp(&b)
+        };
+        let mut map = self.map.write().expect("cache lock");
+        // Re-check under the write lock: another thread may have built or
+        // extended the index while we waited.
+        let prev = map.get(&key).cloned();
+        if let Some(ref c) = prev {
+            if c.len() == rows {
+                return Arc::clone(c);
+            }
+        }
+        let perm = match prev {
+            Some(c) => {
+                // Incremental extend: sort only the delta, then one merge
+                // pass. Delta row ids are all larger than cached ids, so
+                // the id tie-break keeps the merge deterministic.
+                let mut delta: Vec<u32> = (c.len() as u32..rows as u32).collect();
+                delta.sort_unstable_by(|&a, &b| cmp(a, b));
+                let old = c.perm();
+                let mut out: Vec<u32> = Vec::with_capacity(rows);
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < old.len() && j < delta.len() {
+                    if cmp(old[i], delta[j]) != Ordering::Greater {
+                        out.push(old[i]);
+                        i += 1;
+                    } else {
+                        out.push(delta[j]);
+                        j += 1;
+                    }
+                }
+                out.extend_from_slice(&old[i..]);
+                out.extend_from_slice(&delta[j..]);
+                self.merge_extends.fetch_add(1, AtomicOrdering::Relaxed);
+                out
+            }
+            None => {
+                let mut all: Vec<u32> = (0..rows as u32).collect();
+                all.sort_unstable_by(|&a, &b| cmp(a, b));
+                self.full_builds.fetch_add(1, AtomicOrdering::Relaxed);
+                all
+            }
+        };
+        let built = Arc::new(SortedPermutation {
+            order: order.to_vec(),
+            perm,
+        });
+        map.insert(key, Arc::clone(&built));
+        built
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Value {
+        Value::named(s)
+    }
+
+    fn columns(rows: &[&[&str]]) -> PredColumns {
+        let mut pc = PredColumns::default();
+        for r in rows {
+            let args: Vec<Value> = r.iter().map(|s| v(s)).collect();
+            pc.push(&args);
+        }
+        pc
+    }
+
+    fn sorted_rows(pc: &PredColumns, sp: &SortedPermutation) -> Vec<Vec<Value>> {
+        sp.perm()
+            .iter()
+            .map(|&r| {
+                sp.order()
+                    .iter()
+                    .map(|&j| pc.col(j as usize)[r as usize])
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_build_sorts_lexicographically() {
+        let pc = columns(&[&["b", "x"], &["a", "z"], &["a", "y"], &["c", "w"]]);
+        let cache = SortedIndexCache::default();
+        let p = Predicate::new("R");
+        let sp = cache.get_or_build(p, 2, &[0, 1], Some(&pc));
+        let rows = sorted_rows(&pc, &sp);
+        let mut expect = rows.clone();
+        expect.sort();
+        assert_eq!(rows, expect);
+        assert_eq!(sp.len(), 4);
+        assert_eq!(cache.stats().full_builds, 1);
+        assert_eq!(cache.stats().merge_extends, 0);
+        // Second demand is a cache hit: no new builds.
+        let again = cache.get_or_build(p, 2, &[0, 1], Some(&pc));
+        assert_eq!(again.perm(), sp.perm());
+        assert_eq!(cache.stats().full_builds, 1);
+    }
+
+    #[test]
+    fn reverse_order_is_a_distinct_index() {
+        let pc = columns(&[&["b", "x"], &["a", "z"]]);
+        let cache = SortedIndexCache::default();
+        let p = Predicate::new("R");
+        cache.get_or_build(p, 2, &[0, 1], Some(&pc));
+        cache.get_or_build(p, 2, &[1, 0], Some(&pc));
+        let s = cache.stats();
+        assert_eq!(s.indexes, 2);
+        assert_eq!(s.full_builds, 2);
+    }
+
+    /// Reference argsort: by key tuple, ties broken by row id. (`Value`'s
+    /// `Ord` follows symbol-interning order, not string order, so tests
+    /// compute expectations instead of hard-coding permutations.)
+    fn naive_perm(pc: &PredColumns, order: &[u16]) -> Vec<u32> {
+        let mut ids: Vec<u32> = (0..pc.rows() as u32).collect();
+        ids.sort_by_key(|&r| {
+            let key: Vec<Value> = order
+                .iter()
+                .map(|&j| pc.col(j as usize)[r as usize])
+                .collect();
+            (key, r)
+        });
+        ids
+    }
+
+    #[test]
+    fn delta_extension_merges_without_full_rebuild() {
+        let mut pc = columns(&[&["d"], &["b"]]);
+        let cache = SortedIndexCache::default();
+        let p = Predicate::new("U");
+        let first = cache.get_or_build(p, 1, &[0], Some(&pc));
+        assert_eq!(first.perm(), naive_perm(&pc, &[0]));
+        pc.push(&[v("a")]);
+        pc.push(&[v("c")]);
+        let second = cache.get_or_build(p, 1, &[0], Some(&pc));
+        assert_eq!(second.perm(), naive_perm(&pc, &[0]));
+        let s = cache.stats();
+        assert_eq!(s.full_builds, 1);
+        assert_eq!(s.merge_extends, 1);
+    }
+
+    #[test]
+    fn ties_break_by_row_id() {
+        let pc = columns(&[&["a", "x"], &["a", "x"], &["a", "w"]]);
+        let cache = SortedIndexCache::default();
+        let sp = cache.get_or_build(Predicate::new("R"), 2, &[0], Some(&pc));
+        // Sorting only by column 0 leaves all keys equal: ids decide.
+        assert_eq!(sp.perm(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_predicate_is_uncached() {
+        let cache = SortedIndexCache::default();
+        let sp = cache.get_or_build(Predicate::new("Z"), 2, &[0, 1], None);
+        assert!(sp.is_empty());
+        assert_eq!(cache.stats().indexes, 0);
+        assert_eq!(cache.stats().full_builds, 0);
+    }
+}

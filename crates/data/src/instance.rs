@@ -1,10 +1,16 @@
 //! Instances and databases: indexed sets of ground atoms.
 
 use crate::atom::GroundAtom;
+use crate::columnar::{IndexStats, PredColumns, SortedIndexCache, SortedPermutation};
 use crate::schema::{Predicate, Schema};
 use crate::value::Value;
 use gtgd_treewidth::Graph;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Shared static-empty candidate list: the miss path of every index
+/// accessor returns this without touching (or hashing into) any map.
+const EMPTY_IDS: &[usize] = &[];
 
 /// A finitely materialized instance (the paper's *database* when finite by
 /// construction; also used to hold finite prefixes of infinite chase
@@ -22,6 +28,14 @@ pub struct Instance {
     by_pred_pos_val: HashMap<(Predicate, u16, Value), Vec<usize>>,
     dom: Vec<Value>,
     dom_set: HashSet<Value>,
+    /// Columnar mirror of the tuples, per `(predicate, arity)` — the
+    /// storage the worst-case-optimal join path scans (see
+    /// [`crate::columnar`]).
+    columns: HashMap<(Predicate, u16), PredColumns>,
+    /// Lazily built sorted permutation indexes over `columns`. Interior
+    /// mutability: indexes are built on demand through `&Instance` (query
+    /// execution never holds `&mut`).
+    sorted: SortedIndexCache,
 }
 
 impl Instance {
@@ -56,9 +70,23 @@ impl Instance {
                 self.dom.push(v);
             }
         }
+        let arity = u16::try_from(atom.args.len()).expect("arity fits u16");
+        self.columns
+            .entry((atom.predicate, arity))
+            .or_default()
+            .push(&atom.args);
         self.index_of.insert(atom.clone(), idx);
         self.atoms.push(atom);
         true
+    }
+
+    /// Reserves capacity for `n` further atoms in the primary stores (the
+    /// atom vector and the dedup map), so bulk loads — chase round
+    /// materialization, [`Instance::extend_from`] — do not rehash/regrow
+    /// once per atom.
+    pub fn reserve_additional(&mut self, n: usize) {
+        self.atoms.reserve(n);
+        self.index_of.reserve(n);
     }
 
     /// Whether the atom is present.
@@ -103,6 +131,9 @@ impl Instance {
     /// kernel: how many atoms with predicate `p` have value `v` at
     /// argument position `pos`.
     pub fn index_count(&self, p: Predicate, pos: usize, v: Value) -> usize {
+        if self.by_pred_pos_val.is_empty() {
+            return 0;
+        }
         let pos = u16::try_from(pos).expect("arity fits u16");
         self.by_pred_pos_val
             .get(&(p, pos, v))
@@ -121,15 +152,50 @@ impl Instance {
 
     /// Indexes of atoms with the given predicate.
     pub fn atoms_with_pred(&self, p: Predicate) -> &[usize] {
-        self.by_pred.get(&p).map_or(&[], |v| v.as_slice())
+        if self.by_pred.is_empty() {
+            return EMPTY_IDS;
+        }
+        self.by_pred.get(&p).map_or(EMPTY_IDS, |v| v.as_slice())
     }
 
     /// Indexes of atoms with predicate `p` whose argument at `pos` is `v`.
     pub fn atoms_matching(&self, p: Predicate, pos: usize, v: Value) -> &[usize] {
+        if self.by_pred_pos_val.is_empty() {
+            return EMPTY_IDS;
+        }
         let pos = u16::try_from(pos).expect("arity fits u16");
         self.by_pred_pos_val
             .get(&(p, pos, v))
-            .map_or(&[], |ids| ids.as_slice())
+            .map_or(EMPTY_IDS, |ids| ids.as_slice())
+    }
+
+    /// The columnar tuple arena for predicate `p` at the given arity, if
+    /// any tuple was inserted (see [`crate::columnar::PredColumns`]).
+    pub fn columns(&self, p: Predicate, arity: usize) -> Option<&PredColumns> {
+        let arity = u16::try_from(arity).expect("arity fits u16");
+        self.columns.get(&(p, arity))
+    }
+
+    /// The sorted permutation index of `p`'s tuples (at `arity`) under the
+    /// given column order: built by a full sort on first demand, extended
+    /// by a sorted-merge of the insert delta on later demands (never a full
+    /// re-sort; see [`crate::columnar::SortedIndexCache`]). Cheap to call
+    /// when already built and current: one read-lock plus an `Arc` clone.
+    pub fn sorted_permutation(
+        &self,
+        p: Predicate,
+        arity: usize,
+        order: &[u16],
+    ) -> Arc<SortedPermutation> {
+        self.sorted
+            .get_or_build(p, arity, order, self.columns(p, arity))
+    }
+
+    /// Build/extend counters of the sorted-index cache (the incremental
+    /// maintenance contract: `full_builds` grows once per distinct index,
+    /// `merge_extends` on every delta extension).
+    pub fn index_stats(&self) -> IndexStats {
+        self.sorted.stats()
     }
 
     /// The distinct predicates appearing in the instance, in first-use order.
@@ -180,8 +246,14 @@ impl Instance {
         Instance::from_atoms(self.atoms.iter().map(|a| a.map(&f)))
     }
 
-    /// Inserts all atoms of `other`.
+    /// Inserts all atoms of `other`. Capacity is reserved up front — in
+    /// the primary stores and per predicate — so the bulk load does not
+    /// regrow them once per atom.
     pub fn extend_from(&mut self, other: &Instance) {
+        self.reserve_additional(other.len());
+        for (p, ids) in &other.by_pred {
+            self.by_pred.entry(*p).or_default().reserve(ids.len());
+        }
         for a in other.iter() {
             self.insert(a.clone());
         }
@@ -381,6 +453,83 @@ mod tests {
         let i = Instance::from_atoms([GroundAtom::named("R", &["a", "b"])]);
         let j = i.map_values(|x| if x == v("a") { v("z") } else { x });
         assert!(j.contains(&GroundAtom::named("R", &["z", "b"])));
+    }
+
+    #[test]
+    fn columnar_arena_mirrors_insertion_order() {
+        let mut i = Instance::new();
+        i.insert(GroundAtom::named("R", &["a", "b"]));
+        i.insert(GroundAtom::named("R", &["a", "b"])); // duplicate: no row
+        i.insert(GroundAtom::named("R", &["c", "d"]));
+        i.insert(GroundAtom::named("S", &["e"]));
+        let r = i.columns(Predicate::new("R"), 2).unwrap();
+        assert_eq!(r.rows(), 2);
+        assert_eq!(r.col(0), &[v("a"), v("c")]);
+        assert_eq!(r.col(1), &[v("b"), v("d")]);
+        assert!(i.columns(Predicate::new("R"), 3).is_none());
+        assert!(i.columns(Predicate::new("T"), 2).is_none());
+    }
+
+    /// Reference argsort over the arena (by key tuple, then row id).
+    fn naive_perm(i: &Instance, p: Predicate, arity: usize, order: &[u16]) -> Vec<u32> {
+        let pc = i.columns(p, arity).unwrap();
+        let mut ids: Vec<u32> = (0..pc.rows() as u32).collect();
+        ids.sort_by_key(|&r| {
+            let key: Vec<Value> = order
+                .iter()
+                .map(|&j| pc.col(j as usize)[r as usize])
+                .collect();
+            (key, r)
+        });
+        ids
+    }
+
+    #[test]
+    fn sorted_permutation_is_incremental_across_inserts() {
+        let mut i = Instance::new();
+        i.insert(GroundAtom::named("E", &["c", "x"]));
+        i.insert(GroundAtom::named("E", &["a", "y"]));
+        let e = Predicate::new("E");
+        let first = i.sorted_permutation(e, 2, &[0, 1]);
+        assert_eq!(first.perm(), naive_perm(&i, e, 2, &[0, 1]));
+        assert_eq!(i.index_stats().full_builds, 1);
+        i.insert(GroundAtom::named("E", &["b", "z"]));
+        let second = i.sorted_permutation(e, 2, &[0, 1]);
+        assert_eq!(second.perm(), naive_perm(&i, e, 2, &[0, 1]));
+        let stats = i.index_stats();
+        assert_eq!(stats.full_builds, 1);
+        assert_eq!(stats.merge_extends, 1);
+        assert_eq!(stats.indexes, 1);
+    }
+
+    #[test]
+    fn clones_carry_independent_index_caches() {
+        let mut i = Instance::new();
+        i.insert(GroundAtom::named("E", &["b", "x"]));
+        i.sorted_permutation(Predicate::new("E"), 2, &[0, 1]);
+        let mut j = i.clone();
+        j.insert(GroundAtom::named("E", &["a", "w"]));
+        let sp = j.sorted_permutation(Predicate::new("E"), 2, &[0, 1]);
+        assert_eq!(sp.perm(), naive_perm(&j, Predicate::new("E"), 2, &[0, 1]));
+        // The clone extended its own cache; the original is untouched.
+        assert_eq!(j.index_stats().merge_extends, 1);
+        assert_eq!(i.index_stats().merge_extends, 0);
+    }
+
+    #[test]
+    fn reserve_and_extend_preserve_contents() {
+        let mut i = Instance::new();
+        i.reserve_additional(16);
+        i.insert(GroundAtom::named("R", &["a", "b"]));
+        let other = Instance::from_atoms([
+            GroundAtom::named("R", &["a", "b"]),
+            GroundAtom::named("R", &["b", "c"]),
+            GroundAtom::named("P", &["a"]),
+        ]);
+        i.extend_from(&other);
+        assert_eq!(i.len(), 3);
+        assert_eq!(i.pred_count(Predicate::new("R")), 2);
+        assert_eq!(i.pred_count(Predicate::new("P")), 1);
     }
 
     #[test]

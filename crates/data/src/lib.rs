@@ -27,6 +27,7 @@
 //! ```
 
 pub mod atom;
+pub mod columnar;
 pub mod homomorphism;
 pub mod instance;
 pub mod par;
@@ -37,6 +38,7 @@ pub mod text;
 pub mod value;
 
 pub use atom::GroundAtom;
+pub use columnar::{IndexStats, PredColumns, SortedPermutation};
 pub use homomorphism::{is_homomorphism, Valuation};
 pub use instance::Instance;
 pub use par::{default_workers, Pool};

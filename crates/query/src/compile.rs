@@ -25,6 +25,7 @@
 //! body once and re-probes it every round from many worker threads.
 
 use crate::cq::{QAtom, Term, Var};
+use crate::wcoj::{self, WcojPlan, WcojRun};
 use gtgd_data::{Instance, Pool, Value};
 use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
@@ -40,9 +41,24 @@ pub enum CTerm {
 
 /// A compiled atom: predicate plus pre-resolved terms.
 #[derive(Debug, Clone)]
-struct CAtom {
-    predicate: gtgd_data::Predicate,
-    terms: Vec<CTerm>,
+pub(crate) struct CAtom {
+    pub(crate) predicate: gtgd_data::Predicate,
+    pub(crate) terms: Vec<CTerm>,
+}
+
+/// Which join algorithm a [`KernelSearch`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Let the planner gate decide per compiled query: worst-case-optimal
+    /// for cyclic bodies and high-arity multiway joins, backtracking
+    /// otherwise. The default.
+    #[default]
+    Auto,
+    /// Force the atom-at-a-time backtracking search.
+    Backtrack,
+    /// Force the variable-at-a-time leapfrog triejoin (worst-case optimal
+    /// for the planner's variable order).
+    Wcoj,
 }
 
 /// A query compiled for repeated homomorphism search: variables interned to
@@ -62,6 +78,11 @@ pub struct CompiledQuery {
     /// Static atom order seeding the pending list: constant-rich atoms
     /// first (cheap, deterministic tie-break for the dynamic refinement).
     static_order: Vec<usize>,
+    /// The worst-case-optimal execution plan (variable order + per-atom
+    /// trie layouts), built once at compile time.
+    wcoj: WcojPlan,
+    /// The planner gate's verdict: run WCOJ under [`Strategy::Auto`]?
+    prefer_wcoj: bool,
 }
 
 impl CompiledQuery {
@@ -108,12 +129,23 @@ impl CompiledQuery {
                 .count();
             (std::cmp::Reverse(consts), i)
         });
+        let wcoj = wcoj::build_plan(&catoms, vars.len());
+        let prefer_wcoj = wcoj::prefers_wcoj(&catoms, vars.len());
         CompiledQuery {
             atoms: catoms,
             vars,
             slot_of,
             static_order,
+            wcoj,
+            prefer_wcoj,
         }
+    }
+
+    /// Whether the planner gate picks the worst-case-optimal path for this
+    /// query under [`Strategy::Auto`]: cyclic (slot-level GYO fails) or a
+    /// high-arity multiway join (≥ 3 atoms sharing one variable).
+    pub fn prefers_wcoj(&self) -> bool {
+        self.prefer_wcoj
     }
 
     /// Number of slots (distinct interned variables).
@@ -180,6 +212,7 @@ impl CompiledQuery {
             injective: false,
             allowed: None,
             skip: None,
+            strategy: Strategy::Auto,
         }
     }
 }
@@ -269,6 +302,7 @@ pub struct KernelSearch<'a> {
     injective: bool,
     allowed: Option<&'a HashSet<Value>>,
     skip: Option<usize>,
+    strategy: Strategy,
 }
 
 /// Mutable search state, reused across the whole enumeration: the flat
@@ -311,9 +345,27 @@ impl<'a> KernelSearch<'a> {
         self
     }
 
-    /// Initializes the search state from the fixed bindings; `None` if the
-    /// fixed bindings are inconsistent or violate a mode (no answers).
-    fn init(&self) -> Option<State> {
+    /// Overrides the join algorithm (the default, [`Strategy::Auto`],
+    /// defers to the compile-time planner gate). The differential suite
+    /// and the benchmarks force both paths; ordinary consumers never call
+    /// this.
+    pub fn strategy(mut self, s: Strategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Whether this search runs the worst-case-optimal path.
+    pub fn uses_wcoj(&self) -> bool {
+        match self.strategy {
+            Strategy::Auto => self.plan.prefer_wcoj,
+            Strategy::Backtrack => false,
+            Strategy::Wcoj => true,
+        }
+    }
+
+    /// Validates the fixed bindings against the modes; `None` if they are
+    /// inconsistent (no answers). Shared by both execution strategies.
+    fn init_val(&self) -> Option<(Vec<Option<Value>>, HashSet<Value>)> {
         let n = self.plan.slot_count();
         let mut val: Vec<Option<Value>> = vec![None; n];
         for &(s, v) in &self.fixed {
@@ -335,6 +387,15 @@ impl<'a> KernelSearch<'a> {
                 return None;
             }
         }
+        Some((val, used))
+    }
+
+    /// Initializes the backtracking search state from the fixed bindings;
+    /// `None` if the fixed bindings are inconsistent or violate a mode (no
+    /// answers).
+    fn init(&self) -> Option<State> {
+        let (val, used) = self.init_val()?;
+        let n = self.plan.slot_count();
         let pending: Vec<usize> = self
             .plan
             .static_order
@@ -481,11 +542,37 @@ impl<'a> KernelSearch<'a> {
     /// Visits every homomorphism as a slot-indexed row (the columns are
     /// [`CompiledQuery::vars`]). The row buffer is reused — callers must
     /// copy what they keep. Returns `true` if enumeration stopped early.
+    ///
+    /// Which join algorithm runs is decided by [`KernelSearch::strategy`]
+    /// (default: the compile-time planner gate). Both produce the same
+    /// answer *set*; the enumeration order differs.
     pub fn for_each_row(&self, mut f: impl FnMut(&[Value]) -> ControlFlow<()>) -> bool {
+        if self.uses_wcoj() {
+            return self.wcoj_for_each_row(&mut f);
+        }
         let Some(mut st) = self.init() else {
             return false;
         };
         self.search_rec(&mut st, &mut f).is_break()
+    }
+
+    /// The worst-case-optimal path of [`KernelSearch::for_each_row`].
+    fn wcoj_for_each_row(&self, f: &mut impl FnMut(&[Value]) -> ControlFlow<()>) -> bool {
+        let Some((val, used)) = self.init_val() else {
+            return false;
+        };
+        let Some(mut run) = WcojRun::new(
+            &self.plan.wcoj,
+            self.target,
+            val,
+            used,
+            self.injective,
+            self.allowed,
+            self.skip,
+        ) else {
+            return false;
+        };
+        run.run(f).is_break()
     }
 
     /// Whether any homomorphism exists (no materialization at all).
@@ -530,6 +617,9 @@ impl<'a> KernelSearch<'a> {
     /// [`KernelSearch::table`]; deterministic for any worker count (chunk
     /// results are concatenated in chunk order).
     pub fn par_table(&self, workers: usize) -> ValuationTable {
+        if self.uses_wcoj() {
+            return self.wcoj_par_table(workers);
+        }
         if workers <= 1 || self.plan.atoms.is_empty() || self.skip.is_some() {
             return self.table();
         }
@@ -559,6 +649,7 @@ impl<'a> KernelSearch<'a> {
                     injective: self.injective,
                     allowed: self.allowed,
                     skip: Some(split),
+                    strategy: Strategy::Backtrack,
                 };
                 sub.fixed.extend(seed);
                 sub.for_each_row(|row| {
@@ -569,6 +660,65 @@ impl<'a> KernelSearch<'a> {
             out
         });
         let mut all = ValuationTable::new(self.plan.vars.clone());
+        for t in &per_chunk {
+            all.append(t);
+        }
+        all
+    }
+
+    /// The worst-case-optimal variant of [`KernelSearch::par_table`]: the
+    /// *first variable's* candidate range (the leapfrog intersection at
+    /// the trie roots) is split across workers; each candidate value seeds
+    /// an independent sub-search with that slot pre-bound. Distinct values
+    /// yield disjoint row sets, so chunk results concatenate without
+    /// deduplication — and since candidates are enumerated in ascending
+    /// order, the row order equals the sequential WCOJ order.
+    fn wcoj_par_table(&self, workers: usize) -> ValuationTable {
+        let empty = || ValuationTable::new(self.plan.vars.clone());
+        if workers <= 1 || self.skip.is_some() || self.plan.wcoj.order.is_empty() {
+            return self.table();
+        }
+        let Some((val, used)) = self.init_val() else {
+            return empty();
+        };
+        let s0 = self.plan.wcoj.order[0] as usize;
+        if val[s0].is_some() {
+            // The split variable is already fixed: nothing to fan out on.
+            return self.table();
+        }
+        let Some(mut probe) = WcojRun::new(
+            &self.plan.wcoj,
+            self.target,
+            val,
+            used,
+            self.injective,
+            self.allowed,
+            self.skip,
+        ) else {
+            return empty();
+        };
+        let cands = probe.root_candidates();
+        let per_chunk = Pool::with_workers(workers).map_chunks(&cands, |_, chunk| {
+            let mut out = ValuationTable::new(self.plan.vars.clone());
+            for &v0 in chunk {
+                let mut sub = KernelSearch {
+                    plan: self.plan,
+                    target: self.target,
+                    fixed: self.fixed.clone(),
+                    injective: self.injective,
+                    allowed: self.allowed,
+                    skip: self.skip,
+                    strategy: Strategy::Wcoj,
+                };
+                sub.fixed.push((s0, v0));
+                sub.for_each_row(|row| {
+                    out.push_row(row);
+                    ControlFlow::Continue(())
+                });
+            }
+            out
+        });
+        let mut all = empty();
         for t in &per_chunk {
             all.append(t);
         }

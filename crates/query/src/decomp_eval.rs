@@ -106,14 +106,17 @@ impl Relation {
     }
 }
 
-/// The match relation of a single atom over `i`, projected to the atom's
-/// variables. Repeated variables and constants are enforced by the compiled
-/// kernel's unification (slot order equals first-occurrence variable
-/// order, i.e. [`QAtom::vars`] order).
-fn atom_relation(atom: &QAtom, i: &Instance) -> Relation {
-    let plan = CompiledQuery::compile(std::slice::from_ref(atom));
+/// The match relation of one bag's atoms over `i`: the whole bag is
+/// compiled as a *single* multiway join instead of a fold of binary joins,
+/// so a cyclic bag (exactly what a width-`k` bag of a cyclic query holds)
+/// is routed through the kernel's worst-case-optimal path by the planner
+/// gate. Columns follow the compiled slot order (first-occurrence variable
+/// order across the bag's atoms); repeated variables and constants are
+/// enforced by the kernel.
+fn bag_relation(atoms: &[&QAtom], i: &Instance) -> Relation {
+    let owned: Vec<QAtom> = atoms.iter().map(|&a| a.clone()).collect();
+    let plan = CompiledQuery::compile(&owned);
     let vars = plan.vars().to_vec();
-    debug_assert_eq!(vars, atom.vars());
     let mut tuples = HashSet::new();
     plan.search(i).for_each_row(|row| {
         tuples.insert(row.to_vec());
@@ -239,12 +242,13 @@ pub fn check_answer_with_decomposition(
     }
     let mut results: Vec<Option<Relation>> = vec![None; td.bag_count()];
     for &u in &order {
-        let mut rel = Relation::unit();
-        for a in &bag_atoms[u] {
-            rel = rel.join(&atom_relation(a, i));
-            if rel.is_empty() {
-                return false;
-            }
+        let mut rel = if bag_atoms[u].is_empty() {
+            Relation::unit()
+        } else {
+            bag_relation(&bag_atoms[u], i)
+        };
+        if rel.is_empty() {
+            return false;
         }
         for &c in &children[u] {
             let child_rel = results[c].take().expect("post-order");

@@ -1,0 +1,949 @@
+//! Worst-case-optimal join execution: leapfrog triejoin over the columnar
+//! sorted-trie indexes of `gtgd-data`.
+//!
+//! The backtracking kernel ([`crate::compile::KernelSearch`]) matches one
+//! *atom* at a time; on cyclic bodies (triangles, cliques — the paper's
+//! hardness core, Thms 5.4/5.13) its intermediate candidate sets can exceed
+//! the AGM fractional-cover bound by polynomial factors. This module binds
+//! one *variable* at a time instead: every atom containing the current
+//! variable exposes a sorted trie iterator over its
+//! [`gtgd_data::SortedPermutation`] index, and a leapfrog intersection
+//! enumerates exactly the values present in *all* of them. The total work
+//! is within the worst-case-optimal bound for the chosen variable order.
+//!
+//! Three pieces live here:
+//!
+//! * [`build_plan`] — the planner: a global variable (slot) order — seeded
+//!   guard-first from the widest atom, grown connected-first, degree then
+//!   min-slot tie-breaks — plus, per atom, the trie level layout (which
+//!   column is keyed by which depth, constants first).
+//! * [`prefers_wcoj`] — the gate: slot-level GYO acyclicity test plus a
+//!   high-arity multiway-join trigger. Acyclic low-join queries keep the
+//!   backtracker (it wins on paths and stars with selective constants).
+//! * [`WcojRun`] — the executor: trie cursors with `open`/`seek`/`next`/
+//!   `up` over sorted permutations, recursing over the variable order.
+//!   Semantics (fixed slots, injectivity, image restriction, skipped
+//!   atoms) mirror the backtracker exactly; `tests/differential_wcoj.rs`
+//!   proves answer-set equality.
+
+use crate::compile::{CAtom, CTerm};
+use gtgd_data::{Instance, SortedPermutation, Value};
+use std::collections::HashSet;
+use std::ops::ControlFlow;
+use std::sync::Arc;
+
+/// What keys one trie level of one atom: an inline constant (descended
+/// before any variable is bound) or the variable bound at a global depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LevelKey {
+    /// The level's column holds this constant on every matching row.
+    Const(Value),
+    /// The level's column is keyed by the slot bound at this depth of the
+    /// global variable order.
+    Depth(u32),
+}
+
+/// One atom's trie layout: the column order its sorted index is requested
+/// in, and what keys each level.
+#[derive(Debug, Clone)]
+pub(crate) struct AtomPlan {
+    pub(crate) predicate: gtgd_data::Predicate,
+    pub(crate) arity: usize,
+    /// Term positions in trie-level order: constants first, then positions
+    /// in increasing depth of their slot (position order within a depth).
+    pub(crate) col_order: Vec<u16>,
+    /// Aligned with `col_order`.
+    pub(crate) keys: Vec<LevelKey>,
+}
+
+/// A compiled worst-case-optimal execution plan: the global variable order
+/// plus per-atom trie layouts. Built once per [`crate::CompiledQuery`].
+#[derive(Debug, Clone)]
+pub(crate) struct WcojPlan {
+    /// `order[d]` is the slot bound at depth `d`. Slots that occur in no
+    /// atom (ghost slots) come last.
+    pub(crate) order: Vec<u32>,
+    /// One plan per compiled atom (same indexing).
+    pub(crate) atoms: Vec<AtomPlan>,
+}
+
+/// Distinct slots of an atom, in first-occurrence order.
+fn atom_slots(a: &CAtom) -> Vec<u32> {
+    let mut out: Vec<u32> = Vec::new();
+    for t in &a.terms {
+        if let CTerm::Slot(s) = *t {
+            if !out.contains(&s) {
+                out.push(s);
+            }
+        }
+    }
+    out
+}
+
+/// Slot-level GYO reduction: `true` iff the hypergraph whose edges are the
+/// atoms' slot sets is α-acyclic. (The query-level test in
+/// [`crate::acyclic`] works on `Cq`/`Var`; this one runs at compile time
+/// on interned slots.)
+fn slots_acyclic(atoms: &[CAtom], slot_count: usize) -> bool {
+    let mut edges: Vec<Vec<u32>> = atoms
+        .iter()
+        .map(|a| {
+            let mut s = atom_slots(a);
+            s.sort_unstable();
+            s
+        })
+        .filter(|s| !s.is_empty())
+        .collect();
+    edges.sort();
+    edges.dedup();
+    loop {
+        let mut changed = false;
+        // Ear rule 1: drop vertices occurring in at most one edge.
+        let mut occurs = vec![0usize; slot_count];
+        for e in &edges {
+            for &s in e {
+                occurs[s as usize] += 1;
+            }
+        }
+        for e in &mut edges {
+            let before = e.len();
+            e.retain(|&s| occurs[s as usize] > 1);
+            changed |= e.len() != before;
+        }
+        // Ear rule 2: drop edges contained in another edge (and empties).
+        let snapshot = edges.clone();
+        let before = edges.len();
+        edges.retain(|e| {
+            !e.is_empty()
+                && !snapshot
+                    .iter()
+                    .any(|f| f.len() > e.len() && e.iter().all(|s| f.contains(s)))
+        });
+        edges.sort();
+        edges.dedup();
+        changed |= edges.len() != before;
+        if !changed {
+            return edges.is_empty();
+        }
+    }
+}
+
+/// The planner gate: worst-case-optimal execution pays off on cyclic
+/// bodies (its raison d'être) and on high-arity multiway joins where one
+/// variable is shared by three or more atoms. Everything else — paths,
+/// low-join lookups, E12's acyclic workloads — keeps the backtracker.
+pub(crate) fn prefers_wcoj(atoms: &[CAtom], slot_count: usize) -> bool {
+    if atoms.len() < 2 {
+        return false;
+    }
+    if !slots_acyclic(atoms, slot_count) {
+        return true;
+    }
+    if atoms.len() < 3 {
+        return false;
+    }
+    let mut degree = vec![0usize; slot_count];
+    for a in atoms {
+        for s in atom_slots(a) {
+            degree[s as usize] += 1;
+        }
+    }
+    degree.iter().any(|&d| d >= 3)
+}
+
+/// Chooses the global variable order and builds per-atom trie layouts.
+///
+/// Order heuristic: seed with the *guard* — the atom with the most
+/// distinct slots (widest scheme; in guarded bodies this is the guard
+/// atom) — then repeatedly append the unordered slot sharing an atom with
+/// an already-ordered slot (connectedness), preferring highest degree
+/// (most atoms constrain it), breaking ties by smallest slot. Ghost slots
+/// (interned but absent from every atom) are appended last.
+pub(crate) fn build_plan(atoms: &[CAtom], slot_count: usize) -> WcojPlan {
+    let slots_per_atom: Vec<Vec<u32>> = atoms.iter().map(atom_slots).collect();
+    let mut degree = vec![0usize; slot_count];
+    let mut occurring = vec![false; slot_count];
+    for sa in &slots_per_atom {
+        for &s in sa {
+            degree[s as usize] += 1;
+            occurring[s as usize] = true;
+        }
+    }
+    let total_occurring = occurring.iter().filter(|&&b| b).count();
+    let mut chosen = vec![false; slot_count];
+    let mut order: Vec<u32> = Vec::with_capacity(slot_count);
+    while order.len() < total_occurring {
+        // Connected candidates: unchosen slots sharing an atom with a
+        // chosen slot.
+        let mut cands: Vec<u32> = Vec::new();
+        for sa in &slots_per_atom {
+            if sa.iter().any(|&s| chosen[s as usize]) {
+                for &s in sa {
+                    if !chosen[s as usize] && !cands.contains(&s) {
+                        cands.push(s);
+                    }
+                }
+            }
+        }
+        if cands.is_empty() {
+            // New component: guard-first — the widest atom with any
+            // unchosen slot seeds the candidates.
+            let guard = slots_per_atom
+                .iter()
+                .enumerate()
+                .filter(|(_, sa)| sa.iter().any(|&s| !chosen[s as usize]))
+                .max_by_key(|(i, sa)| (sa.len(), std::cmp::Reverse(*i)))
+                .map(|(i, _)| i)
+                .expect("unchosen occurring slot implies a candidate atom");
+            cands = slots_per_atom[guard]
+                .iter()
+                .copied()
+                .filter(|&s| !chosen[s as usize])
+                .collect();
+        }
+        let best = cands
+            .into_iter()
+            .min_by_key(|&s| (std::cmp::Reverse(degree[s as usize]), s))
+            .expect("candidates nonempty");
+        chosen[best as usize] = true;
+        order.push(best);
+    }
+    for s in 0..slot_count as u32 {
+        if !chosen[s as usize] {
+            order.push(s);
+        }
+    }
+    let mut depth_of = vec![u32::MAX; slot_count];
+    for (d, &s) in order.iter().enumerate() {
+        depth_of[s as usize] = d as u32;
+    }
+    let atom_plans = atoms
+        .iter()
+        .map(|a| {
+            // (turn, position) sort: constants (turn −1) descend at init,
+            // then levels in depth order; within one depth, term-position
+            // order (the first is the intersection's primary, the rest are
+            // repeated-variable checks).
+            let mut levels: Vec<(i64, u16, LevelKey)> = a
+                .terms
+                .iter()
+                .enumerate()
+                .map(|(pos, t)| {
+                    let pos = u16::try_from(pos).expect("arity fits u16");
+                    match *t {
+                        CTerm::Const(c) => (-1i64, pos, LevelKey::Const(c)),
+                        CTerm::Slot(s) => {
+                            let d = depth_of[s as usize];
+                            (d as i64, pos, LevelKey::Depth(d))
+                        }
+                    }
+                })
+                .collect();
+            levels.sort_by_key(|&(turn, pos, _)| (turn, pos));
+            AtomPlan {
+                predicate: a.predicate,
+                arity: a.terms.len(),
+                col_order: levels.iter().map(|&(_, pos, _)| pos).collect(),
+                keys: levels.iter().map(|&(_, _, k)| k).collect(),
+            }
+        })
+        .collect();
+    WcojPlan {
+        order,
+        atoms: atom_plans,
+    }
+}
+
+/// One open trie level: the row range matching all ancestor keys (`hi`
+/// bounds it; its start is implicit in `pos` history) and the current key
+/// group `[pos, end)`.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    hi: usize,
+    pos: usize,
+    end: usize,
+}
+
+/// A trie iterator over one atom's sorted permutation index. Level `ℓ`
+/// keys rows by column `col_order[ℓ]`; `open` narrows to the parent's
+/// current key group, `seek`/`next` move between key groups by galloping
+/// search.
+struct Cursor<'a> {
+    perm: Arc<SortedPermutation>,
+    /// Per level, the arena column it keys on.
+    cols: Vec<&'a [Value]>,
+    rows: usize,
+    stack: Vec<Frame>,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(target: &'a Instance, plan: &AtomPlan) -> Cursor<'a> {
+        let pc = target.columns(plan.predicate, plan.arity);
+        let rows = pc.map_or(0, |c| c.rows());
+        let cols: Vec<&'a [Value]> = plan
+            .col_order
+            .iter()
+            .map(|&j| pc.map_or(&[] as &[Value], |c| c.col(j as usize)))
+            .collect();
+        let perm = target.sorted_permutation(plan.predicate, plan.arity, &plan.col_order);
+        Cursor {
+            perm,
+            cols,
+            rows,
+            stack: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn key_at(&self, level: usize, i: usize) -> Value {
+        self.cols[level][self.perm.perm()[i] as usize]
+    }
+
+    /// First index in `[lo, hi)` whose key at `level` is `>= v` (gallop +
+    /// binary search; `O(log gap)` for short seeks).
+    fn lower_bound(&self, level: usize, lo: usize, hi: usize, v: Value) -> usize {
+        if lo >= hi || self.key_at(level, lo) >= v {
+            return lo;
+        }
+        // Invariant: key_at(base) < v.
+        let mut base = lo;
+        let mut step = 1usize;
+        while base + step < hi && self.key_at(level, base + step) < v {
+            base += step;
+            step <<= 1;
+        }
+        let mut l = base + 1;
+        let mut h = (base + step).min(hi);
+        while l < h {
+            let mid = l + (h - l) / 2;
+            if self.key_at(level, mid) < v {
+                l = mid + 1;
+            } else {
+                h = mid;
+            }
+        }
+        l
+    }
+
+    /// First index in `[lo, hi)` whose key at `level` is `> v`.
+    fn upper_bound(&self, level: usize, lo: usize, hi: usize, v: Value) -> usize {
+        if lo >= hi || self.key_at(level, lo) > v {
+            return lo;
+        }
+        let mut base = lo;
+        let mut step = 1usize;
+        while base + step < hi && self.key_at(level, base + step) <= v {
+            base += step;
+            step <<= 1;
+        }
+        let mut l = base + 1;
+        let mut h = (base + step).min(hi);
+        while l < h {
+            let mid = l + (h - l) / 2;
+            if self.key_at(level, mid) <= v {
+                l = mid + 1;
+            } else {
+                h = mid;
+            }
+        }
+        l
+    }
+
+    /// Descends into the current key group of the top level (or the whole
+    /// relation at the root), positioned at its first key.
+    fn open(&mut self) {
+        let (lo, hi) = match self.stack.last() {
+            None => (0, self.rows),
+            Some(f) => (f.pos, f.end),
+        };
+        let level = self.stack.len();
+        let end = if lo < hi {
+            let k = self.key_at(level, lo);
+            self.upper_bound(level, lo + 1, hi, k)
+        } else {
+            lo
+        };
+        self.stack.push(Frame { hi, pos: lo, end });
+    }
+
+    fn up(&mut self) {
+        self.stack.pop();
+    }
+
+    #[inline]
+    fn at_end(&self) -> bool {
+        let f = self.stack.last().expect("cursor is open");
+        f.pos >= f.hi
+    }
+
+    #[inline]
+    fn key(&self) -> Value {
+        let f = self.stack.last().expect("cursor is open");
+        self.key_at(self.stack.len() - 1, f.pos)
+    }
+
+    /// Advances to the next distinct key at the current level.
+    fn next(&mut self) {
+        let level = self.stack.len() - 1;
+        let (pos, hi) = {
+            let f = self.stack.last_mut().expect("cursor is open");
+            f.pos = f.end;
+            (f.pos, f.hi)
+        };
+        if pos < hi {
+            let k = self.key_at(level, pos);
+            let end = self.upper_bound(level, pos + 1, hi, k);
+            self.stack.last_mut().expect("cursor is open").end = end;
+        }
+    }
+
+    /// Positions at the first key `>= v` (keys only move forward).
+    fn seek(&mut self, v: Value) {
+        let level = self.stack.len() - 1;
+        let f = *self.stack.last().expect("cursor is open");
+        if f.pos < f.hi && self.key_at(level, f.pos) >= v {
+            return;
+        }
+        let pos = self.lower_bound(level, f.pos, f.hi, v);
+        let end = if pos < f.hi {
+            let k = self.key_at(level, pos);
+            self.upper_bound(level, pos + 1, f.hi, k)
+        } else {
+            pos
+        };
+        let f = self.stack.last_mut().expect("cursor is open");
+        f.pos = pos;
+        f.end = end;
+    }
+}
+
+/// One atom's executor state: its cursor plus a pointer to the next trie
+/// level to descend.
+struct RunAtom<'a> {
+    cursor: Cursor<'a>,
+    keys: &'a [LevelKey],
+    ptr: usize,
+}
+
+/// A running worst-case-optimal search: the recursion over the global
+/// variable order. Constructed per enumeration by the kernel
+/// ([`crate::compile::KernelSearch`] routes here when the strategy gate
+/// picks WCOJ).
+pub(crate) struct WcojRun<'a> {
+    order: &'a [u32],
+    atoms: Vec<RunAtom<'a>>,
+    injective: bool,
+    allowed: Option<&'a HashSet<Value>>,
+    val: Vec<Option<Value>>,
+    used: HashSet<Value>,
+    row: Vec<Value>,
+}
+
+impl<'a> WcojRun<'a> {
+    /// Builds cursors for every non-skipped atom and descends their
+    /// constant trie prefixes. `None` means the search provably has no
+    /// answers (an empty relation, or a constant absent from its column).
+    pub(crate) fn new(
+        wplan: &'a WcojPlan,
+        target: &'a Instance,
+        val: Vec<Option<Value>>,
+        used: HashSet<Value>,
+        injective: bool,
+        allowed: Option<&'a HashSet<Value>>,
+        skip: Option<usize>,
+    ) -> Option<WcojRun<'a>> {
+        let n = val.len();
+        let mut atoms: Vec<RunAtom<'a>> = Vec::with_capacity(wplan.atoms.len());
+        for (i, ap) in wplan.atoms.iter().enumerate() {
+            if Some(i) == skip {
+                continue;
+            }
+            let cursor = Cursor::new(target, ap);
+            if cursor.rows == 0 {
+                return None;
+            }
+            atoms.push(RunAtom {
+                cursor,
+                keys: &ap.keys,
+                ptr: 0,
+            });
+        }
+        let mut run = WcojRun {
+            order: &wplan.order,
+            atoms,
+            injective,
+            allowed,
+            val,
+            used,
+            row: vec![Value::named("?"); n],
+        };
+        for ai in 0..run.atoms.len() {
+            while let Some(LevelKey::Const(c)) = run.next_key(ai) {
+                if !run.open_seek(ai, c) {
+                    return None;
+                }
+            }
+        }
+        Some(run)
+    }
+
+    #[inline]
+    fn next_key(&self, ai: usize) -> Option<LevelKey> {
+        let a = &self.atoms[ai];
+        a.keys.get(a.ptr).copied()
+    }
+
+    #[inline]
+    fn next_is_depth(&self, ai: usize, d: usize) -> bool {
+        self.next_key(ai) == Some(LevelKey::Depth(d as u32))
+    }
+
+    /// Opens atom `ai`'s next trie level and seeks `x`; `true` iff the
+    /// level contains `x`. The level stays open either way (the caller
+    /// unwinds with [`WcojRun::close`]).
+    fn open_seek(&mut self, ai: usize, x: Value) -> bool {
+        let a = &mut self.atoms[ai];
+        a.cursor.open();
+        a.ptr += 1;
+        a.cursor.seek(x);
+        !a.cursor.at_end() && a.cursor.key() == x
+    }
+
+    fn close(&mut self, ai: usize) {
+        let a = &mut self.atoms[ai];
+        a.cursor.up();
+        a.ptr -= 1;
+    }
+
+    /// Runs the search, invoking `f` per answer row (slot order).
+    pub(crate) fn run(
+        &mut self,
+        f: &mut impl FnMut(&[Value]) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        self.rec(0, f)
+    }
+
+    fn rec(
+        &mut self,
+        d: usize,
+        f: &mut impl FnMut(&[Value]) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if d == self.order.len() {
+            for (i, v) in self.val.iter().enumerate() {
+                self.row[i] = v.expect("every slot is bound at a full match");
+            }
+            return f(&self.row);
+        }
+        let s = self.order[d] as usize;
+        if let Some(x) = self.val[s] {
+            // Pre-bound (fixed or a parallel split seed): every level keyed
+            // by this depth must contain x.
+            let mut opened: Vec<usize> = Vec::new();
+            let mut ok = true;
+            'atoms: for ai in 0..self.atoms.len() {
+                while self.next_is_depth(ai, d) {
+                    let hit = self.open_seek(ai, x);
+                    opened.push(ai);
+                    if !hit {
+                        ok = false;
+                        break 'atoms;
+                    }
+                }
+            }
+            let r = if ok {
+                self.rec(d + 1, f)
+            } else {
+                ControlFlow::Continue(())
+            };
+            for &ai in opened.iter().rev() {
+                self.close(ai);
+            }
+            return r;
+        }
+        let parts: Vec<usize> = (0..self.atoms.len())
+            .filter(|&ai| self.next_is_depth(ai, d))
+            .collect();
+        if parts.is_empty() {
+            // No atom constrains this slot. The backtracker leaves such a
+            // slot unbound too (and the emit `expect` fires on both paths
+            // if it is ever reached without a fixed binding).
+            return self.rec(d + 1, f);
+        }
+        for &ai in &parts {
+            let a = &mut self.atoms[ai];
+            a.cursor.open();
+            a.ptr += 1;
+        }
+        let r = self.leapfrog(d, s, &parts, f);
+        for &ai in parts.iter().rev() {
+            self.close(ai);
+        }
+        r
+    }
+
+    /// The multiway intersection at depth `d`: every participant cursor is
+    /// freshly opened on its keying level; enumerate common keys in
+    /// ascending order.
+    fn leapfrog(
+        &mut self,
+        d: usize,
+        s: usize,
+        parts: &[usize],
+        f: &mut impl FnMut(&[Value]) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        'outer: loop {
+            if self.atoms[parts[0]].cursor.at_end() {
+                break;
+            }
+            let mut x = self.atoms[parts[0]].cursor.key();
+            // Align all participants on x, raising x past gaps.
+            loop {
+                let mut moved = false;
+                for &ai in parts {
+                    let c = &mut self.atoms[ai].cursor;
+                    if c.at_end() {
+                        break 'outer;
+                    }
+                    let k = c.key();
+                    if k < x {
+                        c.seek(x);
+                        if c.at_end() {
+                            break 'outer;
+                        }
+                        if c.key() > x {
+                            x = c.key();
+                            moved = true;
+                        }
+                    } else if k > x {
+                        x = k;
+                        moved = true;
+                    }
+                }
+                if !moved {
+                    break;
+                }
+            }
+            if self.try_value(d, s, x, parts, f).is_break() {
+                return ControlFlow::Break(());
+            }
+            let c = &mut self.atoms[parts[0]].cursor;
+            c.next();
+            if c.at_end() {
+                break;
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Binds `x` at depth `d` (mode checks, repeated-variable levels) and
+    /// recurses.
+    fn try_value(
+        &mut self,
+        d: usize,
+        s: usize,
+        x: Value,
+        parts: &[usize],
+        f: &mut impl FnMut(&[Value]) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if self.injective && self.used.contains(&x) {
+            return ControlFlow::Continue(());
+        }
+        if let Some(allowed) = self.allowed {
+            if !allowed.contains(&x) {
+                return ControlFlow::Continue(());
+            }
+        }
+        // Repeated variables: further levels of the same atom keyed by this
+        // depth must also contain x.
+        let mut opened: Vec<usize> = Vec::new();
+        let mut ok = true;
+        'atoms: for &ai in parts {
+            while self.next_is_depth(ai, d) {
+                let hit = self.open_seek(ai, x);
+                opened.push(ai);
+                if !hit {
+                    ok = false;
+                    break 'atoms;
+                }
+            }
+        }
+        let r = if ok {
+            self.val[s] = Some(x);
+            if self.injective {
+                self.used.insert(x);
+            }
+            let r = self.rec(d + 1, f);
+            self.val[s] = None;
+            if self.injective {
+                self.used.remove(&x);
+            }
+            r
+        } else {
+            ControlFlow::Continue(())
+        };
+        for &ai in opened.iter().rev() {
+            self.close(ai);
+        }
+        r
+    }
+
+    /// The candidate values of the *first* (depth-0) variable: the leapfrog
+    /// intersection at the trie roots, in ascending order. Used by the
+    /// parallel split — each value seeds an independent sub-search, and
+    /// distinct values yield disjoint row sets (no deduplication needed).
+    pub(crate) fn root_candidates(&mut self) -> Vec<Value> {
+        let mut out: Vec<Value> = Vec::new();
+        if self.order.is_empty() {
+            return out;
+        }
+        let d = 0usize;
+        let parts: Vec<usize> = (0..self.atoms.len())
+            .filter(|&ai| self.next_is_depth(ai, d))
+            .collect();
+        if parts.is_empty() {
+            return out;
+        }
+        for &ai in &parts {
+            let a = &mut self.atoms[ai];
+            a.cursor.open();
+            a.ptr += 1;
+        }
+        'outer: loop {
+            if self.atoms[parts[0]].cursor.at_end() {
+                break;
+            }
+            let mut x = self.atoms[parts[0]].cursor.key();
+            loop {
+                let mut moved = false;
+                for &ai in &parts {
+                    let c = &mut self.atoms[ai].cursor;
+                    if c.at_end() {
+                        break 'outer;
+                    }
+                    let k = c.key();
+                    if k < x {
+                        c.seek(x);
+                        if c.at_end() {
+                            break 'outer;
+                        }
+                        if c.key() > x {
+                            x = c.key();
+                            moved = true;
+                        }
+                    } else if k > x {
+                        x = k;
+                        moved = true;
+                    }
+                }
+                if !moved {
+                    break;
+                }
+            }
+            out.push(x);
+            let c = &mut self.atoms[parts[0]].cursor;
+            c.next();
+            if c.at_end() {
+                break;
+            }
+        }
+        for &ai in parts.iter().rev() {
+            self.close(ai);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile::{CompiledQuery, Strategy};
+    use crate::parser::parse_cq;
+    use gtgd_data::{GroundAtom, Instance, Value};
+    use std::collections::HashSet;
+
+    fn v(s: &str) -> Value {
+        Value::named(s)
+    }
+
+    fn tri_db() -> Instance {
+        // A triangle a-b-c plus a dangling path d-e (both edge directions).
+        let mut atoms = Vec::new();
+        for (x, y) in [("a", "b"), ("b", "c"), ("c", "a"), ("d", "e")] {
+            atoms.push(GroundAtom::named("E", &[x, y]));
+            atoms.push(GroundAtom::named("E", &[y, x]));
+        }
+        Instance::from_atoms(atoms)
+    }
+
+    fn rows_sorted(q: &CompiledQuery, db: &Instance, s: Strategy) -> Vec<Vec<Value>> {
+        let mut rows: Vec<Vec<Value>> = q
+            .search(db)
+            .strategy(s)
+            .table()
+            .rows()
+            .map(|r| r.to_vec())
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    fn assert_strategies_agree(src: &str, db: &Instance) {
+        let q = parse_cq(src).unwrap();
+        let plan = CompiledQuery::compile(&q.atoms);
+        assert_eq!(
+            rows_sorted(&plan, db, Strategy::Wcoj),
+            rows_sorted(&plan, db, Strategy::Backtrack),
+            "{src}"
+        );
+    }
+
+    #[test]
+    fn wcoj_matches_backtracker_on_shapes() {
+        let db = tri_db();
+        for src in [
+            "Q() :- E(X,Y)",
+            "Q() :- E(X,Y), E(Y,Z)",
+            "Q() :- E(X,Y), E(Y,Z), E(Z,X)",
+            "Q() :- E(X,Y), E(Y,X)",
+            "Q() :- E(X,X)",
+            "Q() :- E(a,Y), E(Y,Z)",
+            "Q() :- E(X,Y), E(X,Z), E(X,W)",
+        ] {
+            assert_strategies_agree(src, &db);
+        }
+    }
+
+    #[test]
+    fn planner_gate_prefers_wcoj_only_on_hard_shapes() {
+        let gate = |src: &str| {
+            let q = parse_cq(src).unwrap();
+            CompiledQuery::compile(&q.atoms).prefers_wcoj()
+        };
+        // Cyclic: triangle, square, clique.
+        assert!(gate("Q() :- E(X,Y), E(Y,Z), E(Z,X)"));
+        assert!(gate("Q() :- E(X,Y), E(Y,Z), E(Z,W), E(W,X)"));
+        // High-arity multiway join: one variable in three atoms.
+        assert!(gate("Q() :- E(X,Y), E(X,Z), E(X,W)"));
+        // Acyclic, low-join: paths, single atoms, pairs.
+        assert!(!gate("Q() :- E(X,Y)"));
+        assert!(!gate("Q() :- E(X,Y), E(Y,Z)"));
+        assert!(!gate("Q() :- E(X,Y), E(Y,Z), E(Z,W)"));
+        // Guarded triangle: the covering atom makes it α-acyclic, but the
+        // shared variables still hit the multiway trigger.
+        assert!(gate("Q() :- T(X,Y,Z), E(X,Y), E(Y,Z), E(Z,X)"));
+    }
+
+    #[test]
+    fn wcoj_respects_modes_and_fixed_slots() {
+        let db = tri_db();
+        let q = parse_cq("Q() :- E(X,Y), E(Y,Z), E(Z,X)").unwrap();
+        let plan = CompiledQuery::compile(&q.atoms);
+        // Triangle homs: 6 oriented triangles on {a,b,c} plus 2-cycles
+        // using repeated vertices; count must match the backtracker.
+        assert_eq!(
+            plan.search(&db).strategy(Strategy::Wcoj).count(),
+            plan.search(&db).strategy(Strategy::Backtrack).count()
+        );
+        assert_eq!(
+            plan.search(&db)
+                .strategy(Strategy::Wcoj)
+                .injective()
+                .count(),
+            plan.search(&db)
+                .strategy(Strategy::Backtrack)
+                .injective()
+                .count()
+        );
+        let allowed: HashSet<Value> = [v("a"), v("b"), v("c")].into_iter().collect();
+        assert_eq!(
+            plan.search(&db)
+                .strategy(Strategy::Wcoj)
+                .restrict_images(&allowed)
+                .count(),
+            plan.search(&db)
+                .strategy(Strategy::Backtrack)
+                .restrict_images(&allowed)
+                .count()
+        );
+        let sx = plan.slot_of(crate::cq::Var(0)).unwrap();
+        assert_eq!(
+            plan.search(&db)
+                .strategy(Strategy::Wcoj)
+                .fix_slots([(sx, v("a"))])
+                .count(),
+            plan.search(&db)
+                .strategy(Strategy::Backtrack)
+                .fix_slots([(sx, v("a"))])
+                .count()
+        );
+        // A fixed value outside the active domain: zero rows, no panic.
+        assert_eq!(
+            plan.search(&db)
+                .strategy(Strategy::Wcoj)
+                .fix_slots([(sx, v("zz"))])
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn wcoj_skip_atom_with_pinned_bindings() {
+        let db = tri_db();
+        let q = parse_cq("Q() :- E(X,Y), E(Y,Z), E(Z,X)").unwrap();
+        let plan = CompiledQuery::compile(&q.atoms);
+        let seed = plan
+            .unify_atom(0, &GroundAtom::named("E", &["a", "b"]))
+            .unwrap();
+        let mut wcoj: Vec<Vec<Value>> = Vec::new();
+        plan.search(&db)
+            .strategy(Strategy::Wcoj)
+            .fix_slots(seed.clone())
+            .skip_atom(0)
+            .for_each_row(|r| {
+                wcoj.push(r.to_vec());
+                std::ops::ControlFlow::Continue(())
+            });
+        let mut back: Vec<Vec<Value>> = Vec::new();
+        plan.search(&db)
+            .strategy(Strategy::Backtrack)
+            .fix_slots(seed)
+            .skip_atom(0)
+            .for_each_row(|r| {
+                back.push(r.to_vec());
+                std::ops::ControlFlow::Continue(())
+            });
+        wcoj.sort();
+        back.sort();
+        assert_eq!(wcoj, back);
+        assert!(!wcoj.is_empty());
+    }
+
+    #[test]
+    fn wcoj_par_table_equals_sequential() {
+        let db = tri_db();
+        for src in [
+            "Q() :- E(X,Y), E(Y,Z), E(Z,X)",
+            "Q() :- E(X,Y), E(X,Z), E(X,W)",
+        ] {
+            let q = parse_cq(src).unwrap();
+            let plan = CompiledQuery::compile(&q.atoms);
+            assert!(plan.prefers_wcoj());
+            let mut seq: Vec<Vec<Value>> = plan
+                .search(&db)
+                .table()
+                .rows()
+                .map(|r| r.to_vec())
+                .collect();
+            seq.sort();
+            for w in [1usize, 2, 4, 7] {
+                let mut par: Vec<Vec<Value>> = plan
+                    .search(&db)
+                    .par_table(w)
+                    .rows()
+                    .map(|r| r.to_vec())
+                    .collect();
+                par.sort();
+                assert_eq!(par, seq, "{src} at {w} workers");
+            }
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Property testing of `Instance` index invariants under random
+//! interleavings of `insert` / `extend_from` / `restrict_to` /
+//! `map_values` (a seeded loop over [`Rng`]; the build is offline, so no
+//! proptest):
+//!
+//! * every `(predicate, position, value)` index entry round-trips to the
+//!   atoms it names, and every atom is reachable through each of its
+//!   argument positions;
+//! * `dom()` is exactly the set of argument values, deduplicated in
+//!   first-occurrence order;
+//! * the columnar arena mirrors per-predicate insertion order;
+//! * sorted permutation indexes agree with a naive argsort of the columns
+//!   and are maintained *incrementally* — a chase run never full-re-sorts
+//!   an index whose predicate only received insert deltas (asserted by the
+//!   `full_builds` / `merge_extends` counter tests at the bottom).
+
+use gtgd::chase::{chase, parse_tgds, ChaseBudget};
+use gtgd::data::{GroundAtom, Instance, Predicate, Rng, Value};
+use std::collections::{HashMap, HashSet};
+
+fn dom_pool() -> Vec<Value> {
+    ["a", "b", "c", "d", "e", "f"]
+        .iter()
+        .map(|s| Value::named(s))
+        .collect()
+}
+
+fn preds() -> Vec<(Predicate, usize)> {
+    vec![
+        (Predicate::new("U"), 1),
+        (Predicate::new("E"), 2),
+        (Predicate::new("T"), 3),
+    ]
+}
+
+fn arb_atom(rng: &mut Rng) -> GroundAtom {
+    let d = dom_pool();
+    let ps = preds();
+    let (p, k) = ps[rng.below(ps.len() as u64) as usize];
+    let args: Vec<Value> = (0..k).map(|_| d[rng.below(6) as usize]).collect();
+    GroundAtom::new(p, args)
+}
+
+/// Reference model: the deduplicated atom sequence in insertion order.
+/// Every instance operation is mirrored here with the obvious O(n²)
+/// implementation, and the real `Instance` must agree on everything.
+fn model_insert(model: &mut Vec<GroundAtom>, a: GroundAtom) {
+    if !model.contains(&a) {
+        model.push(a);
+    }
+}
+
+/// Naive argsort of a predicate's columns under a column order: sort row
+/// ids by the key tuple, ties broken by row id (the contract documented on
+/// `SortedPermutation`).
+fn naive_perm(inst: &Instance, p: Predicate, arity: usize, order: &[u16]) -> Vec<u32> {
+    let Some(pc) = inst.columns(p, arity) else {
+        return Vec::new();
+    };
+    let mut ids: Vec<u32> = (0..pc.rows() as u32).collect();
+    ids.sort_by_key(|&r| {
+        let key: Vec<Value> = order
+            .iter()
+            .map(|&j| pc.col(j as usize)[r as usize])
+            .collect();
+        (key, r)
+    });
+    ids
+}
+
+fn check_invariants(inst: &Instance, model: &[GroundAtom], ctx: &str) {
+    // The atom store is the model, exactly and in order.
+    assert_eq!(inst.len(), model.len(), "len {ctx}");
+    for (i, a) in model.iter().enumerate() {
+        assert_eq!(inst.atom(i), a, "atom {i} {ctx}");
+        assert!(inst.contains(a), "contains {ctx}");
+    }
+
+    // dom(): exact value set, first-occurrence order, no duplicates.
+    let mut expected_dom: Vec<Value> = Vec::new();
+    for a in model {
+        for &v in &a.args {
+            if !expected_dom.contains(&v) {
+                expected_dom.push(v);
+            }
+        }
+    }
+    assert_eq!(inst.dom(), expected_dom.as_slice(), "dom {ctx}");
+    for &v in &expected_dom {
+        assert!(inst.dom_contains(v), "dom_contains {ctx}");
+    }
+
+    // (predicate, position, value) round-trip, both directions, and the
+    // count accessor agrees with the id list.
+    let mut expected_ids: HashMap<(Predicate, usize, Value), Vec<usize>> = HashMap::new();
+    for (i, a) in model.iter().enumerate() {
+        for (pos, &v) in a.args.iter().enumerate() {
+            expected_ids
+                .entry((a.predicate, pos, v))
+                .or_default()
+                .push(i);
+        }
+    }
+    for ((p, pos, v), ids) in &expected_ids {
+        assert_eq!(
+            inst.atoms_matching(*p, *pos, *v),
+            ids.as_slice(),
+            "ids {ctx}"
+        );
+        assert_eq!(inst.index_count(*p, *pos, *v), ids.len(), "count {ctx}");
+    }
+    // Absent keys report empty (a value in dom but never at this slot).
+    let ghost = Value::named("never-inserted");
+    for (p, k) in preds() {
+        for pos in 0..k {
+            if !expected_ids.contains_key(&(p, pos, ghost)) {
+                assert!(inst.atoms_matching(p, pos, ghost).is_empty(), "ghost {ctx}");
+                assert_eq!(inst.index_count(p, pos, ghost), 0, "ghost count {ctx}");
+            }
+        }
+    }
+
+    // Columnar arena mirrors per-predicate insertion order, and the sorted
+    // permutations agree with a naive argsort under several column orders.
+    for (p, k) in preds() {
+        let expected_rows: Vec<&GroundAtom> = model
+            .iter()
+            .filter(|a| a.predicate == p && a.args.len() == k)
+            .collect();
+        match inst.columns(p, k) {
+            None => assert!(expected_rows.is_empty(), "missing columns {ctx}"),
+            Some(pc) => {
+                assert_eq!(pc.rows(), expected_rows.len(), "rows {ctx}");
+                for j in 0..k {
+                    for (r, a) in expected_rows.iter().enumerate() {
+                        assert_eq!(pc.col(j)[r], a.args[j], "col {j} row {r} {ctx}");
+                    }
+                }
+            }
+        }
+        let forward: Vec<u16> = (0..k as u16).collect();
+        let reverse: Vec<u16> = (0..k as u16).rev().collect();
+        for order in [forward, reverse] {
+            let perm = inst.sorted_permutation(p, k, &order);
+            assert_eq!(perm.perm(), naive_perm(inst, p, k, &order), "perm {ctx}");
+            // A permutation is a bijection on row ids.
+            let distinct: HashSet<u32> = perm.perm().iter().copied().collect();
+            assert_eq!(distinct.len(), perm.len(), "perm bijection {ctx}");
+        }
+    }
+}
+
+#[test]
+fn instance_invariants_under_random_interleavings() {
+    let mut rng = Rng::seed(0xbeef_f00d);
+    let d = dom_pool();
+    for round in 0..24u32 {
+        let mut inst = Instance::new();
+        let mut model: Vec<GroundAtom> = Vec::new();
+        let n_ops = 6 + rng.below(14);
+        for op in 0..n_ops {
+            let ctx = format!("round {round} op {op}");
+            match rng.below(10) {
+                // insert: the common case, weighted accordingly.
+                0..=5 => {
+                    let a = arb_atom(&mut rng);
+                    let expected_new = !model.contains(&a);
+                    assert_eq!(inst.insert(a.clone()), expected_new, "insert {ctx}");
+                    model_insert(&mut model, a);
+                }
+                // extend_from a small random instance.
+                6 | 7 => {
+                    let mut other = Instance::new();
+                    for _ in 0..rng.below(6) {
+                        other.insert(arb_atom(&mut rng));
+                    }
+                    inst.extend_from(&other);
+                    for a in other.iter() {
+                        model_insert(&mut model, a.clone());
+                    }
+                }
+                // restrict_to a random keep-set of values.
+                8 => {
+                    let keep: HashSet<Value> =
+                        d.iter().copied().filter(|_| rng.chance(0.6)).collect();
+                    inst = inst.restrict_to(&keep);
+                    model.retain(|a| a.args.iter().all(|v| keep.contains(v)));
+                }
+                // map_values: collapse one random value onto another.
+                _ => {
+                    let from = d[rng.below(6) as usize];
+                    let to = d[rng.below(6) as usize];
+                    inst = inst.map_values(|v| if v == from { to } else { v });
+                    let mapped: Vec<GroundAtom> = model
+                        .iter()
+                        .map(|a| {
+                            GroundAtom::new(
+                                a.predicate,
+                                a.args
+                                    .iter()
+                                    .map(|&v| if v == from { to } else { v })
+                                    .collect::<Vec<_>>(),
+                            )
+                        })
+                        .collect();
+                    model.clear();
+                    for a in mapped {
+                        model_insert(&mut model, a);
+                    }
+                }
+            }
+            check_invariants(&inst, &model, &ctx);
+        }
+    }
+}
+
+/// Requesting the same index twice without an intervening insert is a
+/// cache hit: neither counter moves. An insert followed by a request is a
+/// merge-extend, never a rebuild.
+#[test]
+fn sorted_index_maintenance_is_incremental() {
+    let d = dom_pool();
+    let e = Predicate::new("E");
+    let mut inst = Instance::new();
+    for (x, y) in [(0, 1), (1, 2), (2, 0)] {
+        inst.insert(GroundAtom::new(e, vec![d[x], d[y]]));
+    }
+    let naive = |inst: &Instance, order: &[u16]| naive_perm(inst, e, 2, order);
+
+    assert_eq!(inst.index_stats().indexes, 0);
+    let p0 = inst.sorted_permutation(e, 2, &[0, 1]);
+    assert_eq!(p0.perm(), naive(&inst, &[0, 1]));
+    let s1 = inst.index_stats();
+    assert_eq!((s1.indexes, s1.full_builds, s1.merge_extends), (1, 1, 0));
+
+    // Cache hit: same index, no growth.
+    inst.sorted_permutation(e, 2, &[0, 1]);
+    assert_eq!(inst.index_stats().full_builds, 1);
+    assert_eq!(inst.index_stats().merge_extends, 0);
+
+    // A second column order is a second index (one more full build).
+    inst.sorted_permutation(e, 2, &[1, 0]);
+    let s2 = inst.index_stats();
+    assert_eq!((s2.indexes, s2.full_builds, s2.merge_extends), (2, 2, 0));
+
+    // Insert deltas + re-request: extended by merge, never re-sorted.
+    for (x, y) in [(3, 4), (0, 3), (4, 1)] {
+        inst.insert(GroundAtom::new(e, vec![d[x], d[y]]));
+    }
+    let p0 = inst.sorted_permutation(e, 2, &[0, 1]);
+    assert_eq!(p0.perm(), naive(&inst, &[0, 1]));
+    let s3 = inst.index_stats();
+    assert_eq!(s3.full_builds, 2, "delta must merge, not rebuild");
+    assert_eq!(s3.merge_extends, 1);
+}
+
+/// The acceptance counter test: a chase whose rounds keep inserting into a
+/// predicate that the WCOJ executor indexes. Over the whole run, every
+/// distinct index is full-sorted exactly once (`full_builds == indexes`)
+/// and at least one round extended an index by sorted-merge
+/// (`merge_extends > 0`) — i.e. the chase never full-re-sorts an index
+/// whose predicate only received insert deltas.
+#[test]
+fn chase_extends_wcoj_indexes_incrementally() {
+    // Transitive closure grows E every round; the cyclic triangle body
+    // routes through the WCOJ executor, whose trie cursors demand sorted
+    // indexes on E — which must then be *extended* as E grows.
+    let tgds = parse_tgds(
+        "E(X,Y), E(Y,Z) -> E(X,Z). \
+         E(X,Y), E(Y,Z), E(Z,X) -> Tri(X,Y,Z)",
+    )
+    .unwrap();
+    let d = dom_pool();
+    let e = Predicate::new("E");
+    let mut db = Instance::new();
+    for (x, y) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)] {
+        db.insert(GroundAtom::new(e, vec![d[x], d[y]]));
+    }
+    let result = chase(&db, &tgds, &ChaseBudget::unbounded());
+    assert!(result.complete, "the full-TGD chase reaches a fixpoint");
+    assert!(
+        result.instance.pred_count(Predicate::new("Tri")) > 0,
+        "the 5-cycle closure contains triangles"
+    );
+    let stats = result.instance.index_stats();
+    assert!(stats.indexes > 0, "the WCOJ path built indexes");
+    assert_eq!(
+        stats.full_builds, stats.indexes,
+        "each index is full-sorted exactly once over the whole chase"
+    );
+    assert!(
+        stats.merge_extends > 0,
+        "later rounds extend indexes by sorted-merge of the insert delta"
+    );
+}
