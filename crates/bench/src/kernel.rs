@@ -39,6 +39,14 @@ impl KernelMetric {
             0.0
         }
     }
+
+    /// Worker-pool width of the measured cell (`par@N` columns), reported
+    /// in the BENCH JSON under the obs metric name `pool.max_width` so the
+    /// tables and [`gtgd_data::obs::RunReport`] use one vocabulary.
+    pub fn pool_width(&self) -> Option<u64> {
+        let (_, rest) = self.metric.split_once("par@")?;
+        rest.split_whitespace().next()?.parse().ok()
+    }
 }
 
 /// Finds the cell at (row with first column == `row_key`, column named
@@ -123,10 +131,16 @@ pub fn kernel_json(metrics: &[KernelMetric]) -> String {
     let items: Vec<String> = metrics
         .iter()
         .map(|m| {
+            let pool = m.pool_width().map_or(String::new(), |w| {
+                format!(
+                    ",\n      \"{}\": {w}",
+                    gtgd_data::obs::Metric::PoolMaxWidth.name()
+                )
+            });
             format!(
                 "    {{\n      \"experiment\": \"{}\",\n      \"metric\": \"{}\",\n      \
                  \"n\": \"{}\",\n      \"before_ms\": {:.3},\n      \"after_ms\": {:.3},\n      \
-                 \"speedup\": {:.2}\n    }}",
+                 \"speedup\": {:.2}{pool}\n    }}",
                 escape(m.experiment),
                 escape(m.metric),
                 escape(m.n),

@@ -18,6 +18,14 @@ use gtgd_core::{clique_to_cqs_instance, grid_cqs_family};
 use gtgd_data::Instance;
 use gtgd_query::{CompiledQuery, Strategy};
 
+/// The obs-named index-maintenance counters of `db` after a measurement
+/// (`index.cached` / `index.full_builds` / `index.merge_extends`) — the
+/// same names [`gtgd_data::obs::RunReport`] uses, so BENCH JSON and trace
+/// reports read one source.
+fn index_counters(db: &Instance) -> Vec<(&'static str, u64)> {
+    db.index_stats().counters().to_vec()
+}
+
 /// One live before/after measurement for a single workload.
 #[derive(Debug, Clone)]
 pub struct WcojMetric {
@@ -33,6 +41,10 @@ pub struct WcojMetric {
     pub answers: usize,
     /// Whether the two executors agreed exactly.
     pub answers_agree: bool,
+    /// Index-maintenance counters of the measured instance, under the obs
+    /// metric names (`index.cached`, `index.full_builds`,
+    /// `index.merge_extends`).
+    pub index: Vec<(&'static str, u64)>,
 }
 
 impl WcojMetric {
@@ -70,6 +82,7 @@ fn measure(workload: String, plan: &CompiledQuery, db: &Instance) -> WcojMetric 
         planner: planner_label(plan),
         answers: n_wc,
         answers_agree: n_bt == n_wc,
+        index: index_counters(db),
     }
 }
 
@@ -132,6 +145,7 @@ pub fn e4_reduction_metrics() -> Vec<WcojMetric> {
             planner,
             answers: n_wc,
             answers_agree: n_bt == n_wc,
+            index: index_counters(db),
         });
     }
     out
@@ -176,17 +190,24 @@ pub fn wcoj_json(metrics: &[WcojMetric]) -> String {
     let items: Vec<String> = metrics
         .iter()
         .map(|m| {
+            let index: Vec<String> = m
+                .index
+                .iter()
+                .map(|(name, v)| format!("\"{}\": {v}", escape(name)))
+                .collect();
             format!(
                 "    {{\n      \"workload\": \"{}\",\n      \"backtrack_ms\": {:.3},\n      \
                  \"wcoj_ms\": {:.3},\n      \"speedup\": {:.2},\n      \"planner\": \"{}\",\n      \
-                 \"answers\": {},\n      \"answers_agree\": {}\n    }}",
+                 \"answers\": {},\n      \"answers_agree\": {},\n      \
+                 \"index\": {{{}}}\n    }}",
                 escape(&m.workload),
                 m.backtrack_ms,
                 m.wcoj_ms,
                 m.speedup(),
                 escape(&m.planner),
                 m.answers,
-                m.answers_agree
+                m.answers_agree,
+                index.join(", ")
             )
         })
         .collect();
@@ -216,6 +237,7 @@ mod tests {
             planner: "wcoj".into(),
             answers: 1,
             answers_agree: true,
+            index: Vec::new(),
         };
         assert!((m.speedup() - 4.0).abs() < 1e-9);
         m.wcoj_ms = 0.0;
@@ -232,6 +254,7 @@ mod tests {
                 planner: "wcoj".into(),
                 answers: 120,
                 answers_agree: true,
+                index: vec![("index.cached", 2), ("index.full_builds", 2)],
             },
             WcojMetric {
                 workload: "triangle".into(),
@@ -240,6 +263,7 @@ mod tests {
                 planner: "wcoj".into(),
                 answers: 6,
                 answers_agree: true,
+                index: Vec::new(),
             },
         ];
         let json = wcoj_json(&metrics);
@@ -248,5 +272,6 @@ mod tests {
         assert_eq!(json.matches("\"workload\"").count(), 2);
         assert!(json.contains("\"speedup\": 10.00"));
         assert!(json.contains("\"answers_agree\": true"));
+        assert!(json.contains("\"index.cached\": 2"));
     }
 }

@@ -12,9 +12,10 @@
 
 use crate::plan::TriggerPlan;
 use crate::tgd::Tgd;
-use gtgd_data::{GroundAtom, Instance, Value};
+use gtgd_data::{obs, GroundAtom, Instance, Value};
 use std::collections::HashSet;
 use std::ops::ControlFlow;
+use std::time::Instant;
 
 /// Resource limits for a chase run. The chase of a database under TGDs with
 /// existential heads is infinite in general, so callers choose how much of
@@ -92,7 +93,20 @@ impl ChaseResult {
 /// Each TGD is compiled into a trigger plan (`plan::TriggerPlan`) once; every round re-probes
 /// the cached plan with a delta atom pinned, instead of rebuilding atom
 /// lists per firing.
+///
+/// Compatibility wrapper over [`crate::runner::ChaseRunner`] — prefer the
+/// facade in new code.
 pub fn chase(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget) -> ChaseResult {
+    crate::runner::ChaseRunner::new(tgds)
+        .budget(*budget)
+        .run(db)
+        .into_chase_result()
+}
+
+/// The sequential oblivious engine behind [`chase`] and
+/// [`crate::runner::ChaseRunner`].
+pub(crate) fn chase_impl(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget) -> ChaseResult {
+    let _span = obs::span("chase.oblivious");
     let plans = TriggerPlan::compile_all(tgds);
     let mut instance = db.clone();
     let mut levels = vec![0usize; instance.len()];
@@ -117,12 +131,14 @@ pub fn chase(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget) -> ChaseResult {
                 break;
             }
         }
+        let round_t = obs::enabled().then(Instant::now);
         let mut new_atoms: Vec<GroundAtom> = Vec::new();
         let mut hit_cap = false;
         'round: for (ti, tgd) in tgds.iter().enumerate() {
             let plan = &plans[ti];
             if tgd.body.is_empty() {
                 if level == 0 && fired.insert((ti, Vec::new())) {
+                    obs::count(obs::Metric::TriggerFirings, 1);
                     plan.fire_row(&[], &mut new_atoms);
                 }
                 continue;
@@ -145,6 +161,7 @@ pub fn chase(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget) -> ChaseResult {
                                 return ControlFlow::Break(());
                             }
                             if fired.insert((ti, plan.trigger_key(row))) {
+                                obs::count(obs::Metric::TriggerFirings, 1);
                                 plan.fire_row(row, &mut new_atoms);
                             }
                             ControlFlow::Continue(())
@@ -154,6 +171,10 @@ pub fn chase(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget) -> ChaseResult {
                     }
                 }
             }
+        }
+        obs::count(obs::Metric::ChaseRounds, 1);
+        if let Some(t0) = round_t {
+            obs::observe(obs::Hist::ChaseRoundNs, t0.elapsed().as_nanos() as u64);
         }
         if new_atoms.is_empty() {
             if hit_cap {

@@ -29,6 +29,7 @@ pub mod par_engine;
 pub(crate) mod plan;
 pub mod restricted;
 pub mod rewrite;
+pub mod runner;
 pub mod tgd;
 pub mod typed_chase;
 pub mod types;
@@ -42,6 +43,7 @@ pub use linearize::{linearize, Linearization};
 pub use par_engine::{par_chase, par_ground_saturation};
 pub use restricted::{restricted_chase, RestrictedChaseResult};
 pub use rewrite::linear_rewrite;
+pub use runner::{ChaseOutcome, ChaseRunner, ChaseVariant};
 pub use tgd::{parse_tgd, parse_tgds, satisfies, satisfies_all, Tgd, TgdClass};
 pub use typed_chase::{typed_chase, typed_chase_with, DepthPolicy, TypedChaseResult};
 pub use types::{complete_ground, ground_saturation, type_of_atom, CanonType, Saturator};

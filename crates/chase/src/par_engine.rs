@@ -34,9 +34,10 @@ use crate::engine::{ChaseBudget, ChaseResult};
 use crate::plan::TriggerPlan;
 use crate::tgd::Tgd;
 use crate::types::{canonicalize, decode, CanonType, Saturator, TAtom};
-use gtgd_data::{GroundAtom, Instance, Pool, Value};
+use gtgd_data::{obs, GroundAtom, Instance, Pool, Value};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::ops::ControlFlow;
+use std::time::Instant;
 
 /// A discovered trigger: which TGD, its canonical key (the body-variable
 /// images, for once-only firing), and the full body row (slot order of the
@@ -48,6 +49,22 @@ type Trigger = (usize, Vec<Value>, Vec<Value>);
 /// [`crate::engine::chase`] up to null renaming (isomorphism), with
 /// identical levels, completeness, and atom counts.
 pub fn par_chase(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget, workers: usize) -> ChaseResult {
+    crate::runner::ChaseRunner::new(tgds)
+        .budget(*budget)
+        .workers(workers)
+        .run(db)
+        .into_chase_result()
+}
+
+/// The pool-parallel oblivious engine behind [`par_chase`] and
+/// [`crate::runner::ChaseRunner`].
+pub(crate) fn par_chase_impl(
+    db: &Instance,
+    tgds: &[Tgd],
+    budget: &ChaseBudget,
+    workers: usize,
+) -> ChaseResult {
+    let _span = obs::span("chase.parallel");
     let pool = Pool::with_workers(workers);
     let mut instance = db.clone();
     let mut levels = vec![0usize; instance.len()];
@@ -72,10 +89,12 @@ pub fn par_chase(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget, workers: usi
             complete = false;
             break;
         }
+        let round_t = obs::enabled().then(Instant::now);
         let mut new_atoms: Vec<GroundAtom> = Vec::new();
         let mut hit_cap = false;
         for (ti, tgd) in tgds.iter().enumerate() {
             if tgd.body.is_empty() && level == 0 && fired.insert((ti, Vec::new())) {
+                obs::count(obs::Metric::TriggerFirings, 1);
                 plans[ti].fire_row(&[], &mut new_atoms);
             }
         }
@@ -119,9 +138,14 @@ pub fn par_chase(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget, workers: usi
                     break 'merge;
                 }
                 if fired.insert((ti, key)) {
+                    obs::count(obs::Metric::TriggerFirings, 1);
                     plans[ti].fire_row(&row, &mut new_atoms);
                 }
             }
+        }
+        obs::count(obs::Metric::ChaseRounds, 1);
+        if let Some(t0) = round_t {
+            obs::observe(obs::Hist::ChaseRoundNs, t0.elapsed().as_nanos() as u64);
         }
         if new_atoms.is_empty() {
             if hit_cap {
@@ -164,6 +188,7 @@ pub fn par_chase(db: &Instance, tgds: &[Tgd], budget: &ChaseBudget, workers: usi
 /// one closure computation per canonical bag type per round. Returns the
 /// same instance (as a set) as [`crate::types::ground_saturation`].
 pub fn par_ground_saturation(db: &Instance, tgds: &[Tgd], workers: usize) -> Instance {
+    let _span = obs::span("chase.saturation");
     let pool = Pool::with_workers(workers);
     let mut saturators: Vec<Saturator> =
         (0..pool.workers()).map(|_| Saturator::new(tgds)).collect();

@@ -20,7 +20,7 @@
 //!   head query with the frontier slots pre-linked to body slots.
 
 use crate::tgd::Tgd;
-use gtgd_data::{GroundAtom, Instance, Predicate, Value};
+use gtgd_data::{obs, GroundAtom, Instance, Predicate, Value};
 use gtgd_query::{CompiledQuery, Term};
 
 /// One argument of a compiled head atom.
@@ -131,6 +131,7 @@ impl TriggerPlan {
     /// variable order, like the legacy engine) and appends the atoms to
     /// `out`.
     pub fn fire_row(&self, row: &[Value], out: &mut Vec<GroundAtom>) {
+        obs::count(obs::Metric::NullsCreated, self.n_exist as u64);
         let nulls: Vec<Value> = (0..self.n_exist).map(|_| Value::fresh_null()).collect();
         for atom in &self.head {
             out.push(GroundAtom::new(
@@ -151,6 +152,7 @@ impl TriggerPlan {
     /// (restricted-chase activity check): does the compiled head query
     /// match with the frontier pinned to the body row's images?
     pub fn head_satisfied(&self, row: &[Value], instance: &Instance) -> bool {
+        obs::count(obs::Metric::RestrictedHeadChecks, 1);
         self.head_query
             .search(instance)
             .fix_slots(self.frontier_links.iter().map(|&(hs, bs)| (hs, row[bs])))

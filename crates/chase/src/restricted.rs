@@ -25,7 +25,7 @@
 use crate::engine::ChaseBudget;
 use crate::plan::TriggerPlan;
 use crate::tgd::Tgd;
-use gtgd_data::{GroundAtom, Instance, Value};
+use gtgd_data::{obs, GroundAtom, Instance, Value};
 use std::collections::{HashSet, VecDeque};
 use std::ops::ControlFlow;
 
@@ -50,6 +50,21 @@ pub fn restricted_chase(
     tgds: &[Tgd],
     budget: &ChaseBudget,
 ) -> RestrictedChaseResult {
+    crate::runner::ChaseRunner::new(tgds)
+        .variant(crate::runner::ChaseVariant::Restricted)
+        .budget(*budget)
+        .run(db)
+        .into_restricted_result()
+}
+
+/// The engine behind [`restricted_chase`] and
+/// [`crate::runner::ChaseRunner`].
+pub(crate) fn restricted_chase_impl(
+    db: &Instance,
+    tgds: &[Tgd],
+    budget: &ChaseBudget,
+) -> RestrictedChaseResult {
+    let _span = obs::span("chase.restricted");
     let plans = TriggerPlan::compile_all(tgds);
     let mut instance = db.clone();
     let mut fired = 0usize;
@@ -119,6 +134,7 @@ pub fn restricted_chase(
         new_atoms.clear();
         plans[ti].fire_row(&row, &mut new_atoms);
         fired += 1;
+        obs::count(obs::Metric::TriggerFirings, 1);
         // Insert, keeping only the genuinely new atoms as the delta.
         let mut delta_start = instance.len();
         instance.reserve_additional(new_atoms.len());

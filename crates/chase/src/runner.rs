@@ -1,0 +1,264 @@
+//! The chase facade: one builder in front of the three engines.
+//!
+//! The crate grew three chase entry points — the sequential oblivious
+//! [`crate::engine::chase`], the pool-parallel [`crate::par_engine::par_chase`],
+//! and the [`crate::restricted::restricted_chase`] — each with its own result
+//! type. [`ChaseRunner`] unifies them: pick a [`ChaseVariant`], a
+//! [`ChaseBudget`], a worker count, and optionally tracing, then [`run`].
+//! The legacy free functions delegate here, so their behaviour (budget-stop
+//! exactness, null naming, level bookkeeping) is unchanged.
+//!
+//! ```
+//! use gtgd_chase::{parse_tgds, ChaseBudget, ChaseRunner};
+//! use gtgd_data::{GroundAtom, Instance};
+//!
+//! let tgds = parse_tgds("A(X) -> B(X). B(X) -> C(X).").unwrap();
+//! let db = Instance::from_atoms([GroundAtom::named("A", &["a"])]);
+//! let outcome = ChaseRunner::new(&tgds)
+//!     .budget(ChaseBudget::unbounded())
+//!     .run(&db);
+//! assert!(outcome.complete);
+//! assert_eq!(outcome.instance.len(), 3);
+//! ```
+//!
+//! [`run`]: ChaseRunner::run
+
+use crate::engine::{ChaseBudget, ChaseResult};
+use crate::restricted::RestrictedChaseResult;
+use crate::tgd::Tgd;
+use gtgd_data::{obs, Instance};
+
+/// Which chase semantics to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChaseVariant {
+    /// The oblivious chase: every trigger fires exactly once, levels are
+    /// canonical. Parallelizes (trigger search distributes over workers).
+    #[default]
+    Oblivious,
+    /// The restricted (standard) chase: a trigger fires only if its head is
+    /// not yet satisfied. Smaller results, order-dependent, sequential —
+    /// a configured worker count is ignored (documented limitation).
+    Restricted,
+}
+
+/// A configured chase run over a fixed TGD set. Built with
+/// [`ChaseRunner::new`], executed with [`ChaseRunner::run`]; reusable
+/// across databases.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaseRunner<'a> {
+    tgds: &'a [Tgd],
+    variant: ChaseVariant,
+    budget: ChaseBudget,
+    workers: usize,
+    trace: bool,
+}
+
+/// What a chase run produced. Field availability depends on the variant:
+/// the oblivious chase has canonical levels, the restricted chase has a
+/// fired-trigger count.
+#[derive(Debug, Clone)]
+pub struct ChaseOutcome {
+    /// The materialized instance (includes the input database).
+    pub instance: Instance,
+    /// Whether a fixpoint was reached within budget.
+    pub complete: bool,
+    /// Per-atom chase levels (oblivious variant only).
+    pub levels: Option<Vec<usize>>,
+    /// The highest level materialized (oblivious variant only).
+    pub max_level: Option<usize>,
+    /// Triggers fired (restricted variant only; the oblivious engines
+    /// report firings through the [`obs`] counters instead).
+    pub fired: Option<usize>,
+    /// The run's probe report; `None` unless built with `.trace(true)`.
+    pub report: Option<obs::RunReport>,
+}
+
+impl ChaseOutcome {
+    /// Converts to the legacy oblivious-chase result type. Panics on a
+    /// restricted-variant outcome (no level structure).
+    pub fn into_chase_result(self) -> ChaseResult {
+        ChaseResult {
+            instance: self.instance,
+            levels: self.levels.expect("oblivious outcome has levels"),
+            complete: self.complete,
+            max_level: self.max_level.expect("oblivious outcome has max level"),
+        }
+    }
+
+    /// Converts to the legacy restricted-chase result type. Panics on an
+    /// oblivious-variant outcome (no fired count).
+    pub fn into_restricted_result(self) -> RestrictedChaseResult {
+        RestrictedChaseResult {
+            instance: self.instance,
+            complete: self.complete,
+            fired: self.fired.expect("restricted outcome has a fired count"),
+        }
+    }
+}
+
+impl<'a> ChaseRunner<'a> {
+    /// A runner over `tgds` with defaults: oblivious variant, unbounded
+    /// budget, one worker, no tracing.
+    pub fn new(tgds: &'a [Tgd]) -> ChaseRunner<'a> {
+        ChaseRunner {
+            tgds,
+            variant: ChaseVariant::default(),
+            budget: ChaseBudget::unbounded(),
+            workers: 1,
+            trace: false,
+        }
+    }
+
+    /// Selects the chase semantics (default: [`ChaseVariant::Oblivious`]).
+    pub fn variant(mut self, v: ChaseVariant) -> Self {
+        self.variant = v;
+        self
+    }
+
+    /// Sets the resource budget (default: unbounded — only safe for
+    /// terminating chases).
+    pub fn budget(mut self, b: ChaseBudget) -> Self {
+        self.budget = b;
+        self
+    }
+
+    /// Sets the worker-pool width for trigger search (default 1 =
+    /// sequential). Only the oblivious variant parallelizes; the
+    /// restricted chase ignores this.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Enables probe collection: the outcome's
+    /// [`report`](ChaseOutcome::report) will carry chase rounds, trigger
+    /// firings, nulls created, kernel work, index maintenance, and pool
+    /// utilization for this run.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    fn run_now(&self, db: &Instance) -> ChaseOutcome {
+        match self.variant {
+            ChaseVariant::Oblivious => {
+                let r = if self.workers > 1 {
+                    crate::par_engine::par_chase_impl(db, self.tgds, &self.budget, self.workers)
+                } else {
+                    crate::engine::chase_impl(db, self.tgds, &self.budget)
+                };
+                ChaseOutcome {
+                    instance: r.instance,
+                    complete: r.complete,
+                    levels: Some(r.levels),
+                    max_level: Some(r.max_level),
+                    fired: None,
+                    report: None,
+                }
+            }
+            ChaseVariant::Restricted => {
+                let r = crate::restricted::restricted_chase_impl(db, self.tgds, &self.budget);
+                ChaseOutcome {
+                    instance: r.instance,
+                    complete: r.complete,
+                    levels: None,
+                    max_level: None,
+                    fired: Some(r.fired),
+                    report: None,
+                }
+            }
+        }
+    }
+
+    /// Runs the configured chase on `db`.
+    pub fn run(&self, db: &Instance) -> ChaseOutcome {
+        if self.trace {
+            let (mut outcome, report) = obs::trace_run(|| self.run_now(db));
+            outcome.report = Some(report);
+            outcome
+        } else {
+            self.run_now(db)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::chase;
+    use crate::restricted::restricted_chase;
+    use crate::tgd::parse_tgds;
+    use gtgd_data::GroundAtom;
+    use gtgd_query::instance_isomorphic;
+
+    fn db(atoms: &[(&str, &[&str])]) -> Instance {
+        Instance::from_atoms(atoms.iter().map(|(p, args)| GroundAtom::named(p, args)))
+    }
+
+    #[test]
+    fn oblivious_outcome_matches_free_function() {
+        let tgds = parse_tgds("E(X,Y), E(Y,Z) -> E(X,Z)").unwrap();
+        let d = db(&[("E", &["a", "b"]), ("E", &["b", "c"])]);
+        let legacy = chase(&d, &tgds, &ChaseBudget::unbounded());
+        let outcome = ChaseRunner::new(&tgds).run(&d);
+        assert_eq!(outcome.instance, legacy.instance);
+        assert_eq!(outcome.levels.as_deref(), Some(legacy.levels.as_slice()));
+        assert_eq!(outcome.max_level, Some(legacy.max_level));
+        assert_eq!(outcome.complete, legacy.complete);
+    }
+
+    #[test]
+    fn parallel_dispatch_is_isomorphic() {
+        let tgds =
+            parse_tgds("Emp(X) -> WorksIn(X,D), Dept(D). Dept(D) -> HasMgr(D,M), Emp(M)").unwrap();
+        let d = db(&[("Emp", &["ann"]), ("Emp", &["bob"])]);
+        let seq = chase(&d, &tgds, &ChaseBudget::levels(4));
+        for w in [2, 4] {
+            let par = ChaseRunner::new(&tgds)
+                .budget(ChaseBudget::levels(4))
+                .workers(w)
+                .run(&d);
+            assert_eq!(par.instance.len(), seq.instance.len(), "workers {w}");
+            assert_eq!(par.levels.as_deref(), Some(seq.levels.as_slice()));
+            assert!(instance_isomorphic(&par.instance, &seq.instance));
+        }
+    }
+
+    #[test]
+    fn restricted_outcome_matches_free_function() {
+        let tgds = parse_tgds("P(X) -> R(X,Y)").unwrap();
+        let d = db(&[("P", &["a"]), ("R", &["a", "b"])]);
+        let legacy = restricted_chase(&d, &tgds, &ChaseBudget::unbounded());
+        let outcome = ChaseRunner::new(&tgds)
+            .variant(ChaseVariant::Restricted)
+            .run(&d);
+        assert_eq!(outcome.instance, legacy.instance);
+        assert_eq!(outcome.fired, Some(legacy.fired));
+        assert!(outcome.levels.is_none());
+    }
+
+    #[test]
+    fn budget_stop_behaviour_is_preserved() {
+        let tgds = parse_tgds("P(X) -> Q(X,Y). Q(X,Y) -> P(Y)").unwrap();
+        let d = db(&[("P", &["a"])]);
+        let legacy = chase(&d, &tgds, &ChaseBudget::atoms(20));
+        let outcome = ChaseRunner::new(&tgds)
+            .budget(ChaseBudget::atoms(20))
+            .run(&d);
+        assert!(!outcome.complete);
+        assert_eq!(outcome.instance.len(), legacy.instance.len());
+    }
+
+    #[test]
+    fn traced_run_reports_chase_work() {
+        let tgds = parse_tgds("A(X) -> B(X). B(X) -> C(X).").unwrap();
+        let d = db(&[("A", &["a"])]);
+        let outcome = ChaseRunner::new(&tgds).trace(true).run(&d);
+        let report = outcome.report.expect("trace was requested");
+        assert!(report.counter(obs::Metric::ChaseRounds) >= 2);
+        assert!(report.counter(obs::Metric::TriggerFirings) >= 2);
+        assert!(report.spans.iter().any(|s| s.name == "chase.oblivious"));
+        // Untraced runs carry no report.
+        assert!(ChaseRunner::new(&tgds).run(&d).report.is_none());
+    }
+}

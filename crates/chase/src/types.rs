@@ -18,10 +18,11 @@
 //! invokes from \[14\]/\[24\]; only *reachable* types are ever materialized.
 
 use crate::tgd::{Tgd, TgdClass};
-use gtgd_data::{GroundAtom, Instance, Predicate, Value};
+use gtgd_data::{obs, GroundAtom, Instance, Predicate, Value};
 use gtgd_query::{CompiledQuery, Term, Var};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::ops::ControlFlow;
+use std::time::Instant;
 
 /// An atom in canonical coordinates: arguments are positions `0..width`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -271,6 +272,7 @@ impl<'a> Saturator<'a> {
     /// same-type bag through that bag's own ordering.
     pub fn close_canonical(&mut self, key: &CanonType, perm: &[Value]) -> Instance {
         if self.stable.contains(key) {
+            obs::count(obs::Metric::BagClosureMemoHits, 1);
             return decode(&self.memo[key], perm);
         }
         if self.in_progress.contains(key) {
@@ -280,6 +282,8 @@ impl<'a> Saturator<'a> {
             let current = self.memo.get(key).unwrap_or(&key.atoms);
             return decode(current, perm);
         }
+        obs::count(obs::Metric::BagClosures, 1);
+        let closure_t = obs::enabled().then(Instant::now);
         let hits_before = self.ip_hits;
         let start = self
             .memo
@@ -363,6 +367,9 @@ impl<'a> Saturator<'a> {
             // No recursive cycle below: this is the exact least fixpoint of
             // the key's downward cone.
             self.stable.insert(key.clone());
+        }
+        if let Some(t0) = closure_t {
+            obs::observe(obs::Hist::BagClosureNs, t0.elapsed().as_nanos() as u64);
         }
         current
     }

@@ -26,12 +26,14 @@
 //! chase probes one shared instance from many workers) can build or reuse
 //! indexes through a shared `&Instance`.
 
+use crate::obs;
 use crate::schema::Predicate;
 use crate::value::Value;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 /// Columnar mirror of one predicate's tuples (at one arity): `cols[j][r]`
 /// is argument `j` of the `r`-th inserted tuple. Row order is insertion
@@ -111,6 +113,23 @@ pub struct IndexStats {
     /// How many times an index was extended by sorting only the insert
     /// delta and merging.
     pub merge_extends: usize,
+}
+
+impl IndexStats {
+    /// The stats as `(metric name, value)` pairs, using the same metric
+    /// vocabulary as [`crate::obs::RunReport`] — BENCH JSON, experiment
+    /// tables, and run reports all read these names from one source
+    /// instead of inventing ad-hoc tuple layouts.
+    pub fn counters(&self) -> [(&'static str, u64); 3] {
+        [
+            ("index.cached", self.indexes as u64),
+            (obs::Metric::IndexFullBuilds.name(), self.full_builds as u64),
+            (
+                obs::Metric::IndexMergeExtends.name(),
+                self.merge_extends as u64,
+            ),
+        ]
+    }
 }
 
 /// Cache key: `(predicate, arity, column order)`.
@@ -193,6 +212,7 @@ impl SortedIndexCache {
                 return Arc::clone(c);
             }
         }
+        let timer = obs::enabled().then(Instant::now);
         let perm = match prev {
             Some(c) => {
                 // Incremental extend: sort only the delta, then one merge
@@ -215,15 +235,20 @@ impl SortedIndexCache {
                 out.extend_from_slice(&old[i..]);
                 out.extend_from_slice(&delta[j..]);
                 self.merge_extends.fetch_add(1, AtomicOrdering::Relaxed);
+                obs::count(obs::Metric::IndexMergeExtends, 1);
                 out
             }
             None => {
                 let mut all: Vec<u32> = (0..rows as u32).collect();
                 all.sort_unstable_by(|&a, &b| cmp(a, b));
                 self.full_builds.fetch_add(1, AtomicOrdering::Relaxed);
+                obs::count(obs::Metric::IndexFullBuilds, 1);
                 all
             }
         };
+        if let Some(t0) = timer {
+            obs::observe(obs::Hist::IndexBuildNs, t0.elapsed().as_nanos() as u64);
+        }
         let built = Arc::new(SortedPermutation {
             order: order.to_vec(),
             perm,

@@ -30,6 +30,7 @@ pub mod atom;
 pub mod columnar;
 pub mod homomorphism;
 pub mod instance;
+pub mod obs;
 pub mod par;
 pub mod rng;
 pub mod schema;
@@ -41,6 +42,7 @@ pub use atom::GroundAtom;
 pub use columnar::{IndexStats, PredColumns, SortedPermutation};
 pub use homomorphism::{is_homomorphism, Valuation};
 pub use instance::Instance;
+pub use obs::RunReport;
 pub use par::{default_workers, Pool};
 pub use rng::Rng;
 pub use schema::{Predicate, Schema};

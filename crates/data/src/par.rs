@@ -21,6 +21,7 @@
 //! their own slot vectors. Chunks are over-partitioned (more chunks than
 //! workers) so stragglers re-balance naturally.
 
+use crate::obs;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How many chunks to split work into, independent of worker count. A
@@ -81,10 +82,13 @@ impl Pool {
         if self.workers == 1 || chunks.len() == 1 {
             return chunks.into_iter().map(|(off, c)| f(off, c)).collect();
         }
+        let spawned = self.workers.min(chunks.len());
+        obs::count(obs::Metric::PoolRuns, 1);
+        obs::record_max(obs::Metric::PoolMaxWidth, spawned as u64);
         let next = AtomicUsize::new(0);
         let mut per_worker: Vec<Vec<(usize, R)>> = Vec::new();
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.workers.min(chunks.len()))
+            let handles: Vec<_> = (0..spawned)
                 .map(|_| {
                     scope.spawn(|| {
                         let mut mine: Vec<(usize, R)> = Vec::new();
@@ -99,7 +103,10 @@ impl Pool {
                 })
                 .collect();
             for h in handles {
-                per_worker.push(h.join().expect("pool worker panicked"));
+                let mine = h.join().expect("pool worker panicked");
+                obs::count(obs::Metric::PoolChunksClaimed, mine.len() as u64);
+                obs::observe(obs::Hist::PoolWorkerChunks, mine.len() as u64);
+                per_worker.push(mine);
             }
         });
         let mut slots: Vec<Option<R>> = (0..chunks.len()).map(|_| None).collect();
@@ -135,6 +142,8 @@ impl Pool {
             return vec![f(&mut states[0], 0, items)];
         }
         let chunk = items.len().div_ceil(n);
+        obs::count(obs::Metric::PoolRuns, 1);
+        obs::record_max(obs::Metric::PoolMaxWidth, n as u64);
         let f = &f;
         std::thread::scope(|scope| {
             let handles: Vec<_> = states[..n]
@@ -162,10 +171,13 @@ impl Pool {
         if self.workers == 1 || chunks.len() == 1 {
             return items.iter().map(f).collect();
         }
+        let spawned = self.workers.min(items.len());
+        obs::count(obs::Metric::PoolRuns, 1);
+        obs::record_max(obs::Metric::PoolMaxWidth, spawned as u64);
         let next = AtomicUsize::new(0);
         let mut per_worker: Vec<Vec<(usize, R)>> = Vec::new();
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.workers.min(items.len()))
+            let handles: Vec<_> = (0..spawned)
                 .map(|_| {
                     scope.spawn(|| {
                         let mut mine: Vec<(usize, R)> = Vec::new();

@@ -26,7 +26,7 @@
 
 use crate::cq::{QAtom, Term, Var};
 use crate::wcoj::{self, WcojPlan, WcojRun};
-use gtgd_data::{Instance, Pool, Value};
+use gtgd_data::{obs, Instance, Pool, Value};
 use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
 
@@ -314,6 +314,10 @@ struct State {
     pending: Vec<usize>,
     trail: Vec<u32>,
     row: Vec<Value>,
+    // Probe accumulators, flushed to the obs counters once per search so
+    // the hot recursion never touches an atomic.
+    nodes: u64,
+    backtracks: u64,
 }
 
 impl<'a> KernelSearch<'a> {
@@ -409,6 +413,8 @@ impl<'a> KernelSearch<'a> {
             pending,
             trail: Vec::new(),
             row: vec![Value::named("?"); n],
+            nodes: 0,
+            backtracks: 0,
         })
     }
 
@@ -459,6 +465,7 @@ impl<'a> KernelSearch<'a> {
         st: &mut State,
         f: &mut impl FnMut(&[Value]) -> ControlFlow<()>,
     ) -> ControlFlow<()> {
+        st.nodes += 1;
         if st.pending.is_empty() {
             for (i, v) in st.val.iter().enumerate() {
                 st.row[i] = v.expect("every slot is bound at a full match");
@@ -533,6 +540,7 @@ impl<'a> KernelSearch<'a> {
             st.trail.truncate(mark);
         }
         // Restore the pending list for sibling branches.
+        st.backtracks += 1;
         st.pending.push(ai);
         let last = st.pending.len() - 1;
         st.pending.swap(best_idx, last);
@@ -553,7 +561,10 @@ impl<'a> KernelSearch<'a> {
         let Some(mut st) = self.init() else {
             return false;
         };
-        self.search_rec(&mut st, &mut f).is_break()
+        let stopped = self.search_rec(&mut st, &mut f).is_break();
+        obs::count(obs::Metric::KernelNodes, st.nodes);
+        obs::count(obs::Metric::KernelBacktracks, st.backtracks);
+        stopped
     }
 
     /// The worst-case-optimal path of [`KernelSearch::for_each_row`].

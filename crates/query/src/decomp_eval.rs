@@ -114,6 +114,7 @@ impl Relation {
 /// order across the bag's atoms); repeated variables and constants are
 /// enforced by the kernel.
 fn bag_relation(atoms: &[&QAtom], i: &Instance) -> Relation {
+    gtgd_data::obs::count(gtgd_data::obs::Metric::DecompBagChecks, 1);
     let owned: Vec<QAtom> = atoms.iter().map(|&a| a.clone()).collect();
     let plan = CompiledQuery::compile(&owned);
     let vars = plan.vars().to_vec();

@@ -4,9 +4,15 @@
 //! Evaluation runs directly on the compiled kernel ([`crate::compile`]):
 //! answer projection reads slots out of the kernel's flat rows, so no
 //! per-witness `HashMap` is ever built.
+//!
+//! The free functions here predate the [`crate::engine::Engine`] facade and
+//! are kept as thin delegating wrappers for compatibility. New code should
+//! prefer `Engine::prepare(&q)`, which exposes the same evaluation paths
+//! behind one configurable builder.
 
 use crate::compile::CompiledQuery;
 use crate::cq::{Cq, Ucq};
+use crate::engine::Engine;
 use gtgd_data::{Instance, Value};
 use std::collections::HashSet;
 use std::ops::ControlFlow;
@@ -24,35 +30,29 @@ fn compile_for_answers(q: &Cq) -> (CompiledQuery, Vec<usize>) {
 }
 
 /// `q(I)`: the set of answers to `q` over `I`.
+///
+/// Compatibility wrapper over [`Engine::prepare`] — prefer the facade in
+/// new code.
 pub fn evaluate_cq(q: &Cq, i: &Instance) -> HashSet<Vec<Value>> {
-    let (plan, slots) = compile_for_answers(q);
-    let mut out = HashSet::new();
-    plan.search(i).for_each_row(|row| {
-        out.insert(slots.iter().map(|&s| row[s]).collect());
-        ControlFlow::Continue(())
-    });
-    out
+    Engine::prepare(q).answers(i)
 }
 
 /// `q(I)` evaluated on a `workers`-wide pool (see
 /// [`crate::compile::KernelSearch::par_table`]). Returns the same set as
 /// [`evaluate_cq`].
+///
+/// Compatibility wrapper over [`Engine::prepare`]`.parallel(workers)` —
+/// prefer the facade in new code.
 pub fn evaluate_cq_par(q: &Cq, i: &Instance, workers: usize) -> HashSet<Vec<Value>> {
-    let (plan, slots) = compile_for_answers(q);
-    plan.search(i)
-        .par_table(workers)
-        .rows()
-        .map(|row| slots.iter().map(|&s| row[s]).collect())
-        .collect()
+    Engine::prepare(q).parallel(workers).answers(i)
 }
 
 /// Whether `c̄ ∈ q(I)` (the evaluation problem's decision form).
+///
+/// Compatibility wrapper over [`Engine::prepare`]`.check(..)` — prefer the
+/// facade in new code.
 pub fn check_answer(q: &Cq, i: &Instance, answer: &[Value]) -> bool {
-    assert_eq!(answer.len(), q.arity(), "candidate answer has wrong arity");
-    let (plan, slots) = compile_for_answers(q);
-    plan.search(i)
-        .fix_slots(slots.into_iter().zip(answer.iter().copied()))
-        .exists()
+    Engine::prepare(q).check(i, answer)
 }
 
 /// Whether a Boolean CQ holds: `I |= q`.

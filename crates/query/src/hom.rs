@@ -27,6 +27,12 @@ use std::ops::ControlFlow;
 /// A configured homomorphism search. Build one, then call
 /// [`HomSearch::first`], [`HomSearch::exists`], [`HomSearch::all`], or
 /// [`HomSearch::for_each`].
+///
+/// **Deprecated surface**: for query evaluation, prefer
+/// [`crate::engine::Engine::prepare`] — the documented facade with the
+/// same options (parallel width, injectivity, image restriction, strategy)
+/// plus tracing. `HomSearch` remains for callers that need raw
+/// `HashMap<Var, Value>` valuations over ad-hoc atom lists.
 pub struct HomSearch<'a> {
     atoms: &'a [QAtom],
     target: &'a Instance,

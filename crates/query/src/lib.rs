@@ -26,6 +26,7 @@ pub mod contract;
 pub mod cq;
 pub mod cq_core;
 pub mod decomp_eval;
+pub mod engine;
 pub mod eval;
 pub mod hom;
 pub mod iso;
@@ -45,6 +46,7 @@ pub use contract::{
 pub use cq::{Cq, QAtom, Term, Ucq, Var};
 pub use cq_core::core_of;
 pub use decomp_eval::check_answer_decomposed;
+pub use engine::{Engine, PreparedQuery, QueryOutcome};
 pub use eval::{
     check_answer, evaluate_cq, evaluate_cq_par, evaluate_ucq, holds_boolean, ucq_holds_boolean,
 };

@@ -27,7 +27,7 @@
 //!   proves answer-set equality.
 
 use crate::compile::{CAtom, CTerm};
-use gtgd_data::{Instance, SortedPermutation, Value};
+use gtgd_data::{obs, Instance, SortedPermutation, Value};
 use std::collections::HashSet;
 use std::ops::ControlFlow;
 use std::sync::Arc;
@@ -308,9 +308,11 @@ impl<'a> Cursor<'a> {
         // Invariant: key_at(base) < v.
         let mut base = lo;
         let mut step = 1usize;
+        let mut steps = 0u64;
         while base + step < hi && self.key_at(level, base + step) < v {
             base += step;
             step <<= 1;
+            steps += 1;
         }
         let mut l = base + 1;
         let mut h = (base + step).min(hi);
@@ -321,7 +323,9 @@ impl<'a> Cursor<'a> {
             } else {
                 h = mid;
             }
+            steps += 1;
         }
+        obs::count(obs::Metric::WcojGallopSteps, steps);
         l
     }
 
@@ -332,9 +336,11 @@ impl<'a> Cursor<'a> {
         }
         let mut base = lo;
         let mut step = 1usize;
+        let mut steps = 0u64;
         while base + step < hi && self.key_at(level, base + step) <= v {
             base += step;
             step <<= 1;
+            steps += 1;
         }
         let mut l = base + 1;
         let mut h = (base + step).min(hi);
@@ -345,7 +351,9 @@ impl<'a> Cursor<'a> {
             } else {
                 h = mid;
             }
+            steps += 1;
         }
+        obs::count(obs::Metric::WcojGallopSteps, steps);
         l
     }
 
@@ -399,6 +407,7 @@ impl<'a> Cursor<'a> {
 
     /// Positions at the first key `>= v` (keys only move forward).
     fn seek(&mut self, v: Value) {
+        obs::count(obs::Metric::WcojSeeks, 1);
         let level = self.stack.len() - 1;
         let f = *self.stack.last().expect("cursor is open");
         if f.pos < f.hi && self.key_at(level, f.pos) >= v {

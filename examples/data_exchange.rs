@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --example data_exchange`
 
-use gtgd::chase::{chase, parse_tgds, satisfies_all, ChaseBudget};
+use gtgd::chase::{parse_tgds, satisfies_all, ChaseRunner};
 use gtgd::data::{GroundAtom, Instance};
 use gtgd::omq::{evaluate_omq, EvalConfig, Omq};
 use gtgd::query::parse_ucq;
@@ -29,8 +29,8 @@ fn main() {
     .expect("source-to-target TGDs parse");
 
     // Materialize the target: one terminating chase (the canonical
-    // universal solution of data exchange).
-    let result = chase(&source, &st_tgds, &ChaseBudget::unbounded());
+    // universal solution of data exchange), via the `ChaseRunner` facade.
+    let result = ChaseRunner::new(&st_tgds).run(&source);
     assert!(result.complete, "weakly acyclic ⇒ chase terminates");
     assert!(satisfies_all(&result.instance, &st_tgds));
     println!(

@@ -4,10 +4,10 @@
 //!
 //! Run with: `cargo run --example ontology_reasoning`
 
-use gtgd::chase::{chase, parse_tgds, ChaseBudget, DepthPolicy};
+use gtgd::chase::{parse_tgds, ChaseBudget, ChaseRunner, DepthPolicy};
 use gtgd::data::{GroundAtom, Instance, Schema};
 use gtgd::omq::{evaluate_omq, EvalConfig, Omq};
-use gtgd::query::{evaluate_ucq, parse_ucq};
+use gtgd::query::{parse_cq, parse_ucq, Engine};
 
 fn main() {
     // A publication ontology: every paper has an author who is a person;
@@ -26,11 +26,12 @@ fn main() {
         GroundAtom::named("CoAuthor", &["barcelo", "lutz"]),
     ]);
 
-    // Closed-world: evaluate directly over the database. Nothing says lutz
-    // co-authors barcelo (the symmetric fact is missing), and no
-    // affiliation exists at all.
+    // Closed-world: evaluate directly over the database through the
+    // `Engine` facade. Nothing says lutz co-authors barcelo (the symmetric
+    // fact is missing), and no affiliation exists at all.
+    let q_sym_cq = parse_cq("Q(X) :- CoAuthor(lutz, X)").unwrap();
+    let closed = Engine::prepare(&q_sym_cq).answers(&db);
     let q_sym = parse_ucq("Q(X) :- CoAuthor(lutz, X)").unwrap();
-    let closed = evaluate_ucq(&q_sym, &db);
     println!("closed-world CoAuthor(lutz, ·): {} answers", closed.len());
     assert!(closed.is_empty());
 
@@ -56,8 +57,11 @@ fn main() {
     assert_eq!(open_aff.answers.len(), 1); // barcelo (lutz is not asserted Person)
 
     // Peek at the chase: the universal model the answers come from
-    // (Prop 3.1: Q(D) = q(chase(D, Σ))).
-    let prefix = chase(&db, &sigma, &ChaseBudget::levels(2));
+    // (Prop 3.1: Q(D) = q(chase(D, Σ))). `ChaseRunner` is the facade over
+    // the chase engines.
+    let prefix = ChaseRunner::new(&sigma)
+        .budget(ChaseBudget::levels(2))
+        .run(&db);
     println!(
         "chase prefix to level 2: {} atoms (complete = {})",
         prefix.instance.len(),

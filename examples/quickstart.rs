@@ -1,12 +1,16 @@
 //! Quickstart: define a database, a guarded ontology, and an
 //! ontology-mediated query; get certain answers open-world.
 //!
+//! Direct query evaluation goes through the [`Engine`] facade; chase
+//! materialization goes through the [`ChaseRunner`] facade. The OMQ
+//! pipeline (`evaluate_omq`) composes both internally.
+//!
 //! Run with: `cargo run --example quickstart`
 
-use gtgd::chase::parse_tgds;
+use gtgd::chase::{parse_tgds, ChaseBudget, ChaseRunner};
 use gtgd::data::{GroundAtom, Instance};
 use gtgd::omq::{evaluate_omq, EvalConfig, Omq};
-use gtgd::query::parse_ucq;
+use gtgd::query::{parse_cq, parse_ucq, Engine};
 
 fn main() {
     // A tiny HR database: two employees, one department fact.
@@ -26,9 +30,19 @@ fn main() {
     .expect("ontology parses");
 
     // The actual query: who works in a managed department?
-    let query = parse_ucq("Q(X) :- WorksIn(X,D), HasMgr(D,M)").expect("query parses");
+    let cq = parse_cq("Q(X) :- WorksIn(X,D), HasMgr(D,M)").expect("query parses");
 
-    let omq = Omq::full_schema(sigma, query);
+    // Closed-world, the database alone answers nothing: no HasMgr fact
+    // exists. `Engine::prepare` is the evaluation entry point.
+    let closed = Engine::prepare(&cq).answers(&db);
+    println!("closed-world answers: {}", closed.len());
+    assert!(closed.is_empty());
+
+    // Open-world, the ontology fills the gaps: certain answers of the OMQ.
+    let omq = Omq::full_schema(
+        sigma.clone(),
+        parse_ucq("Q(X) :- WorksIn(X,D), HasMgr(D,M)").unwrap(),
+    );
     let result = evaluate_omq(&omq, &db, &EvalConfig::default());
 
     println!("certain answers (exact = {}):", result.exact);
@@ -50,4 +64,18 @@ fn main() {
     // employee a department with a manager, even though the database never
     // says so explicitly.
     assert_eq!(answers, vec!["ann", "bob"]);
+
+    // Under the hood those answers come from the chase. `ChaseRunner` is
+    // the facade over the chase engines — this ontology's oblivious chase
+    // is infinite, so materialize a bounded prefix and query it directly.
+    let prefix = ChaseRunner::new(&sigma)
+        .budget(ChaseBudget::levels(3))
+        .run(&db);
+    let over_prefix = Engine::prepare(&cq).answers(&prefix.instance);
+    println!(
+        "chase prefix to level 3: {} atoms, {} answers over it",
+        prefix.instance.len(),
+        over_prefix.len()
+    );
+    assert!(over_prefix.len() >= 2);
 }

@@ -3,18 +3,29 @@
 //! ```text
 //! gtgd script.gtgd         # evaluate a script file
 //! gtgd -                   # read the script from stdin
+//! gtgd --trace script.gtgd # also print the probe report (JSON, stderr)
 //! ```
 //!
 //! See `gtgd::script` for the script format.
 
+use gtgd::data::obs;
 use gtgd::script::{eval_script, Mode};
 use std::io::Read;
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: gtgd <script-file | ->");
+    let mut trace = false;
+    let mut files: Vec<String> = Vec::new();
+    for a in std::env::args().skip(1) {
+        if a == "--trace" {
+            trace = true;
+        } else {
+            files.push(a);
+        }
+    }
+    let [arg] = files.as_slice() else {
+        eprintln!("usage: gtgd [--trace] <script-file | ->");
         std::process::exit(2);
-    });
+    };
     let src = if arg == "-" {
         let mut buf = String::new();
         std::io::stdin()
@@ -22,12 +33,18 @@ fn main() {
             .expect("read stdin");
         buf
     } else {
-        std::fs::read_to_string(&arg).unwrap_or_else(|e| {
+        std::fs::read_to_string(arg).unwrap_or_else(|e| {
             eprintln!("cannot read {arg}: {e}");
             std::process::exit(2);
         })
     };
-    match eval_script(&src) {
+    let (result, report) = if trace {
+        let (r, rep) = obs::trace_run(|| eval_script(&src));
+        (r, Some(rep))
+    } else {
+        (eval_script(&src), None)
+    };
+    match result {
         Ok(out) => {
             let mode = match out.mode {
                 Mode::Open => "open-world (OMQ)",
@@ -40,6 +57,10 @@ fn main() {
             );
             for a in &out.answers {
                 println!("  ({a})");
+            }
+            if let Some(rep) = report {
+                // The report goes to stderr so piped answer output stays clean.
+                eprintln!("{}", rep.to_json());
             }
         }
         Err(e) => {
