@@ -10,6 +10,8 @@
 //! experiments --wcoj-json BENCH_wcoj.json       # WCOJ vs backtracker only
 //! experiments --trace-json TRACE.json           # traced E9/E10/E15 probe reports
 //! experiments --obs-smoke                       # disabled-probe overhead check
+//! experiments --certify-sample                  # emit + independently check certificates
+//! experiments --cert-smoke                      # disabled-provenance overhead check
 //! ```
 //!
 //! With `--jobs N`, independent experiment series run on an N-worker pool;
@@ -33,6 +35,8 @@ fn main() {
     let mut wcoj_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut obs_smoke = false;
+    let mut certify_sample = false;
+    let mut cert_smoke = false;
     let mut jobs = 1usize;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
@@ -56,6 +60,14 @@ fn main() {
             }
             "--obs-smoke" => {
                 obs_smoke = true;
+                i += 1;
+            }
+            "--certify-sample" => {
+                certify_sample = true;
+                i += 1;
+            }
+            "--cert-smoke" => {
+                cert_smoke = true;
                 i += 1;
             }
             "--jobs" => {
@@ -97,6 +109,21 @@ fn main() {
         // E15-style chase — both route through the same probed engine, so
         // this catches any accidental always-on instrumentation.
         run_obs_smoke();
+        return;
+    }
+    if certify_sample {
+        // Certificate sample: run certified chases over the E9-style org
+        // and E15-style transitive-closure workloads, certify every
+        // null-free answer with both join strategies, and pipe the JSON
+        // through the *independent* gtgd-check library; skips the suite.
+        run_certify_sample();
+        return;
+    }
+    if cert_smoke {
+        // Overhead smoke for the provenance gate: with no certificate
+        // collector installed, the chase must cost what it cost before the
+        // probe existed (plus an informational capture-on ratio).
+        run_cert_smoke();
         return;
     }
     if let Some(path) = kernel_path {
@@ -188,6 +215,111 @@ fn paired_total_ratio(rounds: u32, mut a: impl FnMut(), mut b: impl FnMut()) -> 
         }
     }
     total_b as f64 / total_a as f64
+}
+
+fn run_certify_sample() {
+    use gtgd_bench::workloads::{org_db, org_ontology, path_db, tc_ontology};
+    use gtgd_chase::{certificates_to_json, CertificateStore, ChaseBudget, ChaseRunner};
+    use gtgd_query::{parse_cq, Strategy};
+
+    let samples: [(&str, Vec<gtgd_chase::Tgd>, gtgd_data::Instance, &str); 2] = [
+        (
+            "E9 org",
+            org_ontology(),
+            org_db(12),
+            "Q(X) :- WorksIn(X,D), Dept(D)",
+        ),
+        ("E15 tc", tc_ontology(), path_db(12), "Q(X,Y) :- E(X,Y)"),
+    ];
+    let mut total = 0usize;
+    for (name, tgds, db, query) in &samples {
+        let outcome = ChaseRunner::new(tgds)
+            .budget(ChaseBudget::levels(4))
+            .certify(true)
+            .run(db);
+        let store = CertificateStore::new(db, tgds, outcome.firings.expect("certified run"));
+        let q = parse_cq(query).unwrap();
+        for strategy in [Strategy::Backtrack, Strategy::Wcoj] {
+            let certs = store.certify_answers(&q, &outcome.instance, strategy);
+            assert!(!certs.is_empty(), "{name}: no certifiable answers");
+            let json = certificates_to_json(&certs);
+            match gtgd_check::check_all(&json) {
+                Ok(n) => {
+                    println!("{name} {strategy:?}: {n} certificate(s) accepted");
+                    total += n;
+                }
+                Err((i, e)) => {
+                    eprintln!("certify sample FAILED: {name} {strategy:?} cert {i}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    println!("certify sample OK ({total} certificates)");
+}
+
+fn run_cert_smoke() {
+    use gtgd_bench::workloads::{path_db, tc_ontology};
+    use gtgd_chase::{chase, ChaseBudget, ChaseRunner};
+
+    assert!(
+        !gtgd_data::prov::enabled(),
+        "provenance gate must be off by default"
+    );
+    let tgds = tc_ontology();
+    let db = path_db(100);
+    let expect = chase(&db, &tgds, &ChaseBudget::unbounded()).instance.len();
+    // Deterministic half of the contract: an uncertified facade run must
+    // not materialize firings or leave the gate enabled.
+    let warm = ChaseRunner::new(&tgds).run(&db);
+    assert_eq!(warm.instance.len(), expect);
+    assert!(
+        warm.firings.is_none(),
+        "uncertified run must carry no firings"
+    );
+    assert!(
+        !gtgd_data::prov::enabled(),
+        "provenance gate must stay off after an uncertified run"
+    );
+
+    // The acceptance guard: with no collector installed, the facade (which
+    // now carries the provenance branch in fire_row) must stay within
+    // noise of the legacy free function — same pairing and 25% slack as
+    // the obs smoke, for the same shared-container reasons.
+    let ratio = paired_total_ratio(
+        10,
+        || {
+            let r = chase(&db, &tgds, &ChaseBudget::unbounded());
+            assert_eq!(r.instance.len(), expect);
+        },
+        || {
+            let o = ChaseRunner::new(&tgds).run(&db);
+            assert_eq!(o.instance.len(), expect);
+        },
+    );
+    println!("cert smoke: uncertified/legacy paired total ratio {ratio:.3}");
+    if ratio > 1.25 {
+        eprintln!("cert smoke FAILED: disabled-provenance overhead above 25% of legacy chase");
+        std::process::exit(1);
+    }
+
+    // Informational: what switching the collector ON costs (EXPERIMENTS.md
+    // §certificates records this; it is not a pass/fail bound — capture is
+    // opt-in and pays for the record it produces).
+    let on_ratio = paired_total_ratio(
+        10,
+        || {
+            let o = ChaseRunner::new(&tgds).run(&db);
+            assert_eq!(o.instance.len(), expect);
+        },
+        || {
+            let o = ChaseRunner::new(&tgds).certify(true).run(&db);
+            assert_eq!(o.instance.len(), expect);
+            assert!(o.firings.is_some());
+        },
+    );
+    println!("cert smoke: capture-on/off paired total ratio {on_ratio:.3} (informational)");
+    println!("cert smoke OK");
 }
 
 fn run_obs_smoke() {

@@ -22,6 +22,7 @@
 //! ```
 
 pub mod acyclicity;
+pub mod cert;
 pub mod dl;
 pub mod engine;
 pub mod linearize;
@@ -37,6 +38,7 @@ pub mod unravel;
 pub mod witness;
 
 pub use acyclicity::is_weakly_acyclic;
+pub use cert::{certificates_to_json, Certificate, CertificateStore};
 pub use dl::{abox_consistent, parse_dl_ontology, parse_tbox, tbox_to_tgds, Axiom, Concept, Role};
 pub use engine::{chase, ChaseBudget, ChaseResult};
 pub use linearize::{linearize, Linearization};

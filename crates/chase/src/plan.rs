@@ -20,7 +20,7 @@
 //!   head query with the frontier slots pre-linked to body slots.
 
 use crate::tgd::Tgd;
-use gtgd_data::{obs, GroundAtom, Instance, Predicate, Value};
+use gtgd_data::{obs, prov, GroundAtom, Instance, Predicate, Value};
 use gtgd_query::{CompiledQuery, Term};
 
 /// One argument of a compiled head atom.
@@ -44,11 +44,20 @@ pub(crate) struct HeadAtomPlan {
 /// A TGD compiled for repeated trigger search and firing.
 #[derive(Debug, Clone)]
 pub(crate) struct TriggerPlan {
+    /// Index of the TGD in the rule set (names the rule in provenance
+    /// records).
+    pub index: usize,
     /// The compiled body (one slot per body variable).
     pub body: CompiledQuery,
     /// Body slots in ascending variable order — the legacy trigger-key
     /// order ([`Tgd::body_vars`]).
     pub key_slots: Vec<usize>,
+    /// Body variable indices in the same ascending order as `key_slots`
+    /// (the provenance-record valuation keys).
+    pub key_vars: Vec<u32>,
+    /// Existential variable indices in ascending order (the order
+    /// [`TriggerPlan::fire_row`] allocates fresh nulls in).
+    pub exist_vars: Vec<u32>,
     /// The compiled head atoms for firing.
     pub head: Vec<HeadAtomPlan>,
     /// Number of existential variables (fresh nulls per firing).
@@ -61,14 +70,15 @@ pub(crate) struct TriggerPlan {
 }
 
 impl TriggerPlan {
-    /// Compiles one TGD.
-    pub fn new(tgd: &Tgd) -> TriggerPlan {
+    /// Compiles one TGD; `index` is its position in the rule set.
+    pub fn new(tgd: &Tgd, index: usize) -> TriggerPlan {
         let body = CompiledQuery::compile(&tgd.body);
-        let key_slots = tgd
-            .body_vars()
+        let body_vars = tgd.body_vars();
+        let key_slots = body_vars
             .iter()
             .map(|&v| body.slot_of(v).expect("body vars are interned"))
             .collect();
+        let key_vars = body_vars.iter().map(|v| v.index() as u32).collect();
         let exist = tgd.existential_vars();
         let head = tgd
             .head
@@ -106,8 +116,11 @@ impl TriggerPlan {
             })
             .collect();
         TriggerPlan {
+            index,
             body,
             key_slots,
+            key_vars,
+            exist_vars: exist.iter().map(|v| v.index() as u32).collect(),
             head,
             n_exist: exist.len(),
             head_query,
@@ -117,7 +130,10 @@ impl TriggerPlan {
 
     /// Compiles every TGD of a rule set.
     pub fn compile_all(tgds: &[Tgd]) -> Vec<TriggerPlan> {
-        tgds.iter().map(TriggerPlan::new).collect()
+        tgds.iter()
+            .enumerate()
+            .map(|(i, t)| TriggerPlan::new(t, i))
+            .collect()
     }
 
     /// The trigger key (body-variable images in ascending variable order)
@@ -130,9 +146,15 @@ impl TriggerPlan {
     /// fresh nulls for the existential variables (allocated in ascending
     /// variable order, like the legacy engine) and appends the atoms to
     /// `out`.
+    ///
+    /// All three engines fire exclusively through this method — and always
+    /// on their single merge/fire thread — so the provenance probe below
+    /// sees every derivation, in the engines' canonical firing order, for
+    /// any worker count.
     pub fn fire_row(&self, row: &[Value], out: &mut Vec<GroundAtom>) {
         obs::count(obs::Metric::NullsCreated, self.n_exist as u64);
         let nulls: Vec<Value> = (0..self.n_exist).map(|_| Value::fresh_null()).collect();
+        let start = out.len();
         for atom in &self.head {
             out.push(GroundAtom::new(
                 atom.predicate,
@@ -145,6 +167,20 @@ impl TriggerPlan {
                     })
                     .collect(),
             ))
+        }
+        if prov::enabled() {
+            let val = self
+                .key_vars
+                .iter()
+                .zip(self.key_slots.iter())
+                .map(|(&v, &s)| (v, row[s]))
+                .chain(self.exist_vars.iter().zip(&nulls).map(|(&v, &n)| (v, n)))
+                .collect();
+            prov::record_firing(prov::FiringRecord {
+                tgd: self.index,
+                val,
+                atoms: out[start..].to_vec(),
+            });
         }
     }
 
@@ -173,7 +209,7 @@ mod tests {
     #[test]
     fn fire_row_grounds_head_with_fresh_nulls() {
         let tgds = parse_tgds("Emp(X) -> WorksIn(X,D), Dept(D)").unwrap();
-        let plan = TriggerPlan::new(&tgds[0]);
+        let plan = TriggerPlan::new(&tgds[0], 0);
         assert_eq!(plan.n_exist, 1);
         let mut out = Vec::new();
         plan.fire_row(&[v("ann")], &mut out);
@@ -190,7 +226,7 @@ mod tests {
         // key must still come out in ascending Var order, like
         // `Tgd::body_vars`.
         let tgds = parse_tgds("R(Y,X) -> S(X,Y)").unwrap();
-        let plan = TriggerPlan::new(&tgds[0]);
+        let plan = TriggerPlan::new(&tgds[0], 0);
         let bv = tgds[0].body_vars();
         let row_y_x = [v("a"), v("b")]; // slot order: first occurrence = Y, X
         let key = plan.trigger_key(&row_y_x);
@@ -204,7 +240,7 @@ mod tests {
     #[test]
     fn head_satisfied_checks_frontier_extension() {
         let tgds = parse_tgds("P(X) -> R(X,Y)").unwrap();
-        let plan = TriggerPlan::new(&tgds[0]);
+        let plan = TriggerPlan::new(&tgds[0], 0);
         let with = Instance::from_atoms([GroundAtom::named("R", &["a", "b"])]);
         let without = Instance::from_atoms([GroundAtom::named("R", &["z", "b"])]);
         assert!(plan.head_satisfied(&[v("a")], &with));

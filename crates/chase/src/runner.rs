@@ -26,7 +26,7 @@
 use crate::engine::{ChaseBudget, ChaseResult};
 use crate::restricted::RestrictedChaseResult;
 use crate::tgd::Tgd;
-use gtgd_data::{obs, Instance};
+use gtgd_data::{obs, prov, FiringRecord, Instance};
 
 /// Which chase semantics to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -51,6 +51,7 @@ pub struct ChaseRunner<'a> {
     budget: ChaseBudget,
     workers: usize,
     trace: bool,
+    certify: bool,
 }
 
 /// What a chase run produced. Field availability depends on the variant:
@@ -71,6 +72,10 @@ pub struct ChaseOutcome {
     pub fired: Option<usize>,
     /// The run's probe report; `None` unless built with `.trace(true)`.
     pub report: Option<obs::RunReport>,
+    /// The run's derivation provenance — every trigger firing, in the
+    /// engines' canonical firing order; `None` unless built with
+    /// `.certify(true)`.
+    pub firings: Option<Vec<FiringRecord>>,
 }
 
 impl ChaseOutcome {
@@ -106,6 +111,7 @@ impl<'a> ChaseRunner<'a> {
             budget: ChaseBudget::unbounded(),
             workers: 1,
             trace: false,
+            certify: false,
         }
     }
 
@@ -139,6 +145,17 @@ impl<'a> ChaseRunner<'a> {
         self
     }
 
+    /// Enables derivation-provenance capture: the outcome's
+    /// [`firings`](ChaseOutcome::firings) will list every trigger firing
+    /// ([`FiringRecord`]) in the engines' canonical firing order —
+    /// deterministic for any worker count, since all engines fire on a
+    /// single merge thread. This is the raw material for answer
+    /// certificates (see the `cert` module).
+    pub fn certify(mut self, on: bool) -> Self {
+        self.certify = on;
+        self
+    }
+
     fn run_now(&self, db: &Instance) -> ChaseOutcome {
         match self.variant {
             ChaseVariant::Oblivious => {
@@ -154,6 +171,7 @@ impl<'a> ChaseRunner<'a> {
                     max_level: Some(r.max_level),
                     fired: None,
                     report: None,
+                    firings: None,
                 }
             }
             ChaseVariant::Restricted => {
@@ -165,6 +183,7 @@ impl<'a> ChaseRunner<'a> {
                     max_level: None,
                     fired: Some(r.fired),
                     report: None,
+                    firings: None,
                 }
             }
         }
@@ -172,6 +191,16 @@ impl<'a> ChaseRunner<'a> {
 
     /// Runs the configured chase on `db`.
     pub fn run(&self, db: &Instance) -> ChaseOutcome {
+        if self.certify {
+            let (mut outcome, firings) = prov::collect_run(|| self.run_traced(db));
+            outcome.firings = Some(firings);
+            outcome
+        } else {
+            self.run_traced(db)
+        }
+    }
+
+    fn run_traced(&self, db: &Instance) -> ChaseOutcome {
         if self.trace {
             let (mut outcome, report) = obs::trace_run(|| self.run_now(db));
             outcome.report = Some(report);
@@ -188,7 +217,7 @@ mod tests {
     use crate::engine::chase;
     use crate::restricted::restricted_chase;
     use crate::tgd::parse_tgds;
-    use gtgd_data::GroundAtom;
+    use gtgd_data::{GroundAtom, Value};
     use gtgd_query::instance_isomorphic;
 
     fn db(atoms: &[(&str, &[&str])]) -> Instance {
@@ -260,5 +289,31 @@ mod tests {
         assert!(report.spans.iter().any(|s| s.name == "chase.oblivious"));
         // Untraced runs carry no report.
         assert!(ChaseRunner::new(&tgds).run(&d).report.is_none());
+    }
+
+    #[test]
+    fn certified_run_captures_every_firing() {
+        let tgds = parse_tgds("A(X) -> B(X). B(X) -> R(X,Y).").unwrap();
+        let d = db(&[("A", &["a"])]);
+        let outcome = ChaseRunner::new(&tgds).certify(true).run(&d);
+        let firings = outcome.firings.expect("certify was requested");
+        // A(a) ⇒ B(a) ⇒ R(a,⊥): two firings, in chase order.
+        assert_eq!(firings.len(), 2);
+        assert_eq!(firings[0].tgd, 0);
+        assert_eq!(firings[1].tgd, 1);
+        // Every recorded head atom is in the materialized instance.
+        for f in &firings {
+            for a in &f.atoms {
+                assert!(outcome.instance.contains(a));
+            }
+        }
+        // The second firing bound its existential to a fresh null.
+        assert!(f_null(&firings[1].val));
+        // Uncertified runs carry no firings.
+        assert!(ChaseRunner::new(&tgds).run(&d).firings.is_none());
+    }
+
+    fn f_null(val: &[(u32, Value)]) -> bool {
+        val.iter().any(|(_, v)| matches!(v, Value::Null(_)))
     }
 }

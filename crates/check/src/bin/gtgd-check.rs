@@ -1,0 +1,40 @@
+//! `gtgd-check` — verify answer certificates independently of the engine.
+//!
+//! ```text
+//! gtgd --certify script.gtgd | gtgd-check -   # verify a fresh run
+//! gtgd-check certs.json                       # verify a saved batch
+//! ```
+//!
+//! Input is a JSON array of certificates or JSON lines (one per line).
+//! Exit status 0 means every certificate was accepted; anything else —
+//! parse errors included — is a rejection with the first offending
+//! certificate and reason on stderr.
+
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [arg] = args.as_slice() else {
+        eprintln!("usage: gtgd-check <certificates-file | ->");
+        std::process::exit(2);
+    };
+    let input = if arg == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .expect("read stdin");
+        buf
+    } else {
+        std::fs::read_to_string(arg).unwrap_or_else(|e| {
+            eprintln!("cannot read {arg}: {e}");
+            std::process::exit(2);
+        })
+    };
+    match gtgd_check::check_all(&input) {
+        Ok(n) => println!("{n} certificate(s) accepted"),
+        Err((i, e)) => {
+            eprintln!("certificate {i} rejected: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,833 @@
+#![warn(missing_docs)]
+
+//! Standalone, fail-closed verification of gtgd answer certificates.
+//!
+//! The chase/query engines emit proof-carrying answers: a JSON
+//! [`Certificate`] bundling database facts, TGDs, a chain of trigger
+//! firings, and a witnessing homomorphism (see `gtgd-chase::cert` for the
+//! producer). This crate is the *independent* consumer. It deliberately
+//! depends on nothing — not the chase, not the query kernel, not even the
+//! shared data model — and re-validates a certificate with the dumbest
+//! sound method available:
+//!
+//! 1. the stated facts are taken as axioms;
+//! 2. each firing is replayed by **naive substitution**: apply the
+//!    valuation to the named TGD's body, require every ground body atom to
+//!    be an axiom or an earlier-derived atom, require every existential
+//!    binding to be a *fresh* null (null-typed, unseen anywhere before,
+//!    distinct within the firing — freshness is what makes the step sound
+//!    in every model), then derive the ground head atoms;
+//! 3. the answer homomorphism must map every query atom into the derived
+//!    set, project to exactly the claimed answer tuple, and the tuple must
+//!    be null-free (a certain answer names real constants, not invented
+//!    ones).
+//!
+//! Everything unstated is rejected: unknown rule indices, unbound or
+//! duplicate or extraneous variable bindings, stale nulls, atoms that
+//! appear from nowhere. There is no "probably fine" path — every
+//! [`CheckError`] names the first offending step. The JSON parser is
+//! equally closed: objects, arrays, strings and unsigned integers only,
+//! unknown keys rejected.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+mod json;
+use json::Json;
+
+/// A constant of a certificate: a named constant or a labelled null.
+///
+/// The string/number payloads are the certificate's own encoding — this
+/// crate never consults the engine's interned symbol tables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CVal {
+    /// A named constant (`"c:<name>"` on the wire).
+    Named(String),
+    /// A labelled null (`"n:<id>"` on the wire).
+    Null(u64),
+}
+
+impl fmt::Display for CVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CVal::Named(s) => write!(f, "{s}"),
+            CVal::Null(n) => write!(f, "⊥{n}"),
+        }
+    }
+}
+
+/// A term of a rule or query atom: a variable index or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CTerm {
+    /// A variable (`"v:<index>"` on the wire).
+    Var(u32),
+    /// A constant.
+    Const(CVal),
+}
+
+/// A (possibly non-ground) atom of a TGD or query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CAtom {
+    /// The predicate name.
+    pub pred: String,
+    /// The argument terms.
+    pub args: Vec<CTerm>,
+}
+
+/// A ground atom (facts, and everything derived during checking).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CFact {
+    /// The predicate name.
+    pub pred: String,
+    /// The argument values.
+    pub args: Vec<CVal>,
+}
+
+impl fmt::Display for CFact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let args: Vec<String> = self.args.iter().map(|a| a.to_string()).collect();
+        write!(f, "{}({})", self.pred, args.join(","))
+    }
+}
+
+/// A TGD as stated by the certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CTgd {
+    /// The body atoms.
+    pub body: Vec<CAtom>,
+    /// The head atoms.
+    pub head: Vec<CAtom>,
+}
+
+/// One claimed trigger firing: rule `tgd` under valuation `val`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CFiring {
+    /// Index into the certificate's TGD list.
+    pub tgd: usize,
+    /// The full valuation, `(variable, value)` pairs.
+    pub val: Vec<(u32, CVal)>,
+}
+
+/// A parsed certificate. All fields are public and plain so tests can
+/// corrupt them programmatically and re-serialize nothing — [`check`]
+/// works on the model directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// The stated database facts (axioms).
+    pub facts: Vec<CFact>,
+    /// The rule set firings index into.
+    pub tgds: Vec<CTgd>,
+    /// The derivation chain, in order.
+    pub firings: Vec<CFiring>,
+    /// The query atoms.
+    pub query: Vec<CAtom>,
+    /// The query's answer variables.
+    pub answer_vars: Vec<u32>,
+    /// The claimed witnessing homomorphism.
+    pub hom: Vec<(u32, CVal)>,
+    /// The claimed answer tuple.
+    pub answer: Vec<CVal>,
+}
+
+/// Why a certificate was rejected. Every variant names the first
+/// offending step precisely — "rejected" without a reason would be as
+/// unauditable as "accepted" without a check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// The input was not the JSON this crate accepts.
+    Json(String),
+    /// The JSON parsed but was not a well-formed certificate.
+    Malformed(String),
+    /// The certificate's `version` field is not a version this checker
+    /// knows how to validate.
+    BadVersion(u64),
+    /// A firing names a TGD index outside the stated rule set.
+    UnknownTgd {
+        /// Position of the firing in the chain.
+        firing: usize,
+        /// The out-of-range index it named.
+        tgd: usize,
+    },
+    /// A firing's valuation binds the same variable twice.
+    FiringDuplicateVar {
+        /// Position of the firing in the chain.
+        firing: usize,
+        /// The doubly-bound variable.
+        var: u32,
+    },
+    /// A firing's valuation leaves a rule variable unbound.
+    FiringUnboundVar {
+        /// Position of the firing in the chain.
+        firing: usize,
+        /// The unbound variable.
+        var: u32,
+    },
+    /// A firing's valuation binds a variable the rule does not mention.
+    FiringExtraVar {
+        /// Position of the firing in the chain.
+        firing: usize,
+        /// The extraneous variable.
+        var: u32,
+    },
+    /// A ground body atom of a firing is neither a stated fact nor an
+    /// earlier-derived atom.
+    BodyAtomUnstated {
+        /// Position of the firing in the chain.
+        firing: usize,
+        /// The unjustified ground atom.
+        atom: CFact,
+    },
+    /// An existential variable of a firing is not bound to a fresh null
+    /// (it is a named constant, a null already seen, or a null reused
+    /// within the firing).
+    NonFreshNull {
+        /// Position of the firing in the chain.
+        firing: usize,
+        /// The offending existential variable.
+        var: u32,
+    },
+    /// The answer homomorphism binds the same variable twice.
+    HomDuplicateVar {
+        /// The doubly-bound variable.
+        var: u32,
+    },
+    /// The answer homomorphism leaves a query variable unbound.
+    HomUnboundVar {
+        /// The unbound variable.
+        var: u32,
+    },
+    /// The answer homomorphism binds a variable the query does not
+    /// mention.
+    HomExtraVar {
+        /// The extraneous variable.
+        var: u32,
+    },
+    /// A query atom under the homomorphism is not a derived atom.
+    AnswerAtomUnstated {
+        /// The unjustified ground atom.
+        atom: CFact,
+    },
+    /// An answer variable does not occur in the query atoms (its image
+    /// would be unconstrained).
+    AnswerVarNotInQuery {
+        /// The free-floating answer variable.
+        var: u32,
+    },
+    /// The homomorphism's projection onto the answer variables is not the
+    /// claimed answer tuple.
+    AnswerMismatch,
+    /// The answer tuple contains a labelled null — invented values are
+    /// not certain answers.
+    AnswerNotGround,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use CheckError::*;
+        match self {
+            Json(m) => write!(f, "invalid JSON: {m}"),
+            Malformed(m) => write!(f, "malformed certificate: {m}"),
+            BadVersion(v) => write!(f, "unsupported certificate version {v}"),
+            UnknownTgd { firing, tgd } => {
+                write!(f, "firing {firing} names unknown TGD {tgd}")
+            }
+            FiringDuplicateVar { firing, var } => {
+                write!(f, "firing {firing} binds v{var} twice")
+            }
+            FiringUnboundVar { firing, var } => {
+                write!(f, "firing {firing} leaves v{var} unbound")
+            }
+            FiringExtraVar { firing, var } => {
+                write!(
+                    f,
+                    "firing {firing} binds v{var}, which its rule does not mention"
+                )
+            }
+            BodyAtomUnstated { firing, atom } => {
+                write!(f, "firing {firing} requires unstated body atom {atom}")
+            }
+            NonFreshNull { firing, var } => {
+                write!(
+                    f,
+                    "firing {firing} binds existential v{var} to a non-fresh value"
+                )
+            }
+            HomDuplicateVar { var } => write!(f, "answer hom binds v{var} twice"),
+            HomUnboundVar { var } => write!(f, "answer hom leaves v{var} unbound"),
+            HomExtraVar { var } => {
+                write!(
+                    f,
+                    "answer hom binds v{var}, which the query does not mention"
+                )
+            }
+            AnswerAtomUnstated { atom } => {
+                write!(f, "answer requires unstated atom {atom}")
+            }
+            AnswerVarNotInQuery { var } => {
+                write!(f, "answer variable v{var} does not occur in the query")
+            }
+            AnswerMismatch => write!(f, "hom projection does not equal the claimed answer"),
+            AnswerNotGround => write!(f, "answer tuple contains a labelled null"),
+        }
+    }
+}
+
+fn atom_vars(atoms: &[CAtom]) -> HashSet<u32> {
+    let mut out = HashSet::new();
+    for a in atoms {
+        for t in &a.args {
+            if let CTerm::Var(v) = *t {
+                out.insert(v);
+            }
+        }
+    }
+    out
+}
+
+/// Grounds `atom` under `val`; `unbound` reports a missing binding.
+fn ground<E>(
+    atom: &CAtom,
+    val: &HashMap<u32, CVal>,
+    unbound: impl Fn(u32) -> E,
+) -> Result<CFact, E> {
+    let mut args = Vec::with_capacity(atom.args.len());
+    for t in &atom.args {
+        args.push(match t {
+            CTerm::Const(c) => c.clone(),
+            CTerm::Var(v) => val.get(v).ok_or_else(|| unbound(*v))?.clone(),
+        });
+    }
+    Ok(CFact {
+        pred: atom.pred.clone(),
+        args,
+    })
+}
+
+fn to_map<E>(pairs: &[(u32, CVal)], duplicate: impl Fn(u32) -> E) -> Result<HashMap<u32, CVal>, E> {
+    let mut map = HashMap::with_capacity(pairs.len());
+    for (v, x) in pairs {
+        if map.insert(*v, x.clone()).is_some() {
+            return Err(duplicate(*v));
+        }
+    }
+    Ok(map)
+}
+
+/// Verifies one certificate fail-closed. `Ok(())` means: replaying the
+/// firing chain by naive substitution from the stated facts derives a set
+/// of atoms into which the stated homomorphism maps every query atom, and
+/// the homomorphism projects to exactly the claimed null-free answer.
+pub fn check(cert: &Certificate) -> Result<(), CheckError> {
+    // Facts are axioms; their values (nulls included, if a caller states
+    // any) count as seen for freshness purposes.
+    let mut derived: HashSet<CFact> = cert.facts.iter().cloned().collect();
+    let mut seen: HashSet<CVal> = cert
+        .facts
+        .iter()
+        .flat_map(|a| a.args.iter().cloned())
+        .collect();
+
+    for (i, firing) in cert.firings.iter().enumerate() {
+        let tgd = cert.tgds.get(firing.tgd).ok_or(CheckError::UnknownTgd {
+            firing: i,
+            tgd: firing.tgd,
+        })?;
+        let val = to_map(&firing.val, |var| CheckError::FiringDuplicateVar {
+            firing: i,
+            var,
+        })?;
+        let body_vars = atom_vars(&tgd.body);
+        let head_vars = atom_vars(&tgd.head);
+        for &(var, _) in &firing.val {
+            if !body_vars.contains(&var) && !head_vars.contains(&var) {
+                return Err(CheckError::FiringExtraVar { firing: i, var });
+            }
+        }
+        // Body atoms must already be justified.
+        for atom in &tgd.body {
+            let fact = ground(atom, &val, |var| CheckError::FiringUnboundVar {
+                firing: i,
+                var,
+            })?;
+            if !derived.contains(&fact) {
+                return Err(CheckError::BodyAtomUnstated {
+                    firing: i,
+                    atom: fact,
+                });
+            }
+        }
+        // Existential variables (head-only variables) must be bound to
+        // fresh nulls: null-typed, never seen before, distinct within the
+        // firing. Freshness is the soundness core — a head instantiated
+        // at a *specific* pre-existing value would claim more than the
+        // rule licenses.
+        let mut fresh_here: HashSet<CVal> = HashSet::new();
+        for &var in head_vars.iter().filter(|v| !body_vars.contains(v)) {
+            let v = val
+                .get(&var)
+                .ok_or(CheckError::FiringUnboundVar { firing: i, var })?;
+            let fresh =
+                matches!(v, CVal::Null(_)) && !seen.contains(v) && fresh_here.insert(v.clone());
+            if !fresh {
+                return Err(CheckError::NonFreshNull { firing: i, var });
+            }
+        }
+        // Derive the head.
+        for atom in &tgd.head {
+            let fact = ground(atom, &val, |var| CheckError::FiringUnboundVar {
+                firing: i,
+                var,
+            })?;
+            seen.extend(fact.args.iter().cloned());
+            derived.insert(fact);
+        }
+    }
+
+    // The answer: hom maps every query atom into the derived set...
+    let hom = to_map(&cert.hom, |var| CheckError::HomDuplicateVar { var })?;
+    let query_vars = atom_vars(&cert.query);
+    for &(var, _) in &cert.hom {
+        if !query_vars.contains(&var) {
+            return Err(CheckError::HomExtraVar { var });
+        }
+    }
+    for atom in &cert.query {
+        let fact = ground(atom, &hom, |var| CheckError::HomUnboundVar { var })?;
+        if !derived.contains(&fact) {
+            return Err(CheckError::AnswerAtomUnstated { atom: fact });
+        }
+    }
+    // ...and projects to exactly the claimed null-free tuple.
+    if cert.answer.len() != cert.answer_vars.len() {
+        return Err(CheckError::AnswerMismatch);
+    }
+    for (pos, &var) in cert.answer_vars.iter().enumerate() {
+        if !query_vars.contains(&var) {
+            return Err(CheckError::AnswerVarNotInQuery { var });
+        }
+        let image = hom.get(&var).ok_or(CheckError::HomUnboundVar { var })?;
+        if *image != cert.answer[pos] {
+            return Err(CheckError::AnswerMismatch);
+        }
+    }
+    if cert.answer.iter().any(|v| matches!(v, CVal::Null(_))) {
+        return Err(CheckError::AnswerNotGround);
+    }
+    Ok(())
+}
+
+// --- JSON decoding ---
+
+fn expect_str(j: &Json, what: &str) -> Result<String, CheckError> {
+    match j {
+        Json::Str(s) => Ok(s.clone()),
+        _ => Err(CheckError::Malformed(format!("{what}: expected a string"))),
+    }
+}
+
+fn expect_arr<'a>(j: &'a Json, what: &str) -> Result<&'a [Json], CheckError> {
+    match j {
+        Json::Arr(items) => Ok(items),
+        _ => Err(CheckError::Malformed(format!("{what}: expected an array"))),
+    }
+}
+
+fn expect_int(j: &Json, what: &str) -> Result<u64, CheckError> {
+    match j {
+        Json::Int(n) => Ok(*n),
+        _ => Err(CheckError::Malformed(format!(
+            "{what}: expected an integer"
+        ))),
+    }
+}
+
+fn decode_value(s: &str) -> Result<CVal, CheckError> {
+    if let Some(name) = s.strip_prefix("c:") {
+        Ok(CVal::Named(name.to_string()))
+    } else if let Some(id) = s.strip_prefix("n:") {
+        id.parse()
+            .map(CVal::Null)
+            .map_err(|_| CheckError::Malformed(format!("bad null label {s:?}")))
+    } else {
+        Err(CheckError::Malformed(format!("bad value encoding {s:?}")))
+    }
+}
+
+fn decode_term(s: &str) -> Result<CTerm, CheckError> {
+    if let Some(idx) = s.strip_prefix("v:") {
+        idx.parse()
+            .map(CTerm::Var)
+            .map_err(|_| CheckError::Malformed(format!("bad variable {s:?}")))
+    } else {
+        decode_value(s).map(CTerm::Const)
+    }
+}
+
+fn decode_var(j: &Json, what: &str) -> Result<u32, CheckError> {
+    let s = expect_str(j, what)?;
+    match decode_term(&s)? {
+        CTerm::Var(v) => Ok(v),
+        CTerm::Const(_) => Err(CheckError::Malformed(format!(
+            "{what}: expected a variable"
+        ))),
+    }
+}
+
+fn decode_atom(j: &Json, what: &str) -> Result<CAtom, CheckError> {
+    let items = expect_arr(j, what)?;
+    let [pred, args @ ..] = items else {
+        return Err(CheckError::Malformed(format!("{what}: empty atom")));
+    };
+    Ok(CAtom {
+        pred: expect_str(pred, what)?,
+        args: args
+            .iter()
+            .map(|t| decode_term(&expect_str(t, what)?))
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+fn decode_fact(j: &Json, what: &str) -> Result<CFact, CheckError> {
+    let atom = decode_atom(j, what)?;
+    let mut args = Vec::with_capacity(atom.args.len());
+    for t in atom.args {
+        match t {
+            CTerm::Const(c) => args.push(c),
+            CTerm::Var(v) => {
+                return Err(CheckError::Malformed(format!(
+                    "{what}: fact contains variable v:{v}"
+                )))
+            }
+        }
+    }
+    Ok(CFact {
+        pred: atom.pred,
+        args,
+    })
+}
+
+fn decode_pairs(j: &Json, what: &str) -> Result<Vec<(u32, CVal)>, CheckError> {
+    let items = expect_arr(j, what)?;
+    items
+        .iter()
+        .map(|pair| {
+            let [var, value] = expect_arr(pair, what)? else {
+                return Err(CheckError::Malformed(format!(
+                    "{what}: binding is not a [var, value] pair"
+                )));
+            };
+            Ok((
+                decode_var(var, what)?,
+                decode_value(&expect_str(value, what)?)?,
+            ))
+        })
+        .collect()
+}
+
+impl Certificate {
+    /// Parses one certificate from its JSON object form. Unknown keys,
+    /// missing keys, and wrong versions are rejected.
+    pub fn from_json(input: &str) -> Result<Certificate, CheckError> {
+        Certificate::from_value(&json::parse(input).map_err(CheckError::Json)?)
+    }
+
+    fn from_value(j: &Json) -> Result<Certificate, CheckError> {
+        let Json::Obj(fields) = j else {
+            return Err(CheckError::Malformed(
+                "certificate must be an object".into(),
+            ));
+        };
+        const KEYS: [&str; 8] = [
+            "version",
+            "facts",
+            "tgds",
+            "firings",
+            "query",
+            "answer_vars",
+            "hom",
+            "answer",
+        ];
+        let mut by_key: HashMap<&str, &Json> = HashMap::new();
+        for (k, v) in fields {
+            if !KEYS.contains(&k.as_str()) {
+                return Err(CheckError::Malformed(format!("unknown key {k:?}")));
+            }
+            if by_key.insert(k, v).is_some() {
+                return Err(CheckError::Malformed(format!("duplicate key {k:?}")));
+            }
+        }
+        let get = |k: &str| {
+            by_key
+                .get(k)
+                .copied()
+                .ok_or_else(|| CheckError::Malformed(format!("missing key {k:?}")))
+        };
+        let version = expect_int(get("version")?, "version")?;
+        if version != 1 {
+            return Err(CheckError::BadVersion(version));
+        }
+        let facts = expect_arr(get("facts")?, "facts")?
+            .iter()
+            .map(|f| decode_fact(f, "facts"))
+            .collect::<Result<_, _>>()?;
+        let tgds = expect_arr(get("tgds")?, "tgds")?
+            .iter()
+            .map(|t| {
+                let Json::Obj(fields) = t else {
+                    return Err(CheckError::Malformed("tgd must be an object".into()));
+                };
+                let mut body = None;
+                let mut head = None;
+                for (k, v) in fields {
+                    let atoms = expect_arr(v, "tgd")?
+                        .iter()
+                        .map(|a| decode_atom(a, "tgd"))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    match k.as_str() {
+                        "body" if body.is_none() => body = Some(atoms),
+                        "head" if head.is_none() => head = Some(atoms),
+                        other => {
+                            return Err(CheckError::Malformed(format!("bad tgd key {other:?}")))
+                        }
+                    }
+                }
+                Ok(CTgd {
+                    body: body.ok_or(CheckError::Malformed("tgd missing body".into()))?,
+                    head: head.ok_or(CheckError::Malformed("tgd missing head".into()))?,
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let firings = expect_arr(get("firings")?, "firings")?
+            .iter()
+            .map(|f| {
+                let Json::Obj(fields) = f else {
+                    return Err(CheckError::Malformed("firing must be an object".into()));
+                };
+                let mut tgd = None;
+                let mut val = None;
+                for (k, v) in fields {
+                    match k.as_str() {
+                        "tgd" if tgd.is_none() => tgd = Some(expect_int(v, "firing tgd")? as usize),
+                        "val" if val.is_none() => val = Some(decode_pairs(v, "firing val")?),
+                        other => {
+                            return Err(CheckError::Malformed(format!("bad firing key {other:?}")))
+                        }
+                    }
+                }
+                Ok(CFiring {
+                    tgd: tgd.ok_or(CheckError::Malformed("firing missing tgd".into()))?,
+                    val: val.ok_or(CheckError::Malformed("firing missing val".into()))?,
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let query = expect_arr(get("query")?, "query")?
+            .iter()
+            .map(|a| decode_atom(a, "query"))
+            .collect::<Result<_, _>>()?;
+        let answer_vars = expect_arr(get("answer_vars")?, "answer_vars")?
+            .iter()
+            .map(|v| decode_var(v, "answer_vars"))
+            .collect::<Result<_, _>>()?;
+        let hom = decode_pairs(get("hom")?, "hom")?;
+        let answer = expect_arr(get("answer")?, "answer")?
+            .iter()
+            .map(|v| decode_value(&expect_str(v, "answer")?))
+            .collect::<Result<_, _>>()?;
+        Ok(Certificate {
+            facts,
+            tgds,
+            firings,
+            query,
+            answer_vars,
+            hom,
+            answer,
+        })
+    }
+}
+
+/// Parses a batch: either one JSON array of certificate objects, or JSON
+/// lines (one object per non-empty line).
+pub fn parse_certificates(input: &str) -> Result<Vec<Certificate>, CheckError> {
+    let trimmed = input.trim_start();
+    if trimmed.starts_with('[') {
+        let j = json::parse(input).map_err(CheckError::Json)?;
+        expect_arr(&j, "certificate batch")?
+            .iter()
+            .map(Certificate::from_value)
+            .collect()
+    } else {
+        input
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .map(Certificate::from_json)
+            .collect()
+    }
+}
+
+/// Parses and checks a batch. Returns the number of accepted certificates
+/// or the index and error of the first rejected one. Fail-closed: any
+/// parse error rejects the whole batch.
+pub fn check_all(input: &str) -> Result<usize, (usize, CheckError)> {
+    let certs = parse_certificates(input).map_err(|e| (0, e))?;
+    for (i, cert) in certs.iter().enumerate() {
+        check(cert).map_err(|e| (i, e))?;
+    }
+    Ok(certs.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn named(s: &str) -> CVal {
+        CVal::Named(s.to_string())
+    }
+
+    fn atom(pred: &str, args: &[CTerm]) -> CAtom {
+        CAtom {
+            pred: pred.to_string(),
+            args: args.to_vec(),
+        }
+    }
+
+    fn fact(pred: &str, args: &[&str]) -> CFact {
+        CFact {
+            pred: pred.to_string(),
+            args: args.iter().map(|a| named(a)).collect(),
+        }
+    }
+
+    /// A(a); A(X) -> B(X); B(X) -> R(X,Y); query Q(X) :- R(X,Y); answer a.
+    fn valid() -> Certificate {
+        Certificate {
+            facts: vec![fact("A", &["a"])],
+            tgds: vec![
+                CTgd {
+                    body: vec![atom("A", &[CTerm::Var(0)])],
+                    head: vec![atom("B", &[CTerm::Var(0)])],
+                },
+                CTgd {
+                    body: vec![atom("B", &[CTerm::Var(0)])],
+                    head: vec![atom("R", &[CTerm::Var(0), CTerm::Var(1)])],
+                },
+            ],
+            firings: vec![
+                CFiring {
+                    tgd: 0,
+                    val: vec![(0, named("a"))],
+                },
+                CFiring {
+                    tgd: 1,
+                    val: vec![(0, named("a")), (1, CVal::Null(7))],
+                },
+            ],
+            query: vec![atom("R", &[CTerm::Var(0), CTerm::Var(1)])],
+            answer_vars: vec![0],
+            hom: vec![(0, named("a")), (1, CVal::Null(7))],
+            answer: vec![named("a")],
+        }
+    }
+
+    #[test]
+    fn accepts_a_valid_chain() {
+        assert_eq!(check(&valid()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_dropped_firing() {
+        let mut c = valid();
+        c.firings.remove(0);
+        assert!(matches!(
+            check(&c),
+            Err(CheckError::BodyAtomUnstated { firing: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_stale_null() {
+        let mut c = valid();
+        // Null 7 appears in a "stated fact", so the firing can't claim it
+        // fresh.
+        c.facts.push(CFact {
+            pred: "Seen".into(),
+            args: vec![CVal::Null(7)],
+        });
+        assert!(matches!(
+            check(&c),
+            Err(CheckError::NonFreshNull { firing: 1, var: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_constant_existential() {
+        let mut c = valid();
+        c.firings[1].val[1].1 = named("b");
+        c.hom[1].1 = named("b");
+        assert!(matches!(
+            check(&c),
+            Err(CheckError::NonFreshNull { firing: 1, var: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_answer_tuple() {
+        let mut c = valid();
+        c.answer = vec![named("b")];
+        assert_eq!(check(&c), Err(CheckError::AnswerMismatch));
+    }
+
+    #[test]
+    fn rejects_null_answer() {
+        let mut c = valid();
+        c.answer_vars = vec![1];
+        c.answer = vec![CVal::Null(7)];
+        assert_eq!(check(&c), Err(CheckError::AnswerNotGround));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let json = r#"{"version":1,
+            "facts":[["A","c:a"]],
+            "tgds":[{"body":[["A","v:0"]],"head":[["B","v:0"]]},
+                    {"body":[["B","v:0"]],"head":[["R","v:0","v:1"]]}],
+            "firings":[{"tgd":0,"val":[["v:0","c:a"]]},
+                       {"tgd":1,"val":[["v:0","c:a"],["v:1","n:7"]]}],
+            "query":[["R","v:0","v:1"]],
+            "answer_vars":["v:0"],
+            "hom":[["v:0","c:a"],["v:1","n:7"]],
+            "answer":["c:a"]}"#;
+        let cert = Certificate::from_json(json).unwrap();
+        assert_eq!(cert, valid());
+        assert_eq!(check(&cert), Ok(()));
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bad_versions() {
+        assert!(matches!(
+            Certificate::from_json(r#"{"version":2}"#),
+            Err(CheckError::Malformed(_)) | Err(CheckError::BadVersion(2))
+        ));
+        assert!(matches!(
+            Certificate::from_json(r#"{"bogus":1}"#),
+            Err(CheckError::Malformed(_))
+        ));
+        assert!(matches!(
+            Certificate::from_json("not json"),
+            Err(CheckError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn batch_forms() {
+        let one = r#"{"version":1,"facts":[["A","c:a"]],"tgds":[],"firings":[],
+            "query":[["A","v:0"]],"answer_vars":["v:0"],
+            "hom":[["v:0","c:a"]],"answer":["c:a"]}"#
+            .replace('\n', " ");
+        let array = format!("[{one},{one}]");
+        assert_eq!(check_all(&array), Ok(2));
+        let lines = format!("{one}\n{one}\n");
+        assert_eq!(check_all(&lines), Ok(2));
+        assert!(check_all("[not json").is_err());
+    }
+}

@@ -26,10 +26,16 @@
 //! ```
 
 use crate::compile::{CompiledQuery, KernelSearch, Strategy};
-use crate::cq::Cq;
+use crate::cq::{Cq, Var};
 use gtgd_data::{obs, Instance, Value};
 use std::collections::HashSet;
 use std::ops::ControlFlow;
+
+/// One distinct answer tuple paired with a witnessing homomorphism: every
+/// query variable (in the compiled plan's slot order) mapped to its image
+/// under the witness that produced the tuple. Produced by
+/// [`PreparedQuery::answer_witnesses`].
+pub type AnswerWitness = (Vec<Value>, Vec<(Var, Value)>);
 
 /// The facade over query compilation and execution. Stateless: it exists
 /// so call sites read `Engine::prepare(&q)` instead of picking one of the
@@ -188,6 +194,38 @@ impl PreparedQuery {
         }
     }
 
+    /// The distinct answers over `i`, each paired with one witnessing
+    /// homomorphism: every query variable (in the plan's slot order)
+    /// mapped to its image under the witness that first produced the
+    /// tuple. Both join strategies emit the same shape — the kernel
+    /// yields full slot rows and [`CompiledQuery::vars`] names the slots
+    /// — so certificates built from either are interchangeable. The
+    /// answer *set* equals [`PreparedQuery::answers`]; which witness
+    /// backs a tuple is unspecified (any is equally valid evidence).
+    pub fn answer_witnesses(&self, i: &Instance) -> Vec<AnswerWitness> {
+        let vars = self.plan.vars();
+        let mut seen: HashSet<Vec<Value>> = HashSet::new();
+        let mut out: Vec<AnswerWitness> = Vec::new();
+        let mut push = |row: &[Value]| {
+            let answer: Vec<Value> = self.slots.iter().map(|&s| row[s]).collect();
+            if seen.insert(answer.clone()) {
+                let hom = vars.iter().copied().zip(row.iter().copied()).collect();
+                out.push((answer, hom));
+            }
+        };
+        if self.workers > 1 {
+            for row in self.kernel(i).par_table(self.workers).rows() {
+                push(row);
+            }
+        } else {
+            self.kernel(i).for_each_row(|row| {
+                push(row);
+                ControlFlow::Continue(())
+            });
+        }
+        out
+    }
+
     /// Whether `answer ∈ q(I)` (the decision form; pins the answer slots
     /// and asks for one witness instead of enumerating).
     pub fn check(&self, i: &Instance, answer: &[Value]) -> bool {
@@ -273,6 +311,46 @@ mod tests {
         assert!(inj.contains(&vec![v("c0")]));
         let none = Engine::prepare(&q).restrict_images([v("c0")]).answers(&db);
         assert_eq!(none, HashSet::from([vec![v("c0")]]));
+    }
+
+    #[test]
+    fn answer_witnesses_cover_answers_with_valid_homs() {
+        let q = parse_cq("Q(X,Z) :- E(X,Y), E(Y,Z)").unwrap();
+        let db = cycle_db(5);
+        for s in [Strategy::Backtrack, Strategy::Wcoj] {
+            for w in [1, 3] {
+                let p = Engine::prepare(&q).strategy(s).parallel(w);
+                let witnesses = p.answer_witnesses(&db);
+                let tuples: HashSet<Vec<Value>> =
+                    witnesses.iter().map(|(a, _)| a.clone()).collect();
+                assert_eq!(tuples, p.answers(&db), "{s:?} w={w}");
+                assert_eq!(witnesses.len(), tuples.len(), "one witness per tuple");
+                for (answer, hom) in &witnesses {
+                    // The hom binds every query variable, and substituting
+                    // it into each query atom lands on a database fact.
+                    for atom in &q.atoms {
+                        let ground = GroundAtom::new(
+                            atom.predicate,
+                            atom.args
+                                .iter()
+                                .map(|t| match *t {
+                                    crate::cq::Term::Const(c) => c,
+                                    crate::cq::Term::Var(v) => {
+                                        hom.iter().find(|(u, _)| *u == v).expect("bound").1
+                                    }
+                                })
+                                .collect(),
+                        );
+                        assert!(db.contains(&ground), "{s:?} w={w}");
+                    }
+                    // And it projects to the answer tuple.
+                    for (i, &av) in q.answer_vars.iter().enumerate() {
+                        let img = hom.iter().find(|(u, _)| *u == av).expect("bound").1;
+                        assert_eq!(img, answer[i]);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

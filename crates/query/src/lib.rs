@@ -46,7 +46,7 @@ pub use contract::{
 pub use cq::{Cq, QAtom, Term, Ucq, Var};
 pub use cq_core::core_of;
 pub use decomp_eval::check_answer_decomposed;
-pub use engine::{Engine, PreparedQuery, QueryOutcome};
+pub use engine::{AnswerWitness, Engine, PreparedQuery, QueryOutcome};
 pub use eval::{
     check_answer, evaluate_cq, evaluate_cq_par, evaluate_ucq, holds_boolean, ucq_holds_boolean,
 };

@@ -1,29 +1,40 @@
 //! `gtgd` — evaluate a query script open- or closed-world.
 //!
 //! ```text
-//! gtgd script.gtgd         # evaluate a script file
-//! gtgd -                   # read the script from stdin
-//! gtgd --trace script.gtgd # also print the probe report (JSON, stderr)
+//! gtgd script.gtgd           # evaluate a script file
+//! gtgd -                     # read the script from stdin
+//! gtgd --trace script.gtgd   # also print the probe report (JSON, stderr)
+//! gtgd --certify script.gtgd # print answer certificates (JSON, stdout)
+//! ```
+//!
+//! With `--certify`, stdout carries *only* the certificate JSON — the
+//! human-readable answer summary moves to stderr — so the output pipes
+//! straight into the independent checker:
+//!
+//! ```text
+//! gtgd --certify script.gtgd | gtgd-check -
 //! ```
 //!
 //! See `gtgd::script` for the script format.
 
+use gtgd::chase::certificates_to_json;
 use gtgd::data::obs;
-use gtgd::script::{eval_script, Mode};
+use gtgd::script::{certify_script, eval_script, parse_script, Mode};
 use std::io::Read;
 
 fn main() {
     let mut trace = false;
+    let mut certify = false;
     let mut files: Vec<String> = Vec::new();
     for a in std::env::args().skip(1) {
-        if a == "--trace" {
-            trace = true;
-        } else {
-            files.push(a);
+        match a.as_str() {
+            "--trace" => trace = true,
+            "--certify" => certify = true,
+            _ => files.push(a),
         }
     }
     let [arg] = files.as_slice() else {
-        eprintln!("usage: gtgd [--trace] <script-file | ->");
+        eprintln!("usage: gtgd [--trace] [--certify] <script-file | ->");
         std::process::exit(2);
     };
     let src = if arg == "-" {
@@ -50,13 +61,30 @@ fn main() {
                 Mode::Open => "open-world (OMQ)",
                 Mode::Closed => "closed-world (CQS)",
             };
-            println!(
+            let mut summary = format!(
                 "{mode}; {} answer(s); exact = {}",
                 out.answers.len(),
                 out.exact
             );
             for a in &out.answers {
-                println!("  ({a})");
+                summary.push_str(&format!("\n  ({a})"));
+            }
+            if certify {
+                // Certificates own stdout; everything human goes to stderr.
+                eprintln!("{summary}");
+                let script = parse_script(&src).expect("script parsed once already");
+                match certify_script(&script) {
+                    Ok(certs) => {
+                        eprintln!("{} certificate(s)", certs.len());
+                        println!("{}", certificates_to_json(&certs));
+                    }
+                    Err(e) => {
+                        eprintln!("certification error: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                println!("{summary}");
             }
             if let Some(rep) = report {
                 // The report goes to stderr so piped answer output stays clean.

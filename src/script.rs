@@ -15,10 +15,10 @@
 //! satisfy the TGDs (they are integrity constraints); in `open` mode the
 //! TGDs are an ontology.
 
-use gtgd_chase::{parse_tgd, Tgd};
+use gtgd_chase::{parse_tgd, Certificate, CertificateStore, ChaseRunner, Tgd};
 use gtgd_core::{evaluate_omq, Cqs, EvalConfig, Omq};
 use gtgd_data::{GroundAtom, Instance, Predicate, Value};
-use gtgd_query::{parse_cq, Cq, Ucq};
+use gtgd_query::{parse_cq, Cq, Strategy, Ucq};
 
 /// Evaluation mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -194,6 +194,42 @@ pub fn run_script(script: &Script) -> Result<ScriptOutput, Box<dyn std::error::E
 pub fn eval_script(src: &str) -> Result<ScriptOutput, Box<dyn std::error::Error>> {
     let script = parse_script(src)?;
     run_script(&script)
+}
+
+/// Builds proof-carrying certificates for a script's answers (the
+/// `gtgd --certify` path).
+///
+/// Open mode runs a *certified* oblivious chase under the default
+/// fallback budget ([`EvalConfig::default`]) and certifies every
+/// null-free answer of every disjunct against the recorded firing chain.
+/// Closed mode needs no chase at all: the facts are the whole world, so
+/// every certificate carries an empty firing chain. Either way the
+/// output is independently re-checkable with `gtgd-check` — the answers
+/// certified here are sound even when the budget stops the chase early
+/// (a derivation prefix proves no less), though a truncated chase may
+/// certify fewer answers than [`run_script`] reports.
+pub fn certify_script(script: &Script) -> Result<Vec<Certificate>, Box<dyn std::error::Error>> {
+    let mut certs = Vec::new();
+    match script.mode {
+        Mode::Open => {
+            let outcome = ChaseRunner::new(&script.tgds)
+                .budget(EvalConfig::default().fallback_budget)
+                .certify(true)
+                .run(&script.facts);
+            let firings = outcome.firings.expect("certify was requested");
+            let store = CertificateStore::new(&script.facts, &script.tgds, firings);
+            for q in &script.queries {
+                certs.extend(store.certify_answers(q, &outcome.instance, Strategy::Auto));
+            }
+        }
+        Mode::Closed => {
+            let store = CertificateStore::new(&script.facts, &script.tgds, Vec::new());
+            for q in &script.queries {
+                certs.extend(store.certify_answers(q, &script.facts, Strategy::Auto));
+            }
+        }
+    }
+    Ok(certs)
 }
 
 #[cfg(test)]

@@ -1,0 +1,302 @@
+//! Fail-closed mutation testing of the certificate checker: take a *real*
+//! certificate produced by the engine (chase → provenance → backward
+//! pruning → JSON → `gtgd-check`'s parser), corrupt it one mutation at a
+//! time, and require the checker to reject every mutant with the precise
+//! error naming the offending step. A checker that accepts any of these
+//! mutants would also accept a buggy engine — this suite is what makes
+//! "the checker is an independent oracle" more than a slogan.
+//!
+//! Mutations are applied to the checker's own parsed model
+//! (`gtgd_check::Certificate` has public plain fields for exactly this
+//! purpose), plus a few wire-level tamperings of the JSON itself.
+
+use gtgd::chase::{parse_tgds, CertificateStore, ChaseBudget, ChaseRunner};
+use gtgd::data::{GroundAtom, Instance};
+use gtgd::query::{parse_cq, Strategy};
+use gtgd_check::{check, CVal, Certificate, CheckError};
+
+/// A real engine-produced certificate for the chain ontology
+/// `A(X) -> R(X,Y). R(X,Y) -> B(Y). B(X) -> C(X)` over `A(a)` and the
+/// query `Q(X) :- R(X,Y), B(Y)`: answer `(a)`, witnessed by a two-firing
+/// derivation (the `C` firing is pruned away as irrelevant).
+fn certified() -> (String, Certificate) {
+    let sigma = parse_tgds("A(X) -> R(X,Y). R(X,Y) -> B(Y). B(X) -> C(X)").unwrap();
+    let d = Instance::from_atoms([GroundAtom::named("A", &["a"])]);
+    let outcome = ChaseRunner::new(&sigma)
+        .budget(ChaseBudget::levels(8))
+        .certify(true)
+        .run(&d);
+    assert!(outcome.complete);
+    let store = CertificateStore::new(&d, &sigma, outcome.firings.unwrap());
+    let q = parse_cq("Q(X) :- R(X,Y), B(Y)").unwrap();
+    let certs = store.certify_answers(&q, &outcome.instance, Strategy::Backtrack);
+    assert_eq!(certs.len(), 1, "one null-free answer, (a)");
+    let json = certs[0].to_json();
+    let cert = Certificate::from_json(&json).expect("engine JSON parses");
+    assert_eq!(
+        check(&cert),
+        Ok(()),
+        "the unmutated certificate is accepted"
+    );
+    (json, cert)
+}
+
+/// The engine's firing chain for [`certified`], pruned: exactly the
+/// `A(X) -> R(X,Y)` firing then the `R(X,Y) -> B(Y)` firing.
+#[test]
+fn baseline_shape_is_the_pruned_two_firing_chain() {
+    let (_, cert) = certified();
+    assert_eq!(cert.facts.len(), 1);
+    assert_eq!(cert.tgds.len(), 3, "the full rule set is stated");
+    assert_eq!(cert.firings.len(), 2, "the C firing is pruned");
+    assert_eq!(cert.answer, vec![CVal::Named("a".into())]);
+    // The invented null appears in the hom (it witnesses Y) but not in the
+    // answer tuple.
+    assert!(cert.hom.iter().any(|(_, v)| matches!(v, CVal::Null(_))));
+}
+
+/// Index of the existential binding (the fresh null) in firing 0's val.
+fn null_binding(cert: &Certificate, firing: usize) -> usize {
+    cert.firings[firing]
+        .val
+        .iter()
+        .position(|(_, v)| matches!(v, CVal::Null(_)))
+        .expect("firing invents a null")
+}
+
+#[test]
+fn dropped_firing_is_rejected() {
+    let (_, mut c) = certified();
+    c.firings.remove(0);
+    // Without the R-producing firing, the B firing's body is unjustified.
+    assert!(matches!(
+        check(&c),
+        Err(CheckError::BodyAtomUnstated { firing: 0, .. })
+    ));
+}
+
+#[test]
+fn permuted_valuation_is_rejected() {
+    let (_, mut c) = certified();
+    // Swap the two bound values of firing 0: the body atom A(⊥) is not a
+    // stated fact (and the permutation is caught before the stale-null
+    // existential is even looked at).
+    let i = null_binding(&c, 0);
+    let j = 1 - i;
+    let (vi, vj) = (c.firings[0].val[i].1.clone(), c.firings[0].val[j].1.clone());
+    c.firings[0].val[i].1 = vj;
+    c.firings[0].val[j].1 = vi;
+    assert!(matches!(
+        check(&c),
+        Err(CheckError::BodyAtomUnstated { firing: 0, .. })
+    ));
+}
+
+#[test]
+fn renamed_null_at_invention_site_is_rejected() {
+    let (_, mut c) = certified();
+    // Rename the null where it is *invented* but not where it is *used*:
+    // the downstream firing's body now references a value nobody derived.
+    let i = null_binding(&c, 0);
+    c.firings[0].val[i].1 = CVal::Null(0xDEAD);
+    assert!(matches!(
+        check(&c),
+        Err(CheckError::BodyAtomUnstated { firing: 1, .. })
+    ));
+}
+
+#[test]
+fn reused_null_is_not_fresh() {
+    let (_, mut c) = certified();
+    // Replay the inventing firing verbatim: its "fresh" null has been seen
+    // by then, so the copy must be rejected at the freshness gate.
+    let copy = c.firings[0].clone();
+    c.firings.insert(1, copy);
+    assert!(matches!(
+        check(&c),
+        Err(CheckError::NonFreshNull { firing: 1, .. })
+    ));
+}
+
+#[test]
+fn constant_bound_existential_is_rejected() {
+    let (_, mut c) = certified();
+    // An existential bound to a *named constant* claims more than the rule
+    // licenses (it asserts the witness is that specific individual).
+    let i = null_binding(&c, 0);
+    c.firings[0].val[i].1 = CVal::Named("a".into());
+    assert!(matches!(
+        check(&c),
+        Err(CheckError::NonFreshNull { firing: 0, .. })
+    ));
+}
+
+#[test]
+fn body_binding_repointed_at_unstated_constant_is_rejected() {
+    let (_, mut c) = certified();
+    let i = null_binding(&c, 0);
+    let j = 1 - i;
+    c.firings[0].val[j].1 = CVal::Named("nobody".into());
+    assert!(matches!(
+        check(&c),
+        Err(CheckError::BodyAtomUnstated { firing: 0, .. })
+    ));
+}
+
+#[test]
+fn swapped_answer_tuple_is_rejected() {
+    let (_, mut c) = certified();
+    c.answer = vec![CVal::Named("b".into())];
+    assert_eq!(check(&c), Err(CheckError::AnswerMismatch));
+}
+
+#[test]
+fn null_answer_is_rejected() {
+    let (_, mut c) = certified();
+    // Repoint the answer at the invented witness: a labelled null is not a
+    // certain answer even though the hom genuinely binds it.
+    let (var, null) = c
+        .hom
+        .iter()
+        .find(|(_, v)| matches!(v, CVal::Null(_)))
+        .map(|(var, v)| (*var, v.clone()))
+        .expect("hom binds the invented null");
+    c.answer_vars = vec![var];
+    c.answer = vec![null];
+    assert_eq!(check(&c), Err(CheckError::AnswerNotGround));
+}
+
+#[test]
+fn unknown_tgd_index_is_rejected() {
+    let (_, mut c) = certified();
+    c.firings[0].tgd = 99;
+    assert_eq!(
+        check(&c),
+        Err(CheckError::UnknownTgd { firing: 0, tgd: 99 })
+    );
+}
+
+#[test]
+fn extraneous_firing_binding_is_rejected() {
+    let (_, mut c) = certified();
+    c.firings[0].val.push((99, CVal::Named("a".into())));
+    assert_eq!(
+        check(&c),
+        Err(CheckError::FiringExtraVar { firing: 0, var: 99 })
+    );
+}
+
+#[test]
+fn duplicate_firing_binding_is_rejected() {
+    let (_, mut c) = certified();
+    let dup = c.firings[0].val[0].clone();
+    let var = dup.0;
+    c.firings[0].val.push(dup);
+    assert_eq!(
+        check(&c),
+        Err(CheckError::FiringDuplicateVar { firing: 0, var })
+    );
+}
+
+#[test]
+fn missing_firing_binding_is_rejected() {
+    let (_, mut c) = certified();
+    let var = c.firings[0].val[0].0;
+    c.firings[0].val.remove(0);
+    assert_eq!(
+        check(&c),
+        Err(CheckError::FiringUnboundVar { firing: 0, var })
+    );
+}
+
+#[test]
+fn extraneous_hom_binding_is_rejected() {
+    let (_, mut c) = certified();
+    c.hom.push((99, CVal::Named("a".into())));
+    assert_eq!(check(&c), Err(CheckError::HomExtraVar { var: 99 }));
+}
+
+#[test]
+fn duplicate_hom_binding_is_rejected() {
+    let (_, mut c) = certified();
+    let dup = c.hom[0].clone();
+    let var = dup.0;
+    c.hom.push(dup);
+    assert_eq!(check(&c), Err(CheckError::HomDuplicateVar { var }));
+}
+
+#[test]
+fn missing_hom_binding_is_rejected() {
+    let (_, mut c) = certified();
+    let var = c.hom[0].0;
+    c.hom.remove(0);
+    assert_eq!(check(&c), Err(CheckError::HomUnboundVar { var }));
+}
+
+#[test]
+fn answer_variable_outside_query_is_rejected() {
+    let (_, mut c) = certified();
+    c.answer_vars = vec![99];
+    assert_eq!(check(&c), Err(CheckError::AnswerVarNotInQuery { var: 99 }));
+}
+
+#[test]
+fn query_atom_outside_derived_set_is_rejected() {
+    let (_, mut c) = certified();
+    // Rename a query atom's predicate: the hom still grounds it, but
+    // nothing stated or derived justifies it.
+    c.query[0].pred = "Zebra".into();
+    assert!(matches!(
+        check(&c),
+        Err(CheckError::AnswerAtomUnstated { .. })
+    ));
+}
+
+#[test]
+fn arity_mismatched_answer_is_rejected() {
+    let (_, mut c) = certified();
+    c.answer.push(CVal::Named("a".into()));
+    assert_eq!(check(&c), Err(CheckError::AnswerMismatch));
+}
+
+// --- wire-level tamperings of the engine's actual JSON ---
+
+#[test]
+fn tampered_version_is_rejected() {
+    let (json, _) = certified();
+    let bumped = json.replace("\"version\":1", "\"version\":2");
+    assert_eq!(
+        Certificate::from_json(&bumped),
+        Err(CheckError::BadVersion(2))
+    );
+}
+
+#[test]
+fn smuggled_key_is_rejected() {
+    let (json, _) = certified();
+    let smuggled = json.replace("\"version\":1", "\"version\":1,\"trustme\":1");
+    assert!(matches!(
+        Certificate::from_json(&smuggled),
+        Err(CheckError::Malformed(_))
+    ));
+}
+
+#[test]
+fn truncated_json_is_rejected() {
+    let (json, _) = certified();
+    let cut = &json[..json.len() - 2];
+    assert!(matches!(
+        Certificate::from_json(cut),
+        Err(CheckError::Json(_))
+    ));
+}
+
+#[test]
+fn every_rejection_message_names_the_offense() {
+    // The Display impls are part of the fail-closed contract: an auditor
+    // must see *which* step failed, not just "rejected".
+    let (_, mut c) = certified();
+    c.firings[0].tgd = 7;
+    let msg = check(&c).unwrap_err().to_string();
+    assert!(msg.contains("firing 0") && msg.contains('7'), "{msg}");
+}
