@@ -153,15 +153,25 @@ fn main() {
         let metrics = wcoj_benchmark();
         for m in &metrics {
             println!(
-                "{:<38} backtrack {:>9.3} ms  wcoj {:>9.3} ms  speedup {:>6.2}x  \
-                 planner {:<9} agree {}",
+                "{:<38} backtrack {:>9.3} ms  wcoj {:>9.3} ms  dense {:>9.3} ms  \
+                 speedup {:>6.2}x  dense-speedup {:>5.2}x  planner {:<9} agree {}",
                 m.workload,
                 m.backtrack_ms,
                 m.wcoj_ms,
+                m.dense_ms,
                 m.speedup(),
+                m.dense_speedup(),
                 m.planner,
                 m.answers_agree
             );
+            if !m.scaling.is_empty() {
+                let row: Vec<String> = m
+                    .scaling
+                    .iter()
+                    .map(|&(w, ms)| format!("w={w} {ms:.3} ms"))
+                    .collect();
+                println!("{:<38} morsel scaling: {}", "", row.join("  "));
+            }
         }
         let mut f = std::fs::File::create(&path).expect("create wcoj json output");
         f.write_all(wcoj_json(&metrics).as_bytes())

@@ -89,16 +89,26 @@ fn planner_of(atoms: &[gtgd_query::QAtom]) -> &'static str {
     }
 }
 
-/// Times `f` with one warmup and a best-of-3 measurement.
+/// Times `f` with one warmup, then reports the minimum over an adaptive
+/// number of repeats: always at least 3, stopping once ~30 ms of
+/// measurement have accumulated (capped at 1000 repeats). Sub-millisecond
+/// workloads get enough samples for the minimum to converge on the true
+/// cost (best-of-3 is noise-dominated on a time-sliced container), while
+/// multi-millisecond workloads still finish after the mandatory 3 repeats.
 pub(crate) fn bench_ms<T>(mut f: impl FnMut() -> T) -> f64 {
     f();
-    (0..3)
-        .map(|_| {
-            let t = Instant::now();
-            std::hint::black_box(f());
-            ms(t)
-        })
-        .fold(f64::INFINITY, f64::min)
+    let budget = std::time::Duration::from_millis(30);
+    let start = Instant::now();
+    let mut best = f64::INFINITY;
+    for done in 1..=1000u32 {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(ms(t));
+        if done >= 3 && start.elapsed() >= budget {
+            break;
+        }
+    }
+    best
 }
 
 /// E1 — Prop 2.1: bounded-treewidth CQ evaluation is polynomial; the
@@ -919,8 +929,38 @@ pub fn e15_parallel_shootout() -> ExperimentTable {
         let t_sat = bench_ms(|| ground_saturation(&odb, &org));
         let t_psat1 = bench_ms(|| par_ground_saturation(&odb, &org, 1));
         let t_psat4 = bench_ms(|| par_ground_saturation(&odb, &org, 4));
+        // Morsel-driven WCOJ enumeration (DESIGN §12): full triangle
+        // enumeration over a random graph through `par_table` at widths
+        // 1/2/4/8 — the whole-trie-search parallel path, not just the
+        // depth-0 split. Every width must reproduce the width-1 rows in
+        // the same order.
+        let g = crate::workloads::random_graph(n, 0.08, 7);
+        let gdb = crate::workloads::graph_db(&g);
+        let plan = gtgd_query::CompiledQuery::compile(&crate::workloads::clique_cq(3).atoms);
+        let wcoj_ws: Vec<f64> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&w| {
+                bench_ms(|| {
+                    plan.search(&gdb)
+                        .strategy(gtgd_query::Strategy::Wcoj)
+                        .par_table(w)
+                        .len()
+                })
+            })
+            .collect();
+        let enum_ref = plan
+            .search(&gdb)
+            .strategy(gtgd_query::Strategy::Wcoj)
+            .par_table(1);
+        let enum_agree = [2usize, 4, 8].iter().all(|&w| {
+            plan.search(&gdb)
+                .strategy(gtgd_query::Strategy::Wcoj)
+                .par_table(w)
+                == enum_ref
+        });
         let agree = par_chase(&pdb, &tc, &budget, 4).instance == chase(&pdb, &tc, &budget).instance
-            && par_ground_saturation(&odb, &org, 4) == ground_saturation(&odb, &org);
+            && par_ground_saturation(&odb, &org, 4) == ground_saturation(&odb, &org)
+            && enum_agree;
         rows.push(vec![
             n.to_string(),
             fmt_ms(t_chase),
@@ -930,6 +970,10 @@ pub fn e15_parallel_shootout() -> ExperimentTable {
             fmt_ms(t_psat1),
             fmt_ms(t_psat4),
             format!("{:.2}", t_sat / t_psat4),
+            fmt_ms(wcoj_ws[0]),
+            fmt_ms(wcoj_ws[1]),
+            fmt_ms(wcoj_ws[2]),
+            fmt_ms(wcoj_ws[3]),
             agree.to_string(),
         ]);
     }
@@ -949,13 +993,21 @@ pub fn e15_parallel_shootout() -> ExperimentTable {
             "chase↓ par@1 ms".into(),
             "chase↓ par@4 ms".into(),
             "sat speedup@4".into(),
+            "wcoj enum w=1 ms".into(),
+            "wcoj enum w=2 ms".into(),
+            "wcoj enum w=4 ms".into(),
+            "wcoj enum w=8 ms".into(),
             "agree".into(),
         ],
         rows,
         notes: "par_chase pays a collect-then-fire merge to keep null naming \
                 deterministic, so on one core it roughly ties the sequential \
                 chase; par_ground_saturation restructures the Kleene round \
-                (type dedup + dirty bags + value index) and wins outright."
+                (type dedup + dirty bags + value index) and wins outright. \
+                The wcoj enum columns time morsel-driven triangle \
+                enumeration per worker width; read them against \
+                available_parallelism — on a 1-core container every width \
+                time-slices one CPU and w>1 only adds scheduling overhead."
             .into(),
     }
 }

@@ -26,7 +26,8 @@ pub struct KernelMetric {
     pub n: &'static str,
     /// Seed-commit time in ms (EXPERIMENTS.md, best-of-3).
     pub before_ms: f64,
-    /// Freshly measured time in ms (best-of-3, same workload).
+    /// Freshly measured time in ms (min over adaptive repeats, same
+    /// workload).
     pub after_ms: f64,
 }
 
@@ -121,10 +122,11 @@ pub fn kernel_json(metrics: &[KernelMetric]) -> String {
     out.push_str(&format!(
         "  \"description\": \"{}\",\n",
         escape(
-            "Compiled query kernel: before/after timings in ms (best-of-3) \
-             for the experiment cells the kernel touches. 'before' is the \
-             pre-kernel seed baseline from EXPERIMENTS.md; 'after' is \
-             measured by this run on the same workloads."
+            "Compiled query kernel: before/after timings in ms for the \
+             experiment cells the kernel touches. 'before' is the \
+             pre-kernel seed baseline from EXPERIMENTS.md (best-of-3); \
+             'after' is measured by this run on the same workloads (min \
+             over adaptive repeats)."
         )
     ));
     out.push_str("  \"metrics\": [\n");

@@ -29,7 +29,7 @@ use crate::workloads::{
 use gtgd_chase::{par_ground_saturation, parse_tgds, ChaseRunner, ChaseVariant};
 use gtgd_data::obs::{self, RunReport};
 use gtgd_data::GroundAtom;
-use gtgd_query::{Engine, Strategy};
+use gtgd_query::{Engine, Repr, Strategy};
 
 /// One experiment's traced run.
 #[derive(Debug, Clone)]
@@ -64,21 +64,36 @@ pub fn trace_e9() -> TracedExperiment {
 }
 
 /// E10 traced: clique enumeration through [`Engine::prepare`] under both
-/// join strategies, then re-run on a grown graph so the sorted-index cache
-/// exercises its incremental merge-extend path.
+/// join strategies and both WCOJ key representations (dense dictionary
+/// codes and generic values), plus a morsel-parallel run, then re-run on a
+/// grown graph so both incremental-maintenance paths fire: the sorted-index
+/// cache merge-extends its permutations and the dense store extends its
+/// dictionary/tries.
 pub fn trace_e10() -> TracedExperiment {
     let mut g = random_graph(13, 0.5, 97);
     plant_clique(&mut g, 5, 13);
     let db = graph_db(&g);
     let q = clique_cq(4);
     let ((), report) = obs::trace_run(|| {
-        let wcoj = Engine::prepare(&q).strategy(Strategy::Wcoj).answers(&db);
+        let dense = Engine::prepare(&q).strategy(Strategy::Wcoj).answers(&db);
+        let generic = Engine::prepare(&q)
+            .strategy(Strategy::Wcoj)
+            .repr(Repr::Generic)
+            .answers(&db);
         let bt = Engine::prepare(&q)
             .strategy(Strategy::Backtrack)
             .answers(&db);
-        assert_eq!(wcoj, bt, "strategies must agree");
-        // Grow the (index-cached) instance and enumerate again: the cached
-        // permutations are extended by delta-sort + merge, not rebuilt.
+        assert_eq!(dense, bt, "dense WCOJ must agree with the backtracker");
+        assert_eq!(generic, bt, "generic WCOJ must agree with the backtracker");
+        // Morsel-driven parallel enumeration (for the scheduler probes).
+        let par = Engine::prepare(&q)
+            .strategy(Strategy::Wcoj)
+            .parallel(2)
+            .answers(&db);
+        assert_eq!(par, bt, "morsel-parallel WCOJ must agree");
+        // Grow the (index- and trie-cached) instance and enumerate again:
+        // cached permutations are extended by delta-sort + merge and the
+        // dense dictionary/tries extend incrementally, not rebuilt.
         let mut grown = db.clone();
         for i in 0..4 {
             let a = format!("x{i}");
@@ -86,11 +101,15 @@ pub fn trace_e10() -> TracedExperiment {
             grown.insert(GroundAtom::named("E", &[a.as_str(), b.as_str()]));
             grown.insert(GroundAtom::named("E", &[b.as_str(), a.as_str()]));
         }
+        let _ = Engine::prepare(&q)
+            .strategy(Strategy::Wcoj)
+            .repr(Repr::Generic)
+            .answers(&grown);
         let _ = Engine::prepare(&q).strategy(Strategy::Wcoj).answers(&grown);
     });
     TracedExperiment {
         id: "E10",
-        title: "clique enumeration (k=4), both strategies, then on a grown graph".into(),
+        title: "clique enumeration (k=4), both strategies and reprs, then on a grown graph".into(),
         report,
     }
 }
@@ -178,6 +197,12 @@ mod tests {
             r.counter(Metric::IndexMergeExtends) > 0,
             "re-run on a grown instance must extend cached indexes"
         );
+        assert!(r.counter(Metric::DenseDictMisses) > 0);
+        assert!(r.counter(Metric::DenseDictHits) > 0);
+        assert!(
+            r.counter(Metric::WcojMorselsExecuted) > 0,
+            "the parallel run must schedule morsels"
+        );
     }
 
     #[test]
@@ -207,5 +232,7 @@ mod tests {
         assert!(json.contains("\"chase.rounds\""));
         assert!(json.contains("\"wcoj.seeks\""));
         assert!(json.contains("\"index.merge_extends\""));
+        assert!(json.contains("\"dense.dict_hits\""));
+        assert!(json.contains("\"wcoj.morsels_executed\""));
     }
 }

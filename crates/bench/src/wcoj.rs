@@ -16,7 +16,10 @@ use crate::json::escape;
 use crate::workloads::{clique_cq, graph_db, plant_clique, random_graph};
 use gtgd_core::{clique_to_cqs_instance, grid_cqs_family};
 use gtgd_data::Instance;
-use gtgd_query::{CompiledQuery, Strategy};
+use gtgd_query::{CompiledQuery, Repr, Strategy};
+
+/// Worker widths of the morsel-scaling column.
+const SCALING_WIDTHS: [usize; 4] = [1, 2, 4, 8];
 
 /// The obs-named index-maintenance counters of `db` after a measurement
 /// (`index.cached` / `index.full_builds` / `index.merge_extends`) — the
@@ -33,18 +36,26 @@ pub struct WcojMetric {
     pub workload: String,
     /// Answer-enumeration time in ms under the forced backtracker.
     pub backtrack_ms: f64,
-    /// Same workload, same plan, forced leapfrog executor.
+    /// Same workload, same plan, forced leapfrog executor over the generic
+    /// `Value` representation (the pre-dense executor, for continuity with
+    /// earlier BENCH baselines).
     pub wcoj_ms: f64,
+    /// Same plan, leapfrog over dense dictionary codes (the default
+    /// representation).
+    pub dense_ms: f64,
     /// What `Strategy::Auto` picks for this plan (`"wcoj"` / `"backtrack"`).
     pub planner: String,
-    /// Answer count (identical under both executors by assertion).
+    /// Answer count (identical under all executors by assertion).
     pub answers: usize,
-    /// Whether the two executors agreed exactly.
+    /// Whether all executors agreed exactly.
     pub answers_agree: bool,
     /// Index-maintenance counters of the measured instance, under the obs
     /// metric names (`index.cached`, `index.full_builds`,
     /// `index.merge_extends`).
     pub index: Vec<(&'static str, u64)>,
+    /// Morsel-parallel dense enumeration: `(workers, ms)` per width.
+    /// Empty for workloads measured through an aggregate (E4).
+    pub scaling: Vec<(usize, f64)>,
 }
 
 impl WcojMetric {
@@ -52,6 +63,16 @@ impl WcojMetric {
     pub fn speedup(&self) -> f64 {
         if self.wcoj_ms > 0.0 {
             self.backtrack_ms / self.wcoj_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Speedup of the dense representation over the generic leapfrog
+    /// executor on the same plan (`wcoj / dense`; 0-safe).
+    pub fn dense_speedup(&self) -> f64 {
+        if self.dense_ms > 0.0 {
+            self.wcoj_ms / self.dense_ms
         } else {
             0.0
         }
@@ -68,21 +89,37 @@ fn planner_label(plan: &CompiledQuery) -> String {
 }
 
 /// Measures full answer enumeration of one compiled plan under both forced
-/// strategies.
+/// strategies and both WCOJ key representations, plus the morsel-parallel
+/// dense path at each scaling width.
 fn measure(workload: String, plan: &CompiledQuery, db: &Instance) -> WcojMetric {
-    let count = |s: Strategy| plan.search(db).strategy(s).count();
-    let backtrack_ms = bench_ms(|| count(Strategy::Backtrack));
-    let wcoj_ms = bench_ms(|| count(Strategy::Wcoj));
-    let n_bt = count(Strategy::Backtrack);
-    let n_wc = count(Strategy::Wcoj);
+    let count = |s: Strategy, r: Repr| plan.search(db).strategy(s).repr(r).count();
+    let backtrack_ms = bench_ms(|| count(Strategy::Backtrack, Repr::Auto));
+    let wcoj_ms = bench_ms(|| count(Strategy::Wcoj, Repr::Generic));
+    let dense_ms = bench_ms(|| count(Strategy::Wcoj, Repr::Dense));
+    let n_bt = count(Strategy::Backtrack, Repr::Auto);
+    let n_wc = count(Strategy::Wcoj, Repr::Generic);
+    let n_dn = count(Strategy::Wcoj, Repr::Dense);
+    let scaling = SCALING_WIDTHS
+        .iter()
+        .map(|&w| {
+            let ms = bench_ms(|| {
+                let t = plan.search(db).strategy(Strategy::Wcoj).par_table(w);
+                assert_eq!(t.len(), n_dn, "parallel row count at width {w}");
+                t.len()
+            });
+            (w, ms)
+        })
+        .collect();
     WcojMetric {
         workload,
         backtrack_ms,
         wcoj_ms,
+        dense_ms,
         planner: planner_label(plan),
-        answers: n_wc,
-        answers_agree: n_bt == n_wc,
+        answers: n_dn,
+        answers_agree: n_bt == n_wc && n_wc == n_dn,
         index: index_counters(db),
+        scaling,
     }
 }
 
@@ -125,12 +162,18 @@ pub fn e4_reduction_metrics() -> Vec<WcojMetric> {
             .iter()
             .map(|cq| CompiledQuery::compile(&cq.atoms))
             .collect();
-        let total =
-            |s: Strategy| -> usize { plans.iter().map(|p| p.search(db).strategy(s).count()).sum() };
-        let backtrack_ms = bench_ms(|| total(Strategy::Backtrack));
-        let wcoj_ms = bench_ms(|| total(Strategy::Wcoj));
-        let n_bt = total(Strategy::Backtrack);
-        let n_wc = total(Strategy::Wcoj);
+        let total = |s: Strategy, r: Repr| -> usize {
+            plans
+                .iter()
+                .map(|p| p.search(db).strategy(s).repr(r).count())
+                .sum()
+        };
+        let backtrack_ms = bench_ms(|| total(Strategy::Backtrack, Repr::Auto));
+        let wcoj_ms = bench_ms(|| total(Strategy::Wcoj, Repr::Generic));
+        let dense_ms = bench_ms(|| total(Strategy::Wcoj, Repr::Dense));
+        let n_bt = total(Strategy::Backtrack, Repr::Auto);
+        let n_wc = total(Strategy::Wcoj, Repr::Generic);
+        let n_dn = total(Strategy::Wcoj, Repr::Dense);
         let planner = if plans.iter().all(|p| p.prefers_wcoj()) {
             "wcoj".to_string()
         } else if plans.iter().all(|p| !p.prefers_wcoj()) {
@@ -142,10 +185,12 @@ pub fn e4_reduction_metrics() -> Vec<WcojMetric> {
             workload: format!("E4 grid-CQS over D* (k={k}, 10 vertices)"),
             backtrack_ms,
             wcoj_ms,
+            dense_ms,
             planner,
-            answers: n_wc,
-            answers_agree: n_bt == n_wc,
+            answers: n_dn,
+            answers_agree: n_bt == n_wc && n_wc == n_dn,
             index: index_counters(db),
+            scaling: Vec::new(),
         });
     }
     out
@@ -180,11 +225,21 @@ pub fn wcoj_json(metrics: &[WcojMetric]) -> String {
         "  \"description\": \"{}\",\n",
         escape(
             "Worst-case-optimal join path: live before/after timings in ms \
-             (best-of-3) for full answer enumeration of cyclic-shape \
+             (min over adaptive repeats: >=3, within a ~30 ms budget) \
+             for full answer enumeration of cyclic-shape \
              workloads. 'backtrack' and 'wcoj' force the respective \
-             executor on the same compiled plan; 'planner' is what \
-             Strategy::Auto picks."
+             executor on the same compiled plan ('wcoj' = generic Value \
+             keys, 'dense' = dictionary-coded u32 keys, the default); \
+             'planner' is what Strategy::Auto picks. 'scaling' rows time \
+             the morsel-driven parallel dense path per worker width — \
+             interpret them against 'available_parallelism': on a 1-core \
+             container every width time-slices one CPU and widths > 1 \
+             only pay scheduling overhead."
         )
+    ));
+    out.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
     ));
     out.push_str("  \"metrics\": [\n");
     let items: Vec<String> = metrics
@@ -195,19 +250,29 @@ pub fn wcoj_json(metrics: &[WcojMetric]) -> String {
                 .iter()
                 .map(|(name, v)| format!("\"{}\": {v}", escape(name)))
                 .collect();
+            let scaling: Vec<String> = m
+                .scaling
+                .iter()
+                .map(|&(w, ms)| format!("{{\"workers\": {w}, \"ms\": {ms:.3}}}"))
+                .collect();
             format!(
                 "    {{\n      \"workload\": \"{}\",\n      \"backtrack_ms\": {:.3},\n      \
-                 \"wcoj_ms\": {:.3},\n      \"speedup\": {:.2},\n      \"planner\": \"{}\",\n      \
+                 \"wcoj_ms\": {:.3},\n      \"dense_ms\": {:.3},\n      \
+                 \"speedup\": {:.2},\n      \"dense_speedup\": {:.2},\n      \
+                 \"planner\": \"{}\",\n      \
                  \"answers\": {},\n      \"answers_agree\": {},\n      \
-                 \"index\": {{{}}}\n    }}",
+                 \"index\": {{{}}},\n      \"scaling\": [{}]\n    }}",
                 escape(&m.workload),
                 m.backtrack_ms,
                 m.wcoj_ms,
+                m.dense_ms,
                 m.speedup(),
+                m.dense_speedup(),
                 escape(&m.planner),
                 m.answers,
                 m.answers_agree,
-                index.join(", ")
+                index.join(", "),
+                scaling.join(", ")
             )
         })
         .collect();
@@ -234,14 +299,19 @@ mod tests {
             workload: "x".into(),
             backtrack_ms: 8.0,
             wcoj_ms: 2.0,
+            dense_ms: 0.5,
             planner: "wcoj".into(),
             answers: 1,
             answers_agree: true,
             index: Vec::new(),
+            scaling: Vec::new(),
         };
         assert!((m.speedup() - 4.0).abs() < 1e-9);
+        assert!((m.dense_speedup() - 4.0).abs() < 1e-9);
         m.wcoj_ms = 0.0;
         assert_eq!(m.speedup(), 0.0);
+        m.dense_ms = 0.0;
+        assert_eq!(m.dense_speedup(), 0.0);
     }
 
     #[test]
@@ -251,19 +321,23 @@ mod tests {
                 workload: "E10 clique k=5".into(),
                 backtrack_ms: 10.0,
                 wcoj_ms: 1.0,
+                dense_ms: 0.25,
                 planner: "wcoj".into(),
                 answers: 120,
                 answers_agree: true,
                 index: vec![("index.cached", 2), ("index.full_builds", 2)],
+                scaling: vec![(1, 0.25), (2, 0.26), (4, 0.27), (8, 0.3)],
             },
             WcojMetric {
                 workload: "triangle".into(),
                 backtrack_ms: 3.0,
                 wcoj_ms: 1.5,
+                dense_ms: 0.5,
                 planner: "wcoj".into(),
                 answers: 6,
                 answers_agree: true,
                 index: Vec::new(),
+                scaling: Vec::new(),
             },
         ];
         let json = wcoj_json(&metrics);
@@ -271,6 +345,11 @@ mod tests {
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert_eq!(json.matches("\"workload\"").count(), 2);
         assert!(json.contains("\"speedup\": 10.00"));
+        assert!(json.contains("\"dense_ms\": 0.250"));
+        assert!(json.contains("\"dense_speedup\": 4.00"));
+        assert!(json.contains("{\"workers\": 4, \"ms\": 0.270}"));
+        assert!(json.contains("\"scaling\": []"));
+        assert!(json.contains("\"available_parallelism\": "));
         assert!(json.contains("\"answers_agree\": true"));
         assert!(json.contains("\"index.cached\": 2"));
     }

@@ -186,11 +186,6 @@ impl SortedIndexCache {
             });
         }
         let key = (p, arity16, order.to_vec());
-        if let Some(cached) = self.map.read().expect("cache lock").get(&key) {
-            if cached.len() == rows {
-                return Arc::clone(cached);
-            }
-        }
         let cols = columns.expect("rows > 0 implies columns");
         debug_assert!(order.iter().all(|&j| (j as usize) < arity));
         let cmp = |a: u32, b: u32| -> Ordering {
@@ -203,58 +198,78 @@ impl SortedIndexCache {
             }
             a.cmp(&b)
         };
-        let mut map = self.map.write().expect("cache lock");
-        // Re-check under the write lock: another thread may have built or
-        // extended the index while we waited.
-        let prev = map.get(&key).cloned();
-        if let Some(ref c) = prev {
-            if c.len() == rows {
-                return Arc::clone(c);
-            }
-        }
-        let timer = obs::enabled().then(Instant::now);
-        let perm = match prev {
-            Some(c) => {
-                // Incremental extend: sort only the delta, then one merge
-                // pass. Delta row ids are all larger than cached ids, so
-                // the id tie-break keeps the merge deterministic.
-                let mut delta: Vec<u32> = (c.len() as u32..rows as u32).collect();
-                delta.sort_unstable_by(|&a, &b| cmp(a, b));
-                let old = c.perm();
-                let mut out: Vec<u32> = Vec::with_capacity(rows);
-                let (mut i, mut j) = (0usize, 0usize);
-                while i < old.len() && j < delta.len() {
-                    if cmp(old[i], delta[j]) != Ordering::Greater {
-                        out.push(old[i]);
-                        i += 1;
-                    } else {
-                        out.push(delta[j]);
-                        j += 1;
-                    }
+        // Build outside any lock, from a snapshot of the cached state, and
+        // double-check-insert under a short write hold: concurrent readers
+        // of *other* indexes never stall behind this sort, and two racing
+        // builders converge on one winner (losers retry against whatever
+        // the winner installed — usually a fresh cache hit).
+        loop {
+            let prev = self.map.read().expect("cache lock").get(&key).cloned();
+            if let Some(ref c) = prev {
+                if c.len() == rows {
+                    return Arc::clone(c);
                 }
-                out.extend_from_slice(&old[i..]);
-                out.extend_from_slice(&delta[j..]);
+            }
+            let timer = obs::enabled().then(Instant::now);
+            let (perm, extended) = match &prev {
+                Some(c) => {
+                    // Incremental extend: sort only the delta, then one
+                    // merge pass. Delta row ids are all larger than cached
+                    // ids, so the id tie-break keeps the merge
+                    // deterministic.
+                    let mut delta: Vec<u32> = (c.len() as u32..rows as u32).collect();
+                    delta.sort_unstable_by(|&a, &b| cmp(a, b));
+                    let old = c.perm();
+                    let mut out: Vec<u32> = Vec::with_capacity(rows);
+                    let (mut i, mut j) = (0usize, 0usize);
+                    while i < old.len() && j < delta.len() {
+                        if cmp(old[i], delta[j]) != Ordering::Greater {
+                            out.push(old[i]);
+                            i += 1;
+                        } else {
+                            out.push(delta[j]);
+                            j += 1;
+                        }
+                    }
+                    out.extend_from_slice(&old[i..]);
+                    out.extend_from_slice(&delta[j..]);
+                    (out, true)
+                }
+                None => {
+                    let mut all: Vec<u32> = (0..rows as u32).collect();
+                    all.sort_unstable_by(|&a, &b| cmp(a, b));
+                    (all, false)
+                }
+            };
+            if let Some(t0) = timer {
+                obs::observe(obs::Hist::IndexBuildNs, t0.elapsed().as_nanos() as u64);
+            }
+            let mut map = self.map.write().expect("cache lock");
+            // Double-check: another thread may have built or extended the
+            // index while we sorted. Our build is valid only if the cached
+            // state still matches the snapshot we built from.
+            let current = map.get(&key);
+            let current_len = current.map_or(0, |c| c.len());
+            if current_len == rows {
+                return Arc::clone(current.expect("len matched"));
+            }
+            if current_len != prev.as_ref().map_or(0, |c| c.len()) {
+                continue; // the snapshot went stale mid-build: retry
+            }
+            if extended {
                 self.merge_extends.fetch_add(1, AtomicOrdering::Relaxed);
                 obs::count(obs::Metric::IndexMergeExtends, 1);
-                out
-            }
-            None => {
-                let mut all: Vec<u32> = (0..rows as u32).collect();
-                all.sort_unstable_by(|&a, &b| cmp(a, b));
+            } else {
                 self.full_builds.fetch_add(1, AtomicOrdering::Relaxed);
                 obs::count(obs::Metric::IndexFullBuilds, 1);
-                all
             }
-        };
-        if let Some(t0) = timer {
-            obs::observe(obs::Hist::IndexBuildNs, t0.elapsed().as_nanos() as u64);
+            let built = Arc::new(SortedPermutation {
+                order: order.to_vec(),
+                perm,
+            });
+            map.insert(key, Arc::clone(&built));
+            return built;
         }
-        let built = Arc::new(SortedPermutation {
-            order: order.to_vec(),
-            perm,
-        });
-        map.insert(key, Arc::clone(&built));
-        built
     }
 }
 

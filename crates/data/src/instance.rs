@@ -2,6 +2,7 @@
 
 use crate::atom::GroundAtom;
 use crate::columnar::{IndexStats, PredColumns, SortedIndexCache, SortedPermutation};
+use crate::dense::{DenseStats, DenseStore, DenseTrie, Dict};
 use crate::schema::{Predicate, Schema};
 use crate::value::Value;
 use gtgd_treewidth::Graph;
@@ -36,6 +37,11 @@ pub struct Instance {
     /// mutability: indexes are built on demand through `&Instance` (query
     /// execution never holds `&mut`).
     sorted: SortedIndexCache,
+    /// Dense-dictionary encoded mirror of `columns` plus flat sorted trie
+    /// levels — the storage the dense WCOJ path scans (see
+    /// [`crate::dense`]). Built lazily, extended incrementally, interior
+    /// mutability like `sorted`.
+    dense: DenseStore,
 }
 
 impl Instance {
@@ -196,6 +202,30 @@ impl Instance {
     /// `merge_extends` on every delta extension).
     pub fn index_stats(&self) -> IndexStats {
         self.sorted.stats()
+    }
+
+    /// A consistent dense-encoded snapshot serving one query: the global
+    /// order-preserving dictionary plus, per request
+    /// `(predicate, arity, column order)`, the flat sorted trie — `None`
+    /// when the relation is empty. Builds or delta-extends stale parts
+    /// first; current parts cost one read-lock hold and `Arc` clones (see
+    /// [`crate::dense::DenseStore::snapshot`]).
+    pub fn dense_snapshot(
+        &self,
+        reqs: &[(Predicate, usize, &[u16])],
+    ) -> (Arc<Dict>, Vec<Option<Arc<DenseTrie>>>) {
+        let reqs16: Vec<(Predicate, u16, &[u16])> = reqs
+            .iter()
+            .map(|&(p, a, o)| (p, u16::try_from(a).expect("arity fits u16"), o))
+            .collect();
+        self.dense.snapshot(&self.columns, &reqs16)
+    }
+
+    /// Counters of the dense store (the append-mostly growth contract:
+    /// `remaps` stays at zero while every fresh value — e.g. every
+    /// chase-invented null — sorts after the existing maximum).
+    pub fn dense_stats(&self) -> DenseStats {
+        self.dense.stats()
     }
 
     /// The distinct predicates appearing in the instance, in first-use order.

@@ -28,6 +28,7 @@
 
 pub mod atom;
 pub mod columnar;
+pub mod dense;
 pub mod homomorphism;
 pub mod instance;
 pub mod obs;
@@ -41,6 +42,7 @@ pub mod value;
 
 pub use atom::GroundAtom;
 pub use columnar::{IndexStats, PredColumns, SortedPermutation};
+pub use dense::{DenseStats, DenseTrie, Dict};
 pub use homomorphism::{is_homomorphism, Valuation};
 pub use instance::Instance;
 pub use obs::RunReport;

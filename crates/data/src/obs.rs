@@ -96,11 +96,24 @@ pub enum Metric {
     PoolMaxWidth,
     /// Bag checks performed by the decomposition-guided evaluator.
     DecompBagChecks,
+    /// Dense-dictionary encode lookups answered by an existing code.
+    DenseDictHits,
+    /// Dense-dictionary encode lookups that minted a fresh code.
+    DenseDictMisses,
+    /// Order-preserving dictionary remaps (a new value sorted before an
+    /// existing one, forcing a code shift across all encoded storage).
+    DenseRemaps,
+    /// Morsels (bounded WCOJ sub-searches) executed by the parallel
+    /// scheduler.
+    WcojMorselsExecuted,
+    /// Morsels claimed by a worker other than their round-robin home (the
+    /// work-stealing rebalance count).
+    WcojMorselsStolen,
 }
 
 impl Metric {
     /// All metrics, in report order.
-    pub const ALL: [Metric; 16] = [
+    pub const ALL: [Metric; 21] = [
         Metric::ChaseRounds,
         Metric::TriggerFirings,
         Metric::NullsCreated,
@@ -117,6 +130,11 @@ impl Metric {
         Metric::PoolChunksClaimed,
         Metric::PoolMaxWidth,
         Metric::DecompBagChecks,
+        Metric::DenseDictHits,
+        Metric::DenseDictMisses,
+        Metric::DenseRemaps,
+        Metric::WcojMorselsExecuted,
+        Metric::WcojMorselsStolen,
     ];
 
     /// The metric's stable report name (a dotted static identifier; no
@@ -139,6 +157,11 @@ impl Metric {
             Metric::PoolChunksClaimed => "pool.chunks_claimed",
             Metric::PoolMaxWidth => "pool.max_width",
             Metric::DecompBagChecks => "decomp.bag_checks",
+            Metric::DenseDictHits => "dense.dict_hits",
+            Metric::DenseDictMisses => "dense.dict_misses",
+            Metric::DenseRemaps => "dense.remaps",
+            Metric::WcojMorselsExecuted => "wcoj.morsels_executed",
+            Metric::WcojMorselsStolen => "wcoj.morsels_stolen",
         }
     }
 }
@@ -188,15 +211,20 @@ pub enum Hist {
     /// per-worker utilization shape: a balanced run concentrates mass in
     /// one or two adjacent buckets).
     PoolWorkerChunks,
+    /// Per-worker busy wall time over one morsel-driven WCOJ enumeration,
+    /// in nanoseconds (one observation per worker per run — a balanced run
+    /// concentrates mass in adjacent buckets).
+    WcojWorkerBusyNs,
 }
 
 impl Hist {
     /// All histograms, in report order.
-    pub const ALL: [Hist; 4] = [
+    pub const ALL: [Hist; 5] = [
         Hist::ChaseRoundNs,
         Hist::BagClosureNs,
         Hist::IndexBuildNs,
         Hist::PoolWorkerChunks,
+        Hist::WcojWorkerBusyNs,
     ];
 
     /// The histogram's stable report name.
@@ -206,6 +234,7 @@ impl Hist {
             Hist::BagClosureNs => "saturator.closure_ns",
             Hist::IndexBuildNs => "index.build_ns",
             Hist::PoolWorkerChunks => "pool.worker_chunks",
+            Hist::WcojWorkerBusyNs => "wcoj.worker_busy_ns",
         }
     }
 }

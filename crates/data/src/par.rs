@@ -159,6 +159,64 @@ impl Pool {
         })
     }
 
+    /// Like [`Pool::map`], but `f` also receives the claiming worker's id
+    /// and the item index: `f(worker, index, item)`. Items are claimed one
+    /// at a time off a shared atomic counter, so an idle worker *steals*
+    /// whatever task is next regardless of any notional home assignment —
+    /// this is the execution substrate for morsel-driven parallelism
+    /// (callers treat each item as a morsel and use `worker`/`index` for
+    /// steal accounting and per-worker timing). Results come back in item
+    /// order, for any worker count.
+    pub fn run_tasks<T: Sync, R: Send>(
+        &self,
+        items: &[T],
+        f: impl Fn(usize, usize, &T) -> R + Sync,
+    ) -> Vec<R> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let spawned = self.workers.min(items.len());
+        if spawned == 1 {
+            return items.iter().enumerate().map(|(i, t)| f(0, i, t)).collect();
+        }
+        obs::count(obs::Metric::PoolRuns, 1);
+        obs::record_max(obs::Metric::PoolMaxWidth, spawned as u64);
+        let next = AtomicUsize::new(0);
+        let mut per_worker: Vec<Vec<(usize, R)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..spawned)
+                .map(|w| {
+                    let next = &next;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut mine: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(i) else {
+                                return mine;
+                            };
+                            mine.push((i, f(w, i, item)));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                let mine = h.join().expect("pool worker panicked");
+                obs::count(obs::Metric::PoolChunksClaimed, mine.len() as u64);
+                obs::observe(obs::Hist::PoolWorkerChunks, mine.len() as u64);
+                per_worker.push(mine);
+            }
+        });
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, r) in per_worker.into_iter().flatten() {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every task claimed exactly once"))
+            .collect()
+    }
+
     /// Applies `f` to every item, in parallel, returning results in item
     /// order. Each item is its own unit of work — use for few, coarse tasks
     /// (e.g. independent experiment series); prefer [`Pool::map_chunks`]
@@ -247,6 +305,27 @@ mod tests {
             pos += len;
         }
         assert_eq!(pos, items.len());
+    }
+
+    #[test]
+    fn run_tasks_preserves_item_order_and_covers_all() {
+        let items: Vec<usize> = (0..41).collect();
+        for w in [1usize, 2, 5, 9] {
+            let got = Pool::with_workers(w).run_tasks(&items, |worker, i, &x| {
+                assert!(worker < w);
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(
+                got,
+                items.iter().map(|&x| x * 3).collect::<Vec<_>>(),
+                "width {w}"
+            );
+        }
+        let none: Vec<u8> = Vec::new();
+        assert!(Pool::with_workers(4)
+            .run_tasks(&none, |_, _, &x| x)
+            .is_empty());
     }
 
     #[test]

@@ -25,10 +25,12 @@
 //! body once and re-probes it every round from many worker threads.
 
 use crate::cq::{QAtom, Term, Var};
-use crate::wcoj::{self, WcojPlan, WcojRun};
+use crate::wcoj::{self, DenseRun, DenseSnapshot, GenericRun, SplitProbe, WcojPlan};
 use gtgd_data::{obs, Instance, Pool, Value};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// A compiled query term: a dense slot or an inline constant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +61,25 @@ pub enum Strategy {
     /// Force the variable-at-a-time leapfrog triejoin (worst-case optimal
     /// for the planner's variable order).
     Wcoj,
+}
+
+/// Which key representation the worst-case-optimal path runs over. Purely
+/// a runtime gate — both representations are always compiled in, produce
+/// identical rows in identical order, and share the instance unchanged
+/// (the dense side lazily maintains its dictionary/trie caches inside the
+/// instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Repr {
+    /// Pick the dense representation (the faster path; generic remains as
+    /// the always-available fallback and differential oracle). The
+    /// default.
+    #[default]
+    Auto,
+    /// Force dense `u32` dictionary codes over flat trie levels.
+    Dense,
+    /// Force generic `Value` keys through the sorted-permutation
+    /// indirection.
+    Generic,
 }
 
 /// A query compiled for repeated homomorphism search: variables interned to
@@ -213,6 +234,7 @@ impl CompiledQuery {
             allowed: None,
             skip: None,
             strategy: Strategy::Auto,
+            repr: Repr::Auto,
         }
     }
 }
@@ -303,6 +325,7 @@ pub struct KernelSearch<'a> {
     allowed: Option<&'a HashSet<Value>>,
     skip: Option<usize>,
     strategy: Strategy,
+    repr: Repr,
 }
 
 /// Mutable search state, reused across the whole enumeration: the flat
@@ -358,6 +381,15 @@ impl<'a> KernelSearch<'a> {
         self
     }
 
+    /// Overrides the worst-case-optimal path's key representation (the
+    /// default, [`Repr::Auto`], runs dense). A no-op for the backtracker.
+    /// The dense differential suite forces both sides; ordinary consumers
+    /// never call this.
+    pub fn repr(mut self, r: Repr) -> Self {
+        self.repr = r;
+        self
+    }
+
     /// Whether this search runs the worst-case-optimal path.
     pub fn uses_wcoj(&self) -> bool {
         match self.strategy {
@@ -365,6 +397,11 @@ impl<'a> KernelSearch<'a> {
             Strategy::Backtrack => false,
             Strategy::Wcoj => true,
         }
+    }
+
+    /// Whether the worst-case-optimal path runs over dense codes.
+    fn uses_dense(&self) -> bool {
+        !matches!(self.repr, Repr::Generic)
     }
 
     /// Validates the fixed bindings against the modes; `None` if they are
@@ -572,18 +609,34 @@ impl<'a> KernelSearch<'a> {
         let Some((val, used)) = self.init_val() else {
             return false;
         };
-        let Some(mut run) = WcojRun::new(
-            &self.plan.wcoj,
-            self.target,
-            val,
-            used,
-            self.injective,
-            self.allowed,
-            self.skip,
-        ) else {
-            return false;
-        };
-        run.run(f).is_break()
+        if self.uses_dense() {
+            let snap = DenseSnapshot::take(&self.plan.wcoj, self.target, self.skip);
+            let Some(mut run) = DenseRun::new_dense(
+                &snap,
+                &self.plan.wcoj,
+                val,
+                used,
+                self.injective,
+                self.allowed,
+                self.skip,
+            ) else {
+                return false;
+            };
+            run.run(f).is_break()
+        } else {
+            let Some(mut run) = GenericRun::new_generic(
+                &self.plan.wcoj,
+                self.target,
+                val,
+                used,
+                self.injective,
+                self.allowed,
+                self.skip,
+            ) else {
+                return false;
+            };
+            run.run(f).is_break()
+        }
     }
 
     /// Whether any homomorphism exists (no materialization at all).
@@ -661,6 +714,7 @@ impl<'a> KernelSearch<'a> {
                     allowed: self.allowed,
                     skip: Some(split),
                     strategy: Strategy::Backtrack,
+                    repr: self.repr,
                 };
                 sub.fixed.extend(seed);
                 sub.for_each_row(|row| {
@@ -677,60 +731,166 @@ impl<'a> KernelSearch<'a> {
         all
     }
 
-    /// The worst-case-optimal variant of [`KernelSearch::par_table`]: the
-    /// *first variable's* candidate range (the leapfrog intersection at
-    /// the trie roots) is split across workers; each candidate value seeds
-    /// an independent sub-search with that slot pre-bound. Distinct values
-    /// yield disjoint row sets, so chunk results concatenate without
-    /// deduplication — and since candidates are enumerated in ascending
-    /// order, the row order equals the sequential WCOJ order.
+    /// Runs a discardable probe with `seeds` appended to the fixed
+    /// bindings and reports how the search tree splits below that prefix.
+    fn probe_split(&self, seeds: &[(usize, Value)]) -> SplitProbe {
+        let mut probe = KernelSearch {
+            plan: self.plan,
+            target: self.target,
+            fixed: self.fixed.clone(),
+            injective: self.injective,
+            allowed: self.allowed,
+            skip: self.skip,
+            strategy: Strategy::Wcoj,
+            repr: self.repr,
+        };
+        probe.fixed.extend_from_slice(seeds);
+        // A seed conflicting with the modes kills the whole subtree —
+        // exactly what the sequential search's per-value checks do.
+        let Some((val, used)) = probe.init_val() else {
+            return SplitProbe::Dead;
+        };
+        if probe.uses_dense() {
+            let snap = DenseSnapshot::take(&probe.plan.wcoj, probe.target, probe.skip);
+            match DenseRun::new_dense(
+                &snap,
+                &probe.plan.wcoj,
+                val,
+                used,
+                probe.injective,
+                probe.allowed,
+                probe.skip,
+            ) {
+                None => SplitProbe::Dead,
+                Some(mut run) => run.split_probe(),
+            }
+        } else {
+            match GenericRun::new_generic(
+                &probe.plan.wcoj,
+                probe.target,
+                val,
+                used,
+                probe.injective,
+                probe.allowed,
+                probe.skip,
+            ) {
+                None => SplitProbe::Dead,
+                Some(mut run) => run.split_probe(),
+            }
+        }
+    }
+
+    /// The worst-case-optimal variant of [`KernelSearch::par_table`]:
+    /// morsel-driven scheduling over the full depth of the variable order.
+    ///
+    /// Task generation expands prefixes of the search tree breadth-first:
+    /// each morsel is a binding prefix (one seed per expanded depth, in
+    /// candidate order), and a prefix splits into one child per value of
+    /// the leapfrog intersection at its first unbound constrained depth
+    /// ([`crate::wcoj::WcojRun::split_probe`]). Expansion stops once
+    /// roughly `8 × workers` morsels exist — enough over-partitioning that
+    /// idle workers always find a morsel to steal off the shared task
+    /// counter ([`Pool::run_tasks`]), wherever in the tree it lives.
+    ///
+    /// Determinism: each morsel carries its hierarchical path (candidate
+    /// ordinals per expanded depth); leaf paths sorted lexicographically
+    /// are exactly depth-first order, and distinct prefixes yield disjoint
+    /// row sets, so concatenating shard tables in sorted-path order
+    /// reproduces the sequential enumeration order *exactly* — for any
+    /// worker count and either key representation.
     fn wcoj_par_table(&self, workers: usize) -> ValuationTable {
         let empty = || ValuationTable::new(self.plan.vars.clone());
         if workers <= 1 || self.skip.is_some() || self.plan.wcoj.order.is_empty() {
             return self.table();
         }
-        let Some((val, used)) = self.init_val() else {
+        if self.init_val().is_none() {
             return empty();
-        };
-        let s0 = self.plan.wcoj.order[0] as usize;
-        if val[s0].is_some() {
-            // The split variable is already fixed: nothing to fan out on.
+        }
+        struct Morsel {
+            /// Candidate ordinals per expanded depth (lex order = DFS
+            /// order).
+            path: Vec<u32>,
+            /// The binding prefix: one `(slot, value)` per expanded depth.
+            seeds: Vec<(usize, Value)>,
+        }
+        let target = workers.saturating_mul(8);
+        let mut queue: VecDeque<Morsel> = VecDeque::new();
+        queue.push_back(Morsel {
+            path: Vec::new(),
+            seeds: Vec::new(),
+        });
+        let mut leaves: Vec<Morsel> = Vec::new();
+        while let Some(m) = queue.pop_front() {
+            if leaves.len() + queue.len() + 1 >= target {
+                leaves.push(m);
+                leaves.extend(queue.drain(..));
+                break;
+            }
+            match self.probe_split(&m.seeds) {
+                SplitProbe::Dead => {}
+                SplitProbe::Exhausted => leaves.push(m),
+                SplitProbe::Candidates(slot, values) => {
+                    for (i, v) in values.into_iter().enumerate() {
+                        let mut path = m.path.clone();
+                        path.push(i as u32);
+                        let mut seeds = m.seeds.clone();
+                        seeds.push((slot, v));
+                        queue.push_back(Morsel { path, seeds });
+                    }
+                }
+            }
+        }
+        if leaves.len() <= 1 {
+            // Dead root (no answers) or a single indivisible morsel:
+            // nothing to fan out on.
             return self.table();
         }
-        let Some(mut probe) = WcojRun::new(
-            &self.plan.wcoj,
-            self.target,
-            val,
-            used,
-            self.injective,
-            self.allowed,
-            self.skip,
-        ) else {
-            return empty();
-        };
-        let cands = probe.root_candidates();
-        let per_chunk = Pool::with_workers(workers).map_chunks(&cands, |_, chunk| {
+        leaves.sort_by(|a, b| a.path.cmp(&b.path));
+        let spawned = workers.min(leaves.len());
+        let stolen = AtomicU64::new(0);
+        let busy: Vec<AtomicU64> = (0..spawned).map(|_| AtomicU64::new(0)).collect();
+        let timing = obs::enabled();
+        let shards = Pool::with_workers(workers).run_tasks(&leaves, |w, i, m| {
+            let t0 = timing.then(Instant::now);
             let mut out = ValuationTable::new(self.plan.vars.clone());
-            for &v0 in chunk {
-                let mut sub = KernelSearch {
-                    plan: self.plan,
-                    target: self.target,
-                    fixed: self.fixed.clone(),
-                    injective: self.injective,
-                    allowed: self.allowed,
-                    skip: self.skip,
-                    strategy: Strategy::Wcoj,
-                };
-                sub.fixed.push((s0, v0));
-                sub.for_each_row(|row| {
-                    out.push_row(row);
-                    ControlFlow::Continue(())
-                });
+            let mut sub = KernelSearch {
+                plan: self.plan,
+                target: self.target,
+                fixed: self.fixed.clone(),
+                injective: self.injective,
+                allowed: self.allowed,
+                skip: self.skip,
+                strategy: Strategy::Wcoj,
+                repr: self.repr,
+            };
+            sub.fixed.extend_from_slice(&m.seeds);
+            sub.for_each_row(|row| {
+                out.push_row(row);
+                ControlFlow::Continue(())
+            });
+            // "Stolen": executed by a different worker than round-robin
+            // home assignment would give — i.e. the shared counter
+            // re-balanced it onto an idle worker.
+            if i % spawned != w {
+                stolen.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(t0) = t0 {
+                busy[w].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             }
             out
         });
+        obs::count(obs::Metric::WcojMorselsExecuted, leaves.len() as u64);
+        obs::count(
+            obs::Metric::WcojMorselsStolen,
+            stolen.load(Ordering::Relaxed),
+        );
+        if timing {
+            for b in &busy {
+                obs::observe(obs::Hist::WcojWorkerBusyNs, b.load(Ordering::Relaxed));
+            }
+        }
         let mut all = empty();
-        for t in &per_chunk {
+        for t in &shards {
             all.append(t);
         }
         all

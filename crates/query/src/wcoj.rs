@@ -6,10 +6,23 @@
 //! hardness core, Thms 5.4/5.13) its intermediate candidate sets can exceed
 //! the AGM fractional-cover bound by polynomial factors. This module binds
 //! one *variable* at a time instead: every atom containing the current
-//! variable exposes a sorted trie iterator over its
-//! [`gtgd_data::SortedPermutation`] index, and a leapfrog intersection
+//! variable exposes a sorted trie iterator, and a leapfrog intersection
 //! enumerates exactly the values present in *all* of them. The total work
 //! is within the worst-case-optimal bound for the chosen variable order.
+//!
+//! The executor is generic over the **key representation** ([`TrieKeys`] +
+//! [`Codec`]), with two instantiations behind the kernel's runtime gate
+//! ([`crate::compile::Repr`]):
+//!
+//! * **generic** — keys are [`Value`]s read through a
+//!   [`gtgd_data::SortedPermutation`] indirection
+//!   (`cols[level][perm[i]]`): always available, zero preprocessing
+//!   beyond the sorted index.
+//! * **dense** — keys are `u32` codes from the instance's
+//!   order-preserving dictionary ([`gtgd_data::Dict`]), read from the
+//!   flat per-level arrays of a [`gtgd_data::DenseTrie`]: one
+//!   cache-linear load per key, 4-byte comparisons, decode back to
+//!   [`Value`] only at answer materialization (and mode checks).
 //!
 //! Three pieces live here:
 //!
@@ -21,13 +34,16 @@
 //!   high-arity multiway-join trigger. Acyclic low-join queries keep the
 //!   backtracker (it wins on paths and stars with selective constants).
 //! * [`WcojRun`] — the executor: trie cursors with `open`/`seek`/`next`/
-//!   `up` over sorted permutations, recursing over the variable order.
-//!   Semantics (fixed slots, injectivity, image restriction, skipped
-//!   atoms) mirror the backtracker exactly; `tests/differential_wcoj.rs`
-//!   proves answer-set equality.
+//!   `up`, recursing over the variable order. Semantics (fixed slots,
+//!   injectivity, image restriction, skipped atoms) mirror the
+//!   backtracker exactly; `tests/differential_wcoj.rs` and
+//!   `tests/differential_dense.rs` prove answer-set equality across all
+//!   three paths. [`WcojRun::split_probe`] exposes the next unbound
+//!   intersection to the morsel scheduler
+//!   ([`crate::compile::KernelSearch::par_table`]).
 
 use crate::compile::{CAtom, CTerm};
-use gtgd_data::{obs, Instance, SortedPermutation, Value};
+use gtgd_data::{obs, DenseTrie, Dict, Instance, SortedPermutation, Value};
 use std::collections::HashSet;
 use std::ops::ControlFlow;
 use std::sync::Arc;
@@ -254,6 +270,194 @@ pub(crate) fn build_plan(atoms: &[CAtom], slot_count: usize) -> WcojPlan {
     }
 }
 
+// ---------------------------------------------------------------------
+// Key representations
+// ---------------------------------------------------------------------
+
+/// Sorted trie keys of one atom: `key_at(level, i)` is the key of the
+/// `i`-th row (in trie-sorted order) at trie level `level`. Keys compare
+/// in value order in both representations, which is what keeps leapfrog
+/// intersections valid across atoms.
+pub(crate) trait TrieKeys {
+    /// The key type: [`Value`] (generic) or `u32` codes (dense).
+    type K: Copy + Ord;
+    fn rows(&self) -> usize;
+    fn key_at(&self, level: usize, i: usize) -> Self::K;
+    /// A pointer-identity of the backing sorted source: equal ids mean
+    /// `key_at` reads the same data (same relation, same column order),
+    /// so equal row ranges hold equal keys at every level.
+    fn source_id(&self) -> usize;
+}
+
+/// Encoding between [`Value`]s and a representation's keys, shared by all
+/// atoms of one run (the dense side holds the instance's global
+/// dictionary).
+pub(crate) trait Codec {
+    /// Matches the paired [`TrieKeys::K`].
+    type K: Copy + Ord;
+    /// `None` means the value provably occurs in no scanned relation.
+    fn encode(&self, v: Value) -> Option<Self::K>;
+    fn decode(&self, k: Self::K) -> Value;
+}
+
+/// Generic representation: `Value` keys behind the sorted-permutation
+/// indirection.
+pub(crate) struct GenericKeys<'a> {
+    perm: Arc<SortedPermutation>,
+    /// Per level, the arena column it keys on.
+    cols: Vec<&'a [Value]>,
+}
+
+impl TrieKeys for GenericKeys<'_> {
+    type K = Value;
+
+    fn rows(&self) -> usize {
+        self.perm.len()
+    }
+
+    #[inline]
+    fn key_at(&self, level: usize, i: usize) -> Value {
+        self.cols[level][self.perm.perm()[i] as usize]
+    }
+
+    fn source_id(&self) -> usize {
+        // The permutation cache hands out one `Arc` per `(predicate,
+        // arity, col_order)`, so pointer equality pins both the relation
+        // and the level→column mapping.
+        Arc::as_ptr(&self.perm) as usize
+    }
+}
+
+/// Identity codec for the generic representation.
+pub(crate) struct GenericCodec;
+
+impl Codec for GenericCodec {
+    type K = Value;
+
+    #[inline]
+    fn encode(&self, v: Value) -> Option<Value> {
+        Some(v)
+    }
+
+    #[inline]
+    fn decode(&self, k: Value) -> Value {
+        k
+    }
+}
+
+/// The dense codec: the instance's global order-preserving dictionary,
+/// borrowed from the run's [`DenseSnapshot`].
+pub(crate) struct DenseCodec<'a> {
+    dict: &'a Dict,
+}
+
+impl Codec for DenseCodec<'_> {
+    type K = u32;
+
+    #[inline]
+    fn encode(&self, v: Value) -> Option<u32> {
+        self.dict.code(v)
+    }
+
+    #[inline]
+    fn decode(&self, k: u32) -> Value {
+        self.dict.decode(k)
+    }
+}
+
+/// One query's consistent view of the dense store: the dictionary plus
+/// the trie of every active atom, from a single epoch. Owned by the
+/// caller so the run (and its cursors) can borrow plain slices out of it
+/// — the executor's hot loop then runs on `&[u32]` with no `Arc`
+/// indirection.
+pub(crate) struct DenseSnapshot {
+    dict: Arc<Dict>,
+    /// Aligned with the plan's atoms **after** the skip filter; `None`
+    /// marks an empty relation.
+    tries: Vec<Option<Arc<DenseTrie>>>,
+}
+
+impl DenseSnapshot {
+    /// Takes one consistent snapshot serving every non-skipped atom of
+    /// `wplan` against `target`.
+    pub(crate) fn take(wplan: &WcojPlan, target: &Instance, skip: Option<usize>) -> DenseSnapshot {
+        let reqs: Vec<(gtgd_data::Predicate, usize, &[u16])> = wplan
+            .atoms
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| Some(i) != skip)
+            .map(|(_, ap)| (ap.predicate, ap.arity, ap.col_order.as_slice()))
+            .collect();
+        let (dict, tries) = target.dense_snapshot(&reqs);
+        DenseSnapshot { dict, tries }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cursors
+// ---------------------------------------------------------------------
+
+/// Below this range width, seeks scan linearly instead of galloping: on
+/// short runs (tight key groups, small relations — the E4 k=2 regime) the
+/// branchy exponential probe loses to a straight-line scan the optimizer
+/// can unroll.
+const LINEAR_SEEK_THRESHOLD: usize = 16;
+
+/// The trie-iterator interface the executor recursion drives. Two
+/// implementations: [`Cursor`] walks the generic sorted-run
+/// representation (row-duplicated keys behind a permutation, key groups
+/// found by bound searches); [`CsrCursor`] walks the dense CSR trie
+/// (distinct keys, O(1) `next`, child ranges by offset lookup).
+pub(crate) trait TrieCursor {
+    /// The key type; matches the paired [`Codec::K`].
+    type K: Copy + Ord;
+    /// Descends into the current key's children (or the root level).
+    fn open(&mut self);
+    /// Ascends one level.
+    fn up(&mut self);
+    /// The current key, or `None` when the level is exhausted.
+    ///
+    /// The position/key accessors fold "at end?" and "which key?" into
+    /// one call on purpose: the leapfrog alignment loop touches every
+    /// participant once per pass, and each separate method call re-reads
+    /// the cursor's top frame.
+    fn current(&self) -> Option<Self::K>;
+    /// Advances to the next distinct key at the current level and
+    /// returns it (`None` when the level runs out).
+    fn advance(&mut self) -> Option<Self::K>;
+    /// Positions at the first key `>= v` (keys only move forward) and
+    /// returns it (`None` when the level runs out).
+    fn seek(&mut self, v: Self::K) -> Option<Self::K>;
+    /// A pointer-identity of the cursor's backing data (0 when there is
+    /// none to share): cursors with equal nonzero ids read the same
+    /// arrays, so equal seek histories leave them on identical frames.
+    fn source_id(&self) -> usize;
+    /// The top frame's movable state (position plus group end where the
+    /// representation has one). Only meaningful for mirroring onto a
+    /// cursor whose token equaled this one's at open: the backing arrays
+    /// are the same, so the state transfers verbatim.
+    fn frame_state(&self) -> (usize, usize);
+    /// Overwrites the top frame's movable state (see
+    /// [`TrieCursor::frame_state`]).
+    fn set_frame_state(&mut self, st: (usize, usize));
+    /// An identity of the open top frame: two cursors with equal tokens
+    /// are positioned on the **same range of the same underlying key
+    /// array** — they will enumerate identical keys here and expose
+    /// identical subtrees below. The recursion uses this to elide
+    /// duplicate leapfrog participants (dense tries of a symmetric
+    /// relation under both column orders alias one `Arc`, so their
+    /// cursors' slices share a pointer). Implementations without a
+    /// shareable source return a cursor-unique token (never equal).
+    fn token(&self) -> (usize, usize, usize, usize);
+    /// The top frame's remaining keys as one contiguous slice, when the
+    /// representation has one (the dense CSR level is exactly that; the
+    /// generic permuted view returns `None`). Powers the leaf-depth
+    /// intersection fast path.
+    fn top_slice(&self) -> Option<&[Self::K]>;
+    /// Drains the locally batched `(seeks, gallop_steps)` probe counts.
+    fn drain_obs(&mut self) -> (u64, u64);
+}
+
 /// One open trie level: the row range matching all ancestor keys (`hi`
 /// bounds it; its start is implicit in `pos` history) and the current key
 /// group `[pos, end)`.
@@ -264,51 +468,57 @@ struct Frame {
     end: usize,
 }
 
-/// A trie iterator over one atom's sorted permutation index. Level `ℓ`
-/// keys rows by column `col_order[ℓ]`; `open` narrows to the parent's
-/// current key group, `seek`/`next` move between key groups by galloping
-/// search.
-struct Cursor<'a> {
-    perm: Arc<SortedPermutation>,
-    /// Per level, the arena column it keys on.
-    cols: Vec<&'a [Value]>,
+/// A trie iterator over one atom's sorted index. Level `ℓ` keys rows by
+/// column `col_order[ℓ]`; `open` narrows to the parent's current key
+/// group, `seek`/`next` move between key groups by galloping search
+/// (linear below [`LINEAR_SEEK_THRESHOLD`]).
+pub(crate) struct Cursor<T: TrieKeys> {
+    keys: T,
     rows: usize,
     stack: Vec<Frame>,
+    /// Locally batched probe counters, flushed to obs once per run (the
+    /// hot loop must not pay an atomic load per seek).
+    seeks: u64,
+    steps: u64,
 }
 
-impl<'a> Cursor<'a> {
-    fn new(target: &'a Instance, plan: &AtomPlan) -> Cursor<'a> {
-        let pc = target.columns(plan.predicate, plan.arity);
-        let rows = pc.map_or(0, |c| c.rows());
-        let cols: Vec<&'a [Value]> = plan
-            .col_order
-            .iter()
-            .map(|&j| pc.map_or(&[] as &[Value], |c| c.col(j as usize)))
-            .collect();
-        let perm = target.sorted_permutation(plan.predicate, plan.arity, &plan.col_order);
+impl<T: TrieKeys> Cursor<T> {
+    fn new(keys: T, levels: usize) -> Cursor<T> {
+        let rows = keys.rows();
         Cursor {
-            perm,
-            cols,
+            keys,
             rows,
-            stack: Vec::new(),
+            stack: Vec::with_capacity(levels),
+            seeks: 0,
+            steps: 0,
         }
     }
 
     #[inline]
-    fn key_at(&self, level: usize, i: usize) -> Value {
-        self.cols[level][self.perm.perm()[i] as usize]
+    fn key_at(&self, level: usize, i: usize) -> T::K {
+        self.keys.key_at(level, i)
     }
 
-    /// First index in `[lo, hi)` whose key at `level` is `>= v` (gallop +
-    /// binary search; `O(log gap)` for short seeks).
-    fn lower_bound(&self, level: usize, lo: usize, hi: usize, v: Value) -> usize {
+    /// First index in `[lo, hi)` whose key at `level` is `>= v` (linear on
+    /// short ranges, gallop + binary search beyond; `O(log gap)` for short
+    /// seeks either way).
+    fn lower_bound(&mut self, level: usize, lo: usize, hi: usize, v: T::K) -> usize {
         if lo >= hi || self.key_at(level, lo) >= v {
             return lo;
+        }
+        let mut steps = 0u64;
+        if hi - lo <= LINEAR_SEEK_THRESHOLD {
+            let mut i = lo + 1;
+            while i < hi && self.key_at(level, i) < v {
+                i += 1;
+                steps += 1;
+            }
+            self.steps += steps;
+            return i;
         }
         // Invariant: key_at(base) < v.
         let mut base = lo;
         let mut step = 1usize;
-        let mut steps = 0u64;
         while base + step < hi && self.key_at(level, base + step) < v {
             base += step;
             step <<= 1;
@@ -325,18 +535,27 @@ impl<'a> Cursor<'a> {
             }
             steps += 1;
         }
-        obs::count(obs::Metric::WcojGallopSteps, steps);
+        self.steps += steps;
         l
     }
 
     /// First index in `[lo, hi)` whose key at `level` is `> v`.
-    fn upper_bound(&self, level: usize, lo: usize, hi: usize, v: Value) -> usize {
+    fn upper_bound(&mut self, level: usize, lo: usize, hi: usize, v: T::K) -> usize {
         if lo >= hi || self.key_at(level, lo) > v {
             return lo;
         }
+        let mut steps = 0u64;
+        if hi - lo <= LINEAR_SEEK_THRESHOLD {
+            let mut i = lo + 1;
+            while i < hi && self.key_at(level, i) <= v {
+                i += 1;
+                steps += 1;
+            }
+            self.steps += steps;
+            return i;
+        }
         let mut base = lo;
         let mut step = 1usize;
-        let mut steps = 0u64;
         while base + step < hi && self.key_at(level, base + step) <= v {
             base += step;
             step <<= 1;
@@ -353,9 +572,13 @@ impl<'a> Cursor<'a> {
             }
             steps += 1;
         }
-        obs::count(obs::Metric::WcojGallopSteps, steps);
+        self.steps += steps;
         l
     }
+}
+
+impl<T: TrieKeys> TrieCursor for Cursor<T> {
+    type K = T::K;
 
     /// Descends into the current key group of the top level (or the whole
     /// relation at the root), positioned at its first key.
@@ -379,19 +602,16 @@ impl<'a> Cursor<'a> {
     }
 
     #[inline]
-    fn at_end(&self) -> bool {
+    fn current(&self) -> Option<T::K> {
         let f = self.stack.last().expect("cursor is open");
-        f.pos >= f.hi
+        if f.pos < f.hi {
+            Some(self.key_at(self.stack.len() - 1, f.pos))
+        } else {
+            None
+        }
     }
 
-    #[inline]
-    fn key(&self) -> Value {
-        let f = self.stack.last().expect("cursor is open");
-        self.key_at(self.stack.len() - 1, f.pos)
-    }
-
-    /// Advances to the next distinct key at the current level.
-    fn next(&mut self) {
+    fn advance(&mut self) -> Option<T::K> {
         let level = self.stack.len() - 1;
         let (pos, hi) = {
             let f = self.stack.last_mut().expect("cursor is open");
@@ -402,57 +622,428 @@ impl<'a> Cursor<'a> {
             let k = self.key_at(level, pos);
             let end = self.upper_bound(level, pos + 1, hi, k);
             self.stack.last_mut().expect("cursor is open").end = end;
+            Some(k)
+        } else {
+            None
         }
     }
 
-    /// Positions at the first key `>= v` (keys only move forward).
-    fn seek(&mut self, v: Value) {
-        obs::count(obs::Metric::WcojSeeks, 1);
+    fn seek(&mut self, v: T::K) -> Option<T::K> {
+        self.seeks += 1;
         let level = self.stack.len() - 1;
         let f = *self.stack.last().expect("cursor is open");
-        if f.pos < f.hi && self.key_at(level, f.pos) >= v {
-            return;
+        if f.pos < f.hi {
+            let k = self.key_at(level, f.pos);
+            if k >= v {
+                return Some(k);
+            }
         }
         let pos = self.lower_bound(level, f.pos, f.hi, v);
-        let end = if pos < f.hi {
+        if pos < f.hi {
             let k = self.key_at(level, pos);
-            self.upper_bound(level, pos + 1, f.hi, k)
+            let end = self.upper_bound(level, pos + 1, f.hi, k);
+            let f = self.stack.last_mut().expect("cursor is open");
+            f.pos = pos;
+            f.end = end;
+            Some(k)
         } else {
-            pos
-        };
+            let f = self.stack.last_mut().expect("cursor is open");
+            f.pos = pos;
+            f.end = pos;
+            None
+        }
+    }
+
+    fn token(&self) -> (usize, usize, usize, usize) {
+        let f = self.stack.last().expect("cursor is open");
+        // Same permutation + same level + same row range ⇒ identical key
+        // runs (the range's implicit start is `pos`, monotone from the
+        // shared open range).
+        (self.keys.source_id(), self.stack.len(), f.pos, f.hi)
+    }
+
+    fn source_id(&self) -> usize {
+        self.keys.source_id()
+    }
+
+    fn top_slice(&self) -> Option<&[T::K]> {
+        None
+    }
+
+    fn frame_state(&self) -> (usize, usize) {
+        let f = self.stack.last().expect("cursor is open");
+        (f.pos, f.end)
+    }
+
+    fn set_frame_state(&mut self, st: (usize, usize)) {
         let f = self.stack.last_mut().expect("cursor is open");
-        f.pos = pos;
-        f.end = end;
+        f.pos = st.0;
+        f.end = st.1;
+    }
+
+    fn drain_obs(&mut self) -> (u64, u64) {
+        let out = (self.seeks, self.steps);
+        self.seeks = 0;
+        self.steps = 0;
+        out
     }
 }
 
+/// One open level of a [`CsrCursor`]: the entry range `[pos, hi)` plus
+/// the level's key array, cached in the frame so `key`/`seek`/`at_end`
+/// touch one slice with no per-op trie indirection.
+struct CsrFrame<'a> {
+    keys: &'a [u32],
+    pos: u32,
+    hi: u32,
+}
+
+/// The dense trie cursor: walks [`DenseTrie`]'s CSR entry arrays through
+/// slices borrowed from the run's [`DenseSnapshot`]. Distinct keys make
+/// `next` a position increment, child ranges are two offset loads, and
+/// seeks gallop over short duplicate-free `u32` runs — no group-end
+/// searches anywhere.
+pub(crate) struct CsrCursor<'a> {
+    /// Per level: `(entry keys, child offsets)`; the leaf level's offset
+    /// slice is empty.
+    levels: Vec<(&'a [u32], &'a [u32])>,
+    stack: Vec<CsrFrame<'a>>,
+    seeks: u64,
+    steps: u64,
+}
+
+impl<'a> CsrCursor<'a> {
+    fn new(trie: &'a DenseTrie, depth: usize) -> CsrCursor<'a> {
+        let levels = (0..depth)
+            .map(|l| {
+                let child: &[u32] = if l + 1 < depth {
+                    trie.entry_child_offsets(l)
+                } else {
+                    &[]
+                };
+                (trie.entry_keys(l), child)
+            })
+            .collect();
+        CsrCursor {
+            levels,
+            stack: Vec::with_capacity(depth),
+            seeks: 0,
+            steps: 0,
+        }
+    }
+}
+
+/// First index in `keys[lo..hi]` holding a key `>= v` (the slice is
+/// strictly ascending): linear below [`LINEAR_SEEK_THRESHOLD`], gallop +
+/// binary beyond.
+#[inline]
+fn seek_entries(keys: &[u32], lo: usize, hi: usize, v: u32, steps: &mut u64) -> usize {
+    // One range check up front; the scan loops below then run over `sub`
+    // without per-element bounds checks.
+    let sub = &keys[lo..hi];
+    match sub.first() {
+        None => return lo,
+        Some(&k) if k >= v => return lo,
+        _ => {}
+    }
+    if sub.len() <= LINEAR_SEEK_THRESHOLD {
+        let mut i = 1usize;
+        for &k in &sub[1..] {
+            if k >= v {
+                break;
+            }
+            i += 1;
+        }
+        *steps += (i - 1) as u64;
+        return lo + i;
+    }
+    let mut base = 0usize;
+    let mut step = 1usize;
+    let mut n = 0u64;
+    while base + step < sub.len() && sub[base + step] < v {
+        base += step;
+        step <<= 1;
+        n += 1;
+    }
+    let mut l = base + 1;
+    let mut h = (base + step).min(sub.len());
+    while l < h {
+        let mid = l + (h - l) / 2;
+        if sub[mid] < v {
+            l = mid + 1;
+        } else {
+            h = mid;
+        }
+        n += 1;
+    }
+    *steps += n;
+    lo + l
+}
+
+impl<'a> TrieCursor for CsrCursor<'a> {
+    type K = u32;
+
+    #[inline]
+    fn open(&mut self) {
+        let level = self.stack.len();
+        let (lo, hi) = match self.stack.last() {
+            None => (0, self.levels[0].0.len() as u32),
+            Some(f) => {
+                let offsets = self.levels[level - 1].1;
+                (offsets[f.pos as usize], offsets[f.pos as usize + 1])
+            }
+        };
+        self.stack.push(CsrFrame {
+            keys: self.levels[level].0,
+            pos: lo,
+            hi,
+        });
+    }
+
+    fn up(&mut self) {
+        self.stack.pop();
+    }
+
+    #[inline]
+    fn current(&self) -> Option<u32> {
+        let f = self.stack.last().expect("cursor is open");
+        if f.pos < f.hi {
+            Some(f.keys[f.pos as usize])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn advance(&mut self) -> Option<u32> {
+        let f = self.stack.last_mut().expect("cursor is open");
+        f.pos += 1;
+        if f.pos < f.hi {
+            Some(f.keys[f.pos as usize])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn seek(&mut self, v: u32) -> Option<u32> {
+        self.seeks += 1;
+        let f = self.stack.last_mut().expect("cursor is open");
+        f.pos = seek_entries(f.keys, f.pos as usize, f.hi as usize, v, &mut self.steps) as u32;
+        if f.pos < f.hi {
+            Some(f.keys[f.pos as usize])
+        } else {
+            None
+        }
+    }
+
+    fn token(&self) -> (usize, usize, usize, usize) {
+        let f = self.stack.last().expect("cursor is open");
+        // The key slice is the whole CSR entry array of one trie level
+        // (never empty for a materialized trie), so its base pointer pins
+        // trie + level; `[pos, hi)` pins the frame. Content-deduped tries
+        // share the arrays, so symmetric-order cursors collide here.
+        (f.keys.as_ptr() as usize, 0, f.pos as usize, f.hi as usize)
+    }
+
+    fn source_id(&self) -> usize {
+        // The root entry array pins the trie (content-deduped orders
+        // share it); degenerate zero-arity cursors opt out with 0.
+        self.levels.first().map_or(0, |l| l.0.as_ptr() as usize)
+    }
+
+    #[inline]
+    fn top_slice(&self) -> Option<&[u32]> {
+        let f = self.stack.last().expect("cursor is open");
+        Some(&f.keys[f.pos as usize..f.hi as usize])
+    }
+
+    #[inline]
+    fn frame_state(&self) -> (usize, usize) {
+        let f = self.stack.last().expect("cursor is open");
+        (f.pos as usize, 0)
+    }
+
+    #[inline]
+    fn set_frame_state(&mut self, st: (usize, usize)) {
+        let f = self.stack.last_mut().expect("cursor is open");
+        f.pos = st.0 as u32;
+    }
+
+    fn drain_obs(&mut self) -> (u64, u64) {
+        let out = (self.seeks, self.steps);
+        self.seeks = 0;
+        self.steps = 0;
+        out
+    }
+}
+
+/// Intersects two strictly ascending slices into `out` (cleared first):
+/// two-pointer merge when the sizes are comparable, per-element binary
+/// probes into the larger side when they are skewed.
+fn intersect_into<K: Copy + Ord>(a: &[K], b: &[K], out: &mut Vec<K>) {
+    out.clear();
+    let (a, b) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if a.is_empty() {
+        return;
+    }
+    if b.len() / 8 > a.len() {
+        let mut lo = 0usize;
+        for &x in a {
+            lo += b[lo..].partition_point(|&y| y < x);
+            if lo == b.len() {
+                return;
+            }
+            if b[lo] == x {
+                out.push(x);
+                lo += 1;
+            }
+        }
+        return;
+    }
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        match x.cmp(&y) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(x);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Streams the intersection of two strictly ascending slices to `f` in
+/// ascending order without materializing it: two-pointer merge when the
+/// sizes are comparable, per-element binary probes into the larger side
+/// when they are skewed.
+fn intersect_stream<K: Copy + Ord>(
+    a: &[K],
+    b: &[K],
+    mut f: impl FnMut(K) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let (a, b) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if a.is_empty() {
+        return ControlFlow::Continue(());
+    }
+    if b.len() / 8 > a.len() {
+        let mut lo = 0usize;
+        for &x in a {
+            lo += b[lo..].partition_point(|&y| y < x);
+            if lo == b.len() {
+                return ControlFlow::Continue(());
+            }
+            if b[lo] == x {
+                f(x)?;
+                lo += 1;
+            }
+        }
+        return ControlFlow::Continue(());
+    }
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                f(a[i])?;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    ControlFlow::Continue(())
+}
+
+// ---------------------------------------------------------------------
+// The executor
+// ---------------------------------------------------------------------
+
 /// One atom's executor state: its cursor plus a pointer to the next trie
 /// level to descend.
-struct RunAtom<'a> {
-    cursor: Cursor<'a>,
+struct RunAtom<'a, Cur: TrieCursor> {
+    cursor: Cur,
     keys: &'a [LevelKey],
     ptr: usize,
 }
 
-/// A running worst-case-optimal search: the recursion over the global
-/// variable order. Constructed per enumeration by the kernel
-/// ([`crate::compile::KernelSearch`] routes here when the strategy gate
-/// picks WCOJ).
-pub(crate) struct WcojRun<'a> {
-    order: &'a [u32],
-    atoms: Vec<RunAtom<'a>>,
-    injective: bool,
-    allowed: Option<&'a HashSet<Value>>,
-    val: Vec<Option<Value>>,
-    used: HashSet<Value>,
-    row: Vec<Value>,
+/// What [`WcojRun::split_probe`] found at the first unbound constrained
+/// depth — the morsel scheduler's expansion step.
+pub(crate) enum SplitProbe {
+    /// The bound prefix provably yields no answers.
+    Dead,
+    /// Every depth is pre-bound or unconstrained: the prefix is its own
+    /// (indivisible) morsel.
+    Exhausted,
+    /// The slot at the first unbound constrained depth, with its
+    /// candidate values (the leapfrog intersection) in ascending order —
+    /// prefix + candidate `i` is a child morsel, and child order is
+    /// sequential enumeration order.
+    Candidates(usize, Vec<Value>),
 }
 
-impl<'a> WcojRun<'a> {
-    /// Builds cursors for every non-skipped atom and descends their
-    /// constant trie prefixes. `None` means the search provably has no
-    /// answers (an empty relation, or a constant absent from its column).
-    pub(crate) fn new(
+/// A running worst-case-optimal search: the recursion over the global
+/// variable order, generic over the key representation. Constructed per
+/// enumeration by the kernel ([`crate::compile::KernelSearch`] routes
+/// here when the strategy gate picks WCOJ).
+pub(crate) struct WcojRun<'a, C: Codec, Cur: TrieCursor<K = C::K>> {
+    codec: C,
+    order: &'a [u32],
+    atoms: Vec<RunAtom<'a, Cur>>,
+    injective: bool,
+    allowed: Option<&'a HashSet<Value>>,
+    /// Encoded bindings, indexed by slot (what the cursors compare).
+    val: Vec<Option<C::K>>,
+    /// Decoded pre-bound values, indexed by slot. A fixed value absent
+    /// from the dense dictionary can be bound here while `val` stays
+    /// `None` — legal only for slots no atom constrains. Search-bound
+    /// slots live in `val` only and decode at answer materialization.
+    raw: Vec<Option<Value>>,
+    used: HashSet<Value>,
+    row: Vec<Value>,
+    /// Per depth, every atom level keyed by that depth (atom index, with
+    /// multiplicity, grouped in ascending atom order) — precomputed at
+    /// init so the recursion never scans atom key lists.
+    levels_at: Vec<Vec<u32>>,
+    /// Per depth, the leapfrog participants: the first level per atom.
+    leap_at: Vec<Vec<u32>>,
+    /// Per depth, the repeated-variable levels: every level beyond an
+    /// atom's first, in participant order.
+    extra_at: Vec<Vec<u32>>,
+    /// Per depth, the leapfrog ring scratch `(current key, atom)` — kept
+    /// on the run so the recursion never allocates per node.
+    ring_at: Vec<Vec<(C::K, u32)>>,
+    /// Per depth, scratch for the duplicate-cursor partition: the ring
+    /// participants after eliding duplicates, the elided ("lazy")
+    /// participants, and the open-frame tokens seen. Recomputed per node
+    /// (frames differ per node), allocated once.
+    active_at: Vec<Vec<u32>>,
+    lazy_at: Vec<Vec<(u32, u32)>>,
+    tok_at: Vec<Vec<(usize, usize, usize, usize)>>,
+    /// Leaf-depth intersection scratch (ping-pong pair): the last
+    /// variable's candidates are materialized by slice intersection and
+    /// emitted in one tight loop instead of driving the ring.
+    leaf_buf: Vec<C::K>,
+    leaf_tmp: Vec<C::K>,
+    /// `true` when every slot is provably bound by emit time (pre-bound
+    /// or keyed by some atom at its depth): `row` is then maintained
+    /// incrementally — one decode per binding, not one per slot per
+    /// answer — and emit is a bare callback. The `false` fallback keeps
+    /// the checked per-slot materialization (and its unbound-slot panic).
+    row_live: bool,
+}
+
+/// The generic-representation run.
+pub(crate) type GenericRun<'a> = WcojRun<'a, GenericCodec, Cursor<GenericKeys<'a>>>;
+/// The dense-representation run.
+pub(crate) type DenseRun<'a> = WcojRun<'a, DenseCodec<'a>, CsrCursor<'a>>;
+
+impl<'a> GenericRun<'a> {
+    /// Builds a generic-`Value` run over sorted-permutation cursors.
+    pub(crate) fn new_generic(
         wplan: &'a WcojPlan,
         target: &'a Instance,
         val: Vec<Option<Value>>,
@@ -460,36 +1051,193 @@ impl<'a> WcojRun<'a> {
         injective: bool,
         allowed: Option<&'a HashSet<Value>>,
         skip: Option<usize>,
-    ) -> Option<WcojRun<'a>> {
-        let n = val.len();
-        let mut atoms: Vec<RunAtom<'a>> = Vec::with_capacity(wplan.atoms.len());
+    ) -> Option<GenericRun<'a>> {
+        let mut cursors: Vec<(Cursor<GenericKeys<'a>>, &'a [LevelKey])> = Vec::new();
         for (i, ap) in wplan.atoms.iter().enumerate() {
             if Some(i) == skip {
                 continue;
             }
-            let cursor = Cursor::new(target, ap);
+            let pc = target.columns(ap.predicate, ap.arity);
+            let cols: Vec<&'a [Value]> = ap
+                .col_order
+                .iter()
+                .map(|&j| pc.map_or(&[] as &[Value], |c| c.col(j as usize)))
+                .collect();
+            let perm = target.sorted_permutation(ap.predicate, ap.arity, &ap.col_order);
+            let cursor = Cursor::new(GenericKeys { perm, cols }, ap.col_order.len());
             if cursor.rows == 0 {
                 return None;
             }
-            atoms.push(RunAtom {
-                cursor,
-                keys: &ap.keys,
-                ptr: 0,
-            });
+            cursors.push((cursor, ap.keys.as_slice()));
         }
+        WcojRun::init(
+            GenericCodec,
+            cursors,
+            &wplan.order,
+            val,
+            used,
+            injective,
+            allowed,
+        )
+    }
+}
+
+impl<'a> DenseRun<'a> {
+    /// Builds a dense-`u32` run over flat trie-level cursors borrowing
+    /// the caller's [`DenseSnapshot`] (one consistent
+    /// [`gtgd_data::Dict`]/[`gtgd_data::DenseTrie`] epoch).
+    pub(crate) fn new_dense(
+        snap: &'a DenseSnapshot,
+        wplan: &'a WcojPlan,
+        val: Vec<Option<Value>>,
+        used: HashSet<Value>,
+        injective: bool,
+        allowed: Option<&'a HashSet<Value>>,
+        skip: Option<usize>,
+    ) -> Option<DenseRun<'a>> {
+        let active = wplan
+            .atoms
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| Some(i) != skip)
+            .map(|(_, ap)| ap);
+        let mut cursors: Vec<(CsrCursor<'a>, &'a [LevelKey])> = Vec::new();
+        for (ap, trie) in active.zip(&snap.tries) {
+            // An absent trie means the relation is empty: no answers.
+            let trie = trie.as_ref()?;
+            let levels = ap.col_order.len();
+            cursors.push((CsrCursor::new(trie, levels), ap.keys.as_slice()));
+        }
+        WcojRun::init(
+            DenseCodec { dict: &snap.dict },
+            cursors,
+            &wplan.order,
+            val,
+            used,
+            injective,
+            allowed,
+        )
+    }
+}
+
+impl<'a, C: Codec, Cur: TrieCursor<K = C::K>> WcojRun<'a, C, Cur> {
+    /// Shared construction: encodes the fixed bindings, rejects provably
+    /// empty searches (an un-encodable constrained binding or constant),
+    /// and descends every atom's constant trie prefix.
+    fn init(
+        codec: C,
+        cursors: Vec<(Cur, &'a [LevelKey])>,
+        order: &'a [u32],
+        raw: Vec<Option<Value>>,
+        used: HashSet<Value>,
+        injective: bool,
+        allowed: Option<&'a HashSet<Value>>,
+    ) -> Option<WcojRun<'a, C, Cur>> {
+        let n = raw.len();
+        let mut val: Vec<Option<C::K>> = vec![None; n];
+        for (s, bound) in raw.iter().enumerate() {
+            if let Some(x) = *bound {
+                val[s] = codec.encode(x);
+                if val[s].is_none() {
+                    // The value occurs in no scanned relation: any atom
+                    // level keyed by this slot's depth is unsatisfiable.
+                    let d = order
+                        .iter()
+                        .position(|&o| o as usize == s)
+                        .expect("every slot has a depth") as u32;
+                    if cursors
+                        .iter()
+                        .any(|(_, keys)| keys.contains(&LevelKey::Depth(d)))
+                    {
+                        return None;
+                    }
+                }
+            }
+        }
+        // A later atom whose cursor reads the same backing data as an
+        // earlier one through the **same level-key sequence** repeats that
+        // atom's constraint at every depth (same arrays, same seeks ⇒
+        // same frames, by induction over the shared keys): drop it. This
+        // is where content-deduped symmetric tries pay off — `E(x,y)`
+        // and `E(y,x)` compile to one trie and identical key sequences,
+        // halving the atom set of clique-style queries.
+        let mut kept: Vec<(Cur, &'a [LevelKey])> = Vec::with_capacity(cursors.len());
+        for (cursor, keys) in cursors {
+            let id = cursor.source_id();
+            let dup = id != 0
+                && kept
+                    .iter()
+                    .any(|(c2, k2)| c2.source_id() == id && *k2 == keys);
+            if !dup {
+                kept.push((cursor, keys));
+            }
+        }
+        let atoms = kept
+            .into_iter()
+            .map(|(cursor, keys)| RunAtom {
+                cursor,
+                keys,
+                ptr: 0,
+            })
+            .collect();
+        let depths = order.len();
         let mut run = WcojRun {
-            order: &wplan.order,
+            codec,
+            order,
             atoms,
             injective,
             allowed,
             val,
+            raw,
             used,
             row: vec![Value::named("?"); n],
+            levels_at: vec![Vec::new(); depths],
+            leap_at: vec![Vec::new(); depths],
+            extra_at: vec![Vec::new(); depths],
+            ring_at: vec![Vec::new(); depths],
+            active_at: vec![Vec::new(); depths],
+            lazy_at: vec![Vec::new(); depths],
+            tok_at: vec![Vec::new(); depths],
+            leaf_buf: Vec::new(),
+            leaf_tmp: Vec::new(),
+            row_live: false,
         };
         for ai in 0..run.atoms.len() {
             while let Some(LevelKey::Const(c)) = run.next_key(ai) {
-                if !run.open_seek(ai, c) {
+                let code = run.codec.encode(c)?;
+                if !run.open_seek(ai, code) {
                     return None;
+                }
+            }
+        }
+        // Constants sort before all depth levels in every atom plan, so
+        // after the constant descent each atom's remaining keys are depth
+        // levels in recursion order: the participant sets per depth are
+        // static. Precompute them once (the recursion is the hot path).
+        for (ai, a) in run.atoms.iter().enumerate() {
+            for k in &a.keys[a.ptr..] {
+                let LevelKey::Depth(d) = *k else {
+                    unreachable!("constants precede depth levels");
+                };
+                let d = d as usize;
+                if run.levels_at[d].last() == Some(&(ai as u32)) {
+                    run.extra_at[d].push(ai as u32);
+                } else {
+                    run.leap_at[d].push(ai as u32);
+                }
+                run.levels_at[d].push(ai as u32);
+            }
+        }
+        run.row_live = run.order.iter().enumerate().all(|(d, &sl)| {
+            let sl = sl as usize;
+            run.raw[sl].is_some() || run.val[sl].is_some() || !run.leap_at[d].is_empty()
+        });
+        if run.row_live {
+            for sl in 0..run.raw.len() {
+                if let Some(v) = run.raw[sl] {
+                    run.row[sl] = v;
+                } else if let Some(k) = run.val[sl] {
+                    run.row[sl] = run.codec.decode(k);
                 }
             }
         }
@@ -510,12 +1258,11 @@ impl<'a> WcojRun<'a> {
     /// Opens atom `ai`'s next trie level and seeks `x`; `true` iff the
     /// level contains `x`. The level stays open either way (the caller
     /// unwinds with [`WcojRun::close`]).
-    fn open_seek(&mut self, ai: usize, x: Value) -> bool {
+    fn open_seek(&mut self, ai: usize, x: C::K) -> bool {
         let a = &mut self.atoms[ai];
         a.cursor.open();
         a.ptr += 1;
-        a.cursor.seek(x);
-        !a.cursor.at_end() && a.cursor.key() == x
+        a.cursor.seek(x) == Some(x)
     }
 
     fn close(&mut self, ai: usize) {
@@ -529,7 +1276,26 @@ impl<'a> WcojRun<'a> {
         &mut self,
         f: &mut impl FnMut(&[Value]) -> ControlFlow<()>,
     ) -> ControlFlow<()> {
-        self.rec(0, f)
+        let r = self.rec(0, f);
+        self.flush_obs();
+        r
+    }
+
+    /// Flushes the cursors' locally batched probe counters to obs (one
+    /// atomic add per counter per run instead of one per seek).
+    fn flush_obs(&mut self) {
+        if !obs::enabled() {
+            return;
+        }
+        let mut seeks = 0u64;
+        let mut steps = 0u64;
+        for a in &mut self.atoms {
+            let (s, g) = a.cursor.drain_obs();
+            seeks += s;
+            steps += g;
+        }
+        obs::count(obs::Metric::WcojSeeks, seeks);
+        obs::count(obs::Metric::WcojGallopSteps, steps);
     }
 
     fn rec(
@@ -538,25 +1304,20 @@ impl<'a> WcojRun<'a> {
         f: &mut impl FnMut(&[Value]) -> ControlFlow<()>,
     ) -> ControlFlow<()> {
         if d == self.order.len() {
-            for (i, v) in self.val.iter().enumerate() {
-                self.row[i] = v.expect("every slot is bound at a full match");
-            }
-            return f(&self.row);
+            return self.emit(f);
         }
         let s = self.order[d] as usize;
         if let Some(x) = self.val[s] {
-            // Pre-bound (fixed or a parallel split seed): every level keyed
-            // by this depth must contain x.
-            let mut opened: Vec<usize> = Vec::new();
+            // Pre-bound (fixed or a morsel seed): every level keyed by
+            // this depth must contain x.
+            let mut opened = 0usize;
             let mut ok = true;
-            'atoms: for ai in 0..self.atoms.len() {
-                while self.next_is_depth(ai, d) {
-                    let hit = self.open_seek(ai, x);
-                    opened.push(ai);
-                    if !hit {
-                        ok = false;
-                        break 'atoms;
-                    }
+            for i in 0..self.levels_at[d].len() {
+                let ai = self.levels_at[d][i] as usize;
+                opened = i + 1;
+                if !self.open_seek(ai, x) {
+                    ok = false;
+                    break;
                 }
             }
             let r = if ok {
@@ -564,84 +1325,324 @@ impl<'a> WcojRun<'a> {
             } else {
                 ControlFlow::Continue(())
             };
-            for &ai in opened.iter().rev() {
+            for i in (0..opened).rev() {
+                let ai = self.levels_at[d][i] as usize;
                 self.close(ai);
             }
             return r;
         }
-        let parts: Vec<usize> = (0..self.atoms.len())
-            .filter(|&ai| self.next_is_depth(ai, d))
-            .collect();
-        if parts.is_empty() {
+        if self.leap_at[d].is_empty() {
             // No atom constrains this slot. The backtracker leaves such a
             // slot unbound too (and the emit `expect` fires on both paths
             // if it is ever reached without a fixed binding).
             return self.rec(d + 1, f);
         }
+        // Depth-monotone recursion never revisits depth `d` while this
+        // frame is live, so the participant list can be moved out to
+        // sidestep per-iteration re-indexing through `self`.
+        let parts = std::mem::take(&mut self.leap_at[d]);
         for &ai in &parts {
-            let a = &mut self.atoms[ai];
+            let a = &mut self.atoms[ai as usize];
             a.cursor.open();
             a.ptr += 1;
         }
-        let r = self.leapfrog(d, s, &parts, f);
+        // At an emit-eligible leaf depth the partition below is pointless
+        // work: the leaf fast path never moves cursors per match, so
+        // duplicate participants cost nothing (and init already dropped
+        // full duplicates) — go straight to the intersection.
+        let r = if self.leaf_eligible(d) {
+            self.leapfrog(d, s, &parts, &[], f)
+        } else {
+            // Duplicate-cursor elision: participants whose freshly opened
+            // frames carry equal tokens enumerate the same keys — only
+            // the first joins the ring; the rest turn "lazy" and follow
+            // each matched value by mirroring their twin's frame, keeping
+            // their deeper levels reachable. Both-direction atoms over a
+            // symmetric relation halve the ring this way at every depth.
+            let mut active = std::mem::take(&mut self.active_at[d]);
+            let mut lazy = std::mem::take(&mut self.lazy_at[d]);
+            let mut toks = std::mem::take(&mut self.tok_at[d]);
+            active.clear();
+            lazy.clear();
+            toks.clear();
+            for &ai in &parts {
+                let t = self.atoms[ai as usize].cursor.token();
+                if let Some(j) = toks.iter().position(|&t2| t2 == t) {
+                    lazy.push((ai, active[j]));
+                } else {
+                    toks.push(t);
+                    active.push(ai);
+                }
+            }
+            let r = self.leapfrog(d, s, &active, &lazy, f);
+            self.active_at[d] = active;
+            self.lazy_at[d] = lazy;
+            self.tok_at[d] = toks;
+            r
+        };
         for &ai in parts.iter().rev() {
-            self.close(ai);
+            self.close(ai as usize);
         }
+        self.leap_at[d] = parts;
         r
+    }
+
+    /// Whether depth `d` qualifies for the leaf emit path: it binds the
+    /// last variable, no repeated-variable levels key on it, and no
+    /// per-value mode checks run.
+    #[inline]
+    fn leaf_eligible(&self, d: usize) -> bool {
+        d + 1 == self.order.len()
+            && self.extra_at[d].is_empty()
+            && !self.injective
+            && self.allowed.is_none()
+    }
+
+    /// Materializes and reports one answer row: pre-bound slots carry
+    /// their decoded value in `raw`; search-bound slots decode from their
+    /// code here, once per emitted answer.
+    fn emit(&mut self, f: &mut impl FnMut(&[Value]) -> ControlFlow<()>) -> ControlFlow<()> {
+        if self.row_live {
+            return f(&self.row);
+        }
+        for i in 0..self.row.len() {
+            self.row[i] = match self.raw[i] {
+                Some(v) => v,
+                None => {
+                    let k = self.val[i].expect("every slot is bound at a full match");
+                    self.codec.decode(k)
+                }
+            };
+        }
+        f(&self.row)
+    }
+
+    /// The leaf emit path: intersects the participants' key slices
+    /// directly, smallest first, streaming the *final* intersection
+    /// straight into the answer callback — the last merge is never
+    /// materialized, and with one or two participants nothing is.
+    /// `None` when a participant has no contiguous key slice (generic
+    /// cursors) or the fan-in exceeds the stack scratch; the caller
+    /// falls back to the ring.
+    fn leaf_emit(
+        &mut self,
+        parts: &[u32],
+        s: usize,
+        f: &mut impl FnMut(&[Value]) -> ControlFlow<()>,
+    ) -> Option<ControlFlow<()>> {
+        let mut buf = std::mem::take(&mut self.leaf_buf);
+        let mut tmp = std::mem::take(&mut self.leaf_tmp);
+        let mut row = std::mem::take(&mut self.row);
+        let r = self.leaf_emit_inner(parts, s, &mut buf, &mut tmp, &mut row, f);
+        self.leaf_buf = buf;
+        self.leaf_tmp = tmp;
+        self.row = row;
+        r
+    }
+
+    fn leaf_emit_inner(
+        &self,
+        parts: &[u32],
+        s: usize,
+        buf: &mut Vec<C::K>,
+        tmp: &mut Vec<C::K>,
+        row: &mut [Value],
+        f: &mut impl FnMut(&[Value]) -> ControlFlow<()>,
+    ) -> Option<ControlFlow<()>> {
+        if parts.len() > 8 {
+            return None;
+        }
+        let empty: &[C::K] = &[];
+        let mut sl = [empty; 8];
+        let mut n = 0usize;
+        for &ai in parts {
+            sl[n] = self.atoms[ai as usize].cursor.top_slice()?;
+            n += 1;
+        }
+        let sl = &mut sl[..n];
+        sl.sort_unstable_by_key(|x| x.len());
+        // Every slot but `s` is already bound: a maintained row needs no
+        // work; otherwise materialize the prefix once and rewrite only
+        // the leaf slot per answer.
+        if !self.row_live {
+            for (i, slot) in row.iter_mut().enumerate() {
+                if i == s {
+                    continue;
+                }
+                *slot = match self.raw[i] {
+                    Some(v) => v,
+                    None => {
+                        let k = self.val[i].expect("every slot is bound at a full match");
+                        self.codec.decode(k)
+                    }
+                };
+            }
+        }
+        let mut emit = |x: C::K| {
+            row[s] = self.codec.decode(x);
+            f(row)
+        };
+        Some(match n {
+            1 => {
+                for &x in sl[0].iter() {
+                    if emit(x).is_break() {
+                        return Some(ControlFlow::Break(()));
+                    }
+                }
+                ControlFlow::Continue(())
+            }
+            2 => intersect_stream(sl[0], sl[1], emit),
+            _ => {
+                intersect_into(sl[0], sl[1], buf);
+                for sx in &sl[2..n - 1] {
+                    if buf.is_empty() {
+                        break;
+                    }
+                    tmp.clear();
+                    intersect_into(buf, sx, tmp);
+                    std::mem::swap(buf, tmp);
+                }
+                intersect_stream(buf, sl[n - 1], emit)
+            }
+        })
     }
 
     /// The multiway intersection at depth `d`: every participant cursor is
     /// freshly opened on its keying level; enumerate common keys in
     /// ascending order.
+    ///
+    /// Classic leapfrog ring: each participant's current key is cached in
+    /// the ring, so a round touches exactly one cursor (a seek past the
+    /// frontier, or an advance after a match) — the other comparisons run
+    /// on local state. `aligned` counts ring entries known to equal the
+    /// frontier `x` since `x` last moved; hitting the ring size means
+    /// every participant sits on `x`.
     fn leapfrog(
         &mut self,
         d: usize,
         s: usize,
-        parts: &[usize],
+        parts: &[u32],
+        lazy: &[(u32, u32)],
         f: &mut impl FnMut(&[Value]) -> ControlFlow<()>,
     ) -> ControlFlow<()> {
-        'outer: loop {
-            if self.atoms[parts[0]].cursor.at_end() {
-                break;
-            }
-            let mut x = self.atoms[parts[0]].cursor.key();
-            // Align all participants on x, raising x past gaps.
-            loop {
-                let mut moved = false;
-                for &ai in parts {
-                    let c = &mut self.atoms[ai].cursor;
-                    if c.at_end() {
-                        break 'outer;
-                    }
-                    let k = c.key();
-                    if k < x {
-                        c.seek(x);
-                        if c.at_end() {
-                            break 'outer;
-                        }
-                        if c.key() > x {
-                            x = c.key();
-                            moved = true;
-                        }
-                    } else if k > x {
-                        x = k;
-                        moved = true;
-                    }
-                }
-                if !moved {
-                    break;
-                }
-            }
-            if self.try_value(d, s, x, parts, f).is_break() {
-                return ControlFlow::Break(());
-            }
-            let c = &mut self.atoms[parts[0]].cursor;
-            c.next();
-            if c.at_end() {
-                break;
+        // Leaf fast path: the last variable binds no deeper levels, so
+        // when nothing inspects cursor state per match (no repeated
+        // variables here, no mode checks) the candidate set is computed
+        // by direct slice intersection, the final merge streaming each
+        // answer straight out — no ring bookkeeping, no per-match cursor
+        // moves (elided duplicates need no mirroring: their frames pop
+        // right after). Enumeration stays ascending, identical to the
+        // ring.
+        if self.leaf_eligible(d) {
+            if let Some(r) = self.leaf_emit(parts, s, f) {
+                return r;
             }
         }
-        ControlFlow::Continue(())
+        // The two smallest fan-ins dominate real plans (duplicate elision
+        // shrinks most rings to one or two members): run them on locals,
+        // no ring indexing, no wrap-around counter.
+        match *parts {
+            [a0] => {
+                let mut k = self.atoms[a0 as usize].cursor.current();
+                while let Some(x) = k {
+                    if self.try_value(d, s, x, lazy, f).is_break() {
+                        return ControlFlow::Break(());
+                    }
+                    k = self.atoms[a0 as usize].cursor.advance();
+                }
+                return ControlFlow::Continue(());
+            }
+            [a0, a1] => {
+                let (Some(mut k0), Some(mut k1)) = (
+                    self.atoms[a0 as usize].cursor.current(),
+                    self.atoms[a1 as usize].cursor.current(),
+                ) else {
+                    return ControlFlow::Continue(());
+                };
+                loop {
+                    match k0.cmp(&k1) {
+                        std::cmp::Ordering::Equal => {
+                            if self.try_value(d, s, k0, lazy, f).is_break() {
+                                return ControlFlow::Break(());
+                            }
+                            let Some(n0) = self.atoms[a0 as usize].cursor.advance() else {
+                                return ControlFlow::Continue(());
+                            };
+                            k0 = n0;
+                        }
+                        std::cmp::Ordering::Less => {
+                            let Some(n0) = self.atoms[a0 as usize].cursor.seek(k1) else {
+                                return ControlFlow::Continue(());
+                            };
+                            k0 = n0;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            let Some(n1) = self.atoms[a1 as usize].cursor.seek(k0) else {
+                                return ControlFlow::Continue(());
+                            };
+                            k1 = n1;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        let mut ring = std::mem::take(&mut self.ring_at[d]);
+        ring.clear();
+        for &ai in parts {
+            let Some(k) = self.atoms[ai as usize].cursor.current() else {
+                self.ring_at[d] = ring;
+                return ControlFlow::Continue(());
+            };
+            ring.push((k, ai));
+        }
+        let p = ring.len();
+        let mut x = ring[0].0;
+        let mut aligned = 1usize;
+        let mut i = 1 % p;
+        let r = loop {
+            if aligned == p {
+                if self.try_value(d, s, x, lazy, f).is_break() {
+                    break ControlFlow::Break(());
+                }
+                let ai = ring[i].1;
+                let Some(k) = self.atoms[ai as usize].cursor.advance() else {
+                    break ControlFlow::Continue(());
+                };
+                ring[i].0 = k;
+                x = k;
+                aligned = 1;
+                i += 1;
+                if i == p {
+                    i = 0;
+                }
+                continue;
+            }
+            let (k, ai) = ring[i];
+            if k == x {
+                aligned += 1;
+            } else if k > x {
+                x = k;
+                aligned = 1;
+            } else {
+                let Some(k) = self.atoms[ai as usize].cursor.seek(x) else {
+                    break ControlFlow::Continue(());
+                };
+                ring[i].0 = k;
+                if k == x {
+                    aligned += 1;
+                } else {
+                    x = k;
+                    aligned = 1;
+                }
+            }
+            i += 1;
+            if i == p {
+                i = 0;
+            }
+        };
+        self.ring_at[d] = ring;
+        r
     }
 
     /// Binds `x` at depth `d` (mode checks, repeated-variable levels) and
@@ -650,121 +1651,148 @@ impl<'a> WcojRun<'a> {
         &mut self,
         d: usize,
         s: usize,
-        x: Value,
-        parts: &[usize],
+        x: C::K,
+        lazy: &[(u32, u32)],
         f: &mut impl FnMut(&[Value]) -> ControlFlow<()>,
     ) -> ControlFlow<()> {
-        if self.injective && self.used.contains(&x) {
-            return ControlFlow::Continue(());
-        }
-        if let Some(allowed) = self.allowed {
-            if !allowed.contains(&x) {
+        // Injectivity and answer filters compare decoded values; skip the
+        // decode entirely on the (common) unchecked path.
+        let mut xv = None;
+        if self.injective || self.allowed.is_some() {
+            let v = self.codec.decode(x);
+            if self.injective && self.used.contains(&v) {
                 return ControlFlow::Continue(());
             }
+            if let Some(allowed) = self.allowed {
+                if !allowed.contains(&v) {
+                    return ControlFlow::Continue(());
+                }
+            }
+            xv = Some(v);
+        }
+        // Elided duplicate participants follow the ring to the matched
+        // value by copying their twin's frame position — the backing
+        // arrays are identical (equal tokens at open), and the twin sits
+        // exactly on `x` whenever a match fires, so the copy is the seek
+        // the duplicate would have performed, for two loads and a store.
+        // This keeps the duplicate's position correct for the deeper
+        // levels it opens below.
+        for &(lz, tw) in lazy {
+            let st = self.atoms[tw as usize].cursor.frame_state();
+            self.atoms[lz as usize].cursor.set_frame_state(st);
         }
         // Repeated variables: further levels of the same atom keyed by this
         // depth must also contain x.
-        let mut opened: Vec<usize> = Vec::new();
+        let mut opened = 0usize;
         let mut ok = true;
-        'atoms: for &ai in parts {
-            while self.next_is_depth(ai, d) {
-                let hit = self.open_seek(ai, x);
-                opened.push(ai);
-                if !hit {
-                    ok = false;
-                    break 'atoms;
-                }
+        for i in 0..self.extra_at[d].len() {
+            let ai = self.extra_at[d][i] as usize;
+            opened = i + 1;
+            if !self.open_seek(ai, x) {
+                ok = false;
+                break;
             }
         }
         let r = if ok {
             self.val[s] = Some(x);
+            if self.row_live {
+                self.row[s] = xv.unwrap_or_else(|| self.codec.decode(x));
+            }
             if self.injective {
-                self.used.insert(x);
+                self.used
+                    .insert(xv.expect("decoded under the injective check"));
             }
             let r = self.rec(d + 1, f);
             self.val[s] = None;
             if self.injective {
-                self.used.remove(&x);
+                self.used
+                    .remove(&xv.expect("decoded under the injective check"));
             }
             r
         } else {
             ControlFlow::Continue(())
         };
-        for &ai in opened.iter().rev() {
+        for i in (0..opened).rev() {
+            let ai = self.extra_at[d][i] as usize;
             self.close(ai);
         }
         r
     }
 
-    /// The candidate values of the *first* (depth-0) variable: the leapfrog
-    /// intersection at the trie roots, in ascending order. Used by the
-    /// parallel split — each value seeds an independent sub-search, and
-    /// distinct values yield disjoint row sets (no deduplication needed).
-    pub(crate) fn root_candidates(&mut self) -> Vec<Value> {
-        let mut out: Vec<Value> = Vec::new();
-        if self.order.is_empty() {
-            return out;
-        }
-        let d = 0usize;
-        let parts: Vec<usize> = (0..self.atoms.len())
-            .filter(|&ai| self.next_is_depth(ai, d))
-            .collect();
-        if parts.is_empty() {
-            return out;
-        }
-        for &ai in &parts {
-            let a = &mut self.atoms[ai];
-            a.cursor.open();
-            a.ptr += 1;
-        }
-        'outer: loop {
-            if self.atoms[parts[0]].cursor.at_end() {
-                break;
+    /// Walks the pre-bound prefix of the variable order and reports the
+    /// first unbound constrained depth's candidate values — the morsel
+    /// scheduler's expansion step. Consumes the run's cursor state (the
+    /// probe run is discarded afterwards).
+    pub(crate) fn split_probe(&mut self) -> SplitProbe {
+        let r = self.split_probe_inner();
+        self.flush_obs();
+        r
+    }
+
+    fn split_probe_inner(&mut self) -> SplitProbe {
+        let mut d = 0usize;
+        loop {
+            if d == self.order.len() {
+                return SplitProbe::Exhausted;
             }
-            let mut x = self.atoms[parts[0]].cursor.key();
-            loop {
-                let mut moved = false;
-                for &ai in &parts {
-                    let c = &mut self.atoms[ai].cursor;
-                    if c.at_end() {
-                        break 'outer;
-                    }
-                    let k = c.key();
-                    if k < x {
-                        c.seek(x);
-                        if c.at_end() {
-                            break 'outer;
+            let s = self.order[d] as usize;
+            if let Some(x) = self.val[s] {
+                for ai in 0..self.atoms.len() {
+                    while self.next_is_depth(ai, d) {
+                        if !self.open_seek(ai, x) {
+                            return SplitProbe::Dead;
                         }
-                        if c.key() > x {
-                            x = c.key();
+                    }
+                }
+                d += 1;
+                continue;
+            }
+            let parts: Vec<usize> = (0..self.atoms.len())
+                .filter(|&ai| self.next_is_depth(ai, d))
+                .collect();
+            if parts.is_empty() {
+                d += 1;
+                continue;
+            }
+            for &ai in &parts {
+                let a = &mut self.atoms[ai];
+                a.cursor.open();
+                a.ptr += 1;
+            }
+            let mut out: Vec<Value> = Vec::new();
+            let mut x0 = self.atoms[parts[0]].cursor.current();
+            'outer: while let Some(mut x) = x0 {
+                loop {
+                    let mut moved = false;
+                    for &ai in &parts {
+                        let c = &mut self.atoms[ai].cursor;
+                        let Some(k) = c.current() else { break 'outer };
+                        if k < x {
+                            let Some(k) = c.seek(x) else { break 'outer };
+                            if k > x {
+                                x = k;
+                                moved = true;
+                            }
+                        } else if k > x {
+                            x = k;
                             moved = true;
                         }
-                    } else if k > x {
-                        x = k;
-                        moved = true;
+                    }
+                    if !moved {
+                        break;
                     }
                 }
-                if !moved {
-                    break;
-                }
+                out.push(self.codec.decode(x));
+                x0 = self.atoms[parts[0]].cursor.advance();
             }
-            out.push(x);
-            let c = &mut self.atoms[parts[0]].cursor;
-            c.next();
-            if c.at_end() {
-                break;
-            }
+            return SplitProbe::Candidates(s, out);
         }
-        for &ai in parts.iter().rev() {
-            self.close(ai);
-        }
-        out
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::compile::{CompiledQuery, Strategy};
+    use crate::compile::{CompiledQuery, Repr, Strategy};
     use crate::parser::parse_cq;
     use gtgd_data::{GroundAtom, Instance, Value};
     use std::collections::HashSet;
@@ -783,10 +1811,11 @@ mod tests {
         Instance::from_atoms(atoms)
     }
 
-    fn rows_sorted(q: &CompiledQuery, db: &Instance, s: Strategy) -> Vec<Vec<Value>> {
+    fn rows_sorted(q: &CompiledQuery, db: &Instance, s: Strategy, r: Repr) -> Vec<Vec<Value>> {
         let mut rows: Vec<Vec<Value>> = q
             .search(db)
             .strategy(s)
+            .repr(r)
             .table()
             .rows()
             .map(|r| r.to_vec())
@@ -798,11 +1827,14 @@ mod tests {
     fn assert_strategies_agree(src: &str, db: &Instance) {
         let q = parse_cq(src).unwrap();
         let plan = CompiledQuery::compile(&q.atoms);
-        assert_eq!(
-            rows_sorted(&plan, db, Strategy::Wcoj),
-            rows_sorted(&plan, db, Strategy::Backtrack),
-            "{src}"
-        );
+        let expect = rows_sorted(&plan, db, Strategy::Backtrack, Repr::Auto);
+        for repr in [Repr::Dense, Repr::Generic] {
+            assert_eq!(
+                rows_sorted(&plan, db, Strategy::Wcoj, repr),
+                expect,
+                "{src} {repr:?}"
+            );
+        }
     }
 
     #[test]
@@ -819,6 +1851,33 @@ mod tests {
         ] {
             assert_strategies_agree(src, &db);
         }
+    }
+
+    #[test]
+    fn dense_and_generic_emit_identical_order() {
+        let db = tri_db();
+        let q = parse_cq("Q() :- E(X,Y), E(Y,Z), E(Z,X)").unwrap();
+        let plan = CompiledQuery::compile(&q.atoms);
+        // Not sorted: dense codes are order-preserving, so the two
+        // representations must enumerate in exactly the same order.
+        let dense: Vec<Vec<Value>> = plan
+            .search(&db)
+            .strategy(Strategy::Wcoj)
+            .repr(Repr::Dense)
+            .table()
+            .rows()
+            .map(|r| r.to_vec())
+            .collect();
+        let generic: Vec<Vec<Value>> = plan
+            .search(&db)
+            .strategy(Strategy::Wcoj)
+            .repr(Repr::Generic)
+            .table()
+            .rows()
+            .map(|r| r.to_vec())
+            .collect();
+        assert_eq!(dense, generic);
+        assert!(!dense.is_empty());
     }
 
     #[test]
@@ -846,52 +1905,26 @@ mod tests {
         let db = tri_db();
         let q = parse_cq("Q() :- E(X,Y), E(Y,Z), E(Z,X)").unwrap();
         let plan = CompiledQuery::compile(&q.atoms);
-        // Triangle homs: 6 oriented triangles on {a,b,c} plus 2-cycles
-        // using repeated vertices; count must match the backtracker.
-        assert_eq!(
-            plan.search(&db).strategy(Strategy::Wcoj).count(),
-            plan.search(&db).strategy(Strategy::Backtrack).count()
-        );
-        assert_eq!(
-            plan.search(&db)
-                .strategy(Strategy::Wcoj)
-                .injective()
-                .count(),
-            plan.search(&db)
-                .strategy(Strategy::Backtrack)
-                .injective()
-                .count()
-        );
-        let allowed: HashSet<Value> = [v("a"), v("b"), v("c")].into_iter().collect();
-        assert_eq!(
-            plan.search(&db)
-                .strategy(Strategy::Wcoj)
-                .restrict_images(&allowed)
-                .count(),
-            plan.search(&db)
-                .strategy(Strategy::Backtrack)
-                .restrict_images(&allowed)
-                .count()
-        );
-        let sx = plan.slot_of(crate::cq::Var(0)).unwrap();
-        assert_eq!(
-            plan.search(&db)
-                .strategy(Strategy::Wcoj)
-                .fix_slots([(sx, v("a"))])
-                .count(),
-            plan.search(&db)
-                .strategy(Strategy::Backtrack)
-                .fix_slots([(sx, v("a"))])
-                .count()
-        );
-        // A fixed value outside the active domain: zero rows, no panic.
-        assert_eq!(
-            plan.search(&db)
-                .strategy(Strategy::Wcoj)
-                .fix_slots([(sx, v("zz"))])
-                .count(),
-            0
-        );
+        for repr in [Repr::Dense, Repr::Generic] {
+            let wcoj = || plan.search(&db).strategy(Strategy::Wcoj).repr(repr);
+            let back = || plan.search(&db).strategy(Strategy::Backtrack);
+            // Triangle homs: 6 oriented triangles on {a,b,c} plus 2-cycles
+            // using repeated vertices; count must match the backtracker.
+            assert_eq!(wcoj().count(), back().count());
+            assert_eq!(wcoj().injective().count(), back().injective().count());
+            let allowed: HashSet<Value> = [v("a"), v("b"), v("c")].into_iter().collect();
+            assert_eq!(
+                wcoj().restrict_images(&allowed).count(),
+                back().restrict_images(&allowed).count()
+            );
+            let sx = plan.slot_of(crate::cq::Var(0)).unwrap();
+            assert_eq!(
+                wcoj().fix_slots([(sx, v("a"))]).count(),
+                back().fix_slots([(sx, v("a"))]).count()
+            );
+            // A fixed value outside the active domain: zero rows, no panic.
+            assert_eq!(wcoj().fix_slots([(sx, v("zz"))]).count(), 0);
+        }
     }
 
     #[test]
@@ -902,28 +1935,31 @@ mod tests {
         let seed = plan
             .unify_atom(0, &GroundAtom::named("E", &["a", "b"]))
             .unwrap();
-        let mut wcoj: Vec<Vec<Value>> = Vec::new();
-        plan.search(&db)
-            .strategy(Strategy::Wcoj)
-            .fix_slots(seed.clone())
-            .skip_atom(0)
-            .for_each_row(|r| {
-                wcoj.push(r.to_vec());
-                std::ops::ControlFlow::Continue(())
-            });
         let mut back: Vec<Vec<Value>> = Vec::new();
         plan.search(&db)
             .strategy(Strategy::Backtrack)
-            .fix_slots(seed)
+            .fix_slots(seed.clone())
             .skip_atom(0)
             .for_each_row(|r| {
                 back.push(r.to_vec());
                 std::ops::ControlFlow::Continue(())
             });
-        wcoj.sort();
         back.sort();
-        assert_eq!(wcoj, back);
-        assert!(!wcoj.is_empty());
+        for repr in [Repr::Dense, Repr::Generic] {
+            let mut wcoj: Vec<Vec<Value>> = Vec::new();
+            plan.search(&db)
+                .strategy(Strategy::Wcoj)
+                .repr(repr)
+                .fix_slots(seed.clone())
+                .skip_atom(0)
+                .for_each_row(|r| {
+                    wcoj.push(r.to_vec());
+                    std::ops::ControlFlow::Continue(())
+                });
+            wcoj.sort();
+            assert_eq!(wcoj, back, "{repr:?}");
+            assert!(!wcoj.is_empty());
+        }
     }
 
     #[test]
@@ -936,22 +1972,25 @@ mod tests {
             let q = parse_cq(src).unwrap();
             let plan = CompiledQuery::compile(&q.atoms);
             assert!(plan.prefers_wcoj());
-            let mut seq: Vec<Vec<Value>> = plan
+            let seq: Vec<Vec<Value>> = plan
                 .search(&db)
                 .table()
                 .rows()
                 .map(|r| r.to_vec())
                 .collect();
-            seq.sort();
-            for w in [1usize, 2, 4, 7] {
-                let mut par: Vec<Vec<Value>> = plan
-                    .search(&db)
-                    .par_table(w)
-                    .rows()
-                    .map(|r| r.to_vec())
-                    .collect();
-                par.sort();
-                assert_eq!(par, seq, "{src} at {w} workers");
+            for repr in [Repr::Auto, Repr::Dense, Repr::Generic] {
+                for w in [1usize, 2, 4, 7] {
+                    let par: Vec<Vec<Value>> = plan
+                        .search(&db)
+                        .repr(repr)
+                        .par_table(w)
+                        .rows()
+                        .map(|r| r.to_vec())
+                        .collect();
+                    // The morsel merge preserves sequential order exactly
+                    // (not just as a set).
+                    assert_eq!(par, seq, "{src} at {w} workers {repr:?}");
+                }
             }
         }
     }

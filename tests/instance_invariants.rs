@@ -255,16 +255,16 @@ fn sorted_index_maintenance_is_incremental() {
 }
 
 /// The acceptance counter test: a chase whose rounds keep inserting into a
-/// predicate that the WCOJ executor indexes. Over the whole run, every
-/// distinct index is full-sorted exactly once (`full_builds == indexes`)
-/// and at least one round extended an index by sorted-merge
-/// (`merge_extends > 0`) — i.e. the chase never full-re-sorts an index
-/// whose predicate only received insert deltas.
+/// predicate that the WCOJ executor scans. The executor's default (dense)
+/// representation maintains the dictionary and tries incrementally: over
+/// the whole run the dictionary encodes each distinct value exactly once
+/// (every further sighting is a hit) and — because this workload's domain
+/// is fixed from round 0 — never remaps a code.
 #[test]
 fn chase_extends_wcoj_indexes_incrementally() {
     // Transitive closure grows E every round; the cyclic triangle body
-    // routes through the WCOJ executor, whose trie cursors demand sorted
-    // indexes on E — which must then be *extended* as E grows.
+    // routes through the WCOJ executor, whose dense tries over E must be
+    // extended as E grows.
     let tgds = parse_tgds(
         "E(X,Y), E(Y,Z) -> E(X,Z). \
          E(X,Y), E(Y,Z), E(Z,X) -> Tri(X,Y,Z)",
@@ -282,14 +282,100 @@ fn chase_extends_wcoj_indexes_incrementally() {
         result.instance.pred_count(Predicate::new("Tri")) > 0,
         "the 5-cycle closure contains triangles"
     );
-    let stats = result.instance.index_stats();
-    assert!(stats.indexes > 0, "the WCOJ path built indexes");
+    let stats = result.instance.dense_stats();
+    assert!(stats.tries > 0, "the WCOJ path built dense tries");
     assert_eq!(
-        stats.full_builds, stats.indexes,
-        "each index is full-sorted exactly once over the whole chase"
+        stats.dict_size, 5,
+        "the dictionary holds exactly the five cycle vertices"
+    );
+    assert_eq!(
+        stats.dict_misses, stats.dict_size,
+        "each distinct value is encoded exactly once over the whole chase"
     );
     assert!(
-        stats.merge_extends > 0,
-        "later rounds extend indexes by sorted-merge of the insert delta"
+        stats.dict_hits > 0,
+        "later rounds re-encode known values as dictionary hits"
     );
+    assert_eq!(
+        stats.remaps, 0,
+        "a fixed-domain chase never disturbs existing codes"
+    );
+}
+
+/// Dictionary growth that introduces a value sorting *before* existing
+/// entries must remap — and the remap is invisible to prior snapshots:
+/// an old `(Dict, DenseTrie)` pair keeps decoding consistently
+/// (copy-on-write), while the new pair is order-preserving over the grown
+/// value set.
+#[test]
+fn dense_dictionary_remap_keeps_snapshots_consistent() {
+    let e = Predicate::new("E");
+    let mut inst = Instance::new();
+    inst.insert(GroundAtom::named("E", &["m", "x"]));
+    let order: [u16; 2] = [0, 1];
+    let reqs: [(Predicate, usize, &[u16]); 1] = [(e, 2, &order)];
+    let (dict1, tries1) = inst.dense_snapshot(&reqs);
+    let t1 = tries1[0].clone().expect("nonempty relation has a trie");
+    assert_eq!(inst.dense_stats().remaps, 0);
+    assert_eq!(dict1.decode(t1.level(0)[0]), Value::named("m"));
+    assert_eq!(dict1.decode(t1.level(1)[0]), Value::named("x"));
+
+    // "a" sorts before every existing entry: growth must remap, not append.
+    inst.insert(GroundAtom::named("E", &["a", "m"]));
+    let (dict2, tries2) = inst.dense_snapshot(&reqs);
+    let t2 = tries2[0].clone().expect("nonempty relation has a trie");
+    assert!(
+        inst.dense_stats().remaps >= 1,
+        "prepended value forces a remap"
+    );
+
+    // The new dictionary is order-preserving and round-trips every value.
+    let vals = ["a", "m", "x"].map(Value::named);
+    let codes = vals.map(|v| dict2.code(v).expect("value is encoded"));
+    assert!(
+        codes.windows(2).all(|w| w[0] < w[1]),
+        "codes follow value order"
+    );
+    for v in vals {
+        assert_eq!(dict2.decode(dict2.code(v).unwrap()), v);
+    }
+    // The new trie decodes to the sorted row set.
+    let rows: Vec<(Value, Value)> = (0..t2.rows())
+        .map(|i| (dict2.decode(t2.level(0)[i]), dict2.decode(t2.level(1)[i])))
+        .collect();
+    assert_eq!(
+        rows,
+        vec![
+            (Value::named("a"), Value::named("m")),
+            (Value::named("m"), Value::named("x")),
+        ]
+    );
+    // The *old* snapshot still decodes with its own dictionary: the remap
+    // copied rather than mutated what readers hold.
+    assert_eq!(dict1.decode(t1.level(0)[0]), Value::named("m"));
+    assert_eq!(dict1.decode(t1.level(1)[0]), Value::named("x"));
+}
+
+/// Labelled nulls sort after every named constant, so a chase that keeps
+/// inventing nulls grows the dictionary by pure appends: codes of existing
+/// values are never disturbed.
+#[test]
+fn chase_nulls_append_to_dense_dictionary_without_remaps() {
+    let tgds = parse_tgds("E(X,Y), E(Y,Z), E(Z,X) -> E(X,W)").unwrap();
+    let e = Predicate::new("E");
+    let d = dom_pool();
+    let mut db = Instance::new();
+    for (x, y) in [(0, 1), (1, 2), (2, 0)] {
+        db.insert(GroundAtom::new(e, vec![d[x], d[y]]));
+    }
+    let result = chase(&db, &tgds, &ChaseBudget::unbounded());
+    assert!(result.complete);
+    let stats = result.instance.dense_stats();
+    assert!(stats.tries > 0, "the cyclic body ran the dense WCOJ path");
+    assert!(
+        stats.dict_size > 3,
+        "invented nulls joined the dictionary (size {})",
+        stats.dict_size
+    );
+    assert_eq!(stats.remaps, 0, "null growth is append-only");
 }
