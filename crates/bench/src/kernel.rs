@@ -11,7 +11,8 @@
 //! binary) that makes the speedup auditable without diffing prose.
 
 use crate::experiments::{
-    e12_engine_shootout, e15_parallel_shootout, e2_chase, e9_chase_ablation, ExperimentTable,
+    e12_engine_shootout, e15_parallel_shootout, e16_incremental_maintenance, e2_chase,
+    e9_chase_ablation, ExperimentTable,
 };
 use crate::json::escape;
 
@@ -106,13 +107,39 @@ pub fn kernel_metrics(
         .collect()
 }
 
-/// Runs E2, E9, E12 and E15 and returns the kernel before/after metrics.
+/// Extracts the incremental-maintenance cells from a freshly measured E16
+/// table (DESIGN §13). Unlike [`kernel_metrics`] there is no static seed
+/// baseline: the "before" is the from-scratch re-chase measured by the
+/// *same* run on the same grown base, so the pair is an apples-to-apples
+/// recompute-vs-maintain comparison rather than a commit-over-commit one.
+pub fn maintenance_metrics(e16: &ExperimentTable) -> Vec<KernelMetric> {
+    let spec: [(&'static str, &'static str); 4] = [
+        ("insert 1 fact ms", "org/400"),
+        ("retract 1 fact ms", "org/400"),
+        ("insert 1 fact ms", "tc/120"),
+        ("retract 1 fact ms", "tc/120"),
+    ];
+    spec.iter()
+        .map(|&(metric, n)| KernelMetric {
+            experiment: "E16",
+            metric,
+            n,
+            before_ms: cell_ms(e16, n, "full re-chase ms"),
+            after_ms: cell_ms(e16, n, metric),
+        })
+        .collect()
+}
+
+/// Runs E2, E9, E12, E15 and E16 and returns the kernel before/after
+/// metrics plus the maintenance recompute-vs-maintain pairs.
 pub fn kernel_benchmark() -> Vec<KernelMetric> {
     let e2 = e2_chase();
     let e9 = e9_chase_ablation();
     let e12 = e12_engine_shootout();
     let e15 = e15_parallel_shootout();
-    kernel_metrics(&e2, &e9, &e12, &e15)
+    let mut metrics = kernel_metrics(&e2, &e9, &e12, &e15);
+    metrics.extend(maintenance_metrics(&e16_incremental_maintenance()));
+    metrics
 }
 
 /// Renders the metrics as the `BENCH_kernel.json` document.
@@ -126,7 +153,9 @@ pub fn kernel_json(metrics: &[KernelMetric]) -> String {
              experiment cells the kernel touches. 'before' is the \
              pre-kernel seed baseline from EXPERIMENTS.md (best-of-3); \
              'after' is measured by this run on the same workloads (min \
-             over adaptive repeats)."
+             over adaptive repeats). E16 rows pair differently: 'before' \
+             is the from-scratch re-chase of the updated base and 'after' \
+             the single-fact maintained update, both measured by this run."
         )
     ));
     out.push_str("  \"metrics\": [\n");
@@ -217,6 +246,33 @@ mod tests {
         assert_eq!(restricted.before_ms, 236.0);
         assert_eq!(restricted.after_ms, 59.0);
         assert!((restricted.speedup() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maintenance_pairs_rechase_with_incremental_cells() {
+        let e16 = table(
+            "E16",
+            &[
+                "workload/n",
+                "full re-chase ms",
+                "insert 1 fact ms",
+                "retract 1 fact ms",
+            ],
+            &[
+                &["org/400", "1.2", "0.01", "0.6"],
+                &["tc/120", "400.0", "40.0", "20.0"],
+            ],
+        );
+        let metrics = maintenance_metrics(&e16);
+        assert_eq!(metrics.len(), 4);
+        assert!(metrics.iter().all(|m| m.experiment == "E16"));
+        let ins = &metrics[0];
+        assert_eq!((ins.metric, ins.n), ("insert 1 fact ms", "org/400"));
+        assert_eq!((ins.before_ms, ins.after_ms), (1.2, 0.01));
+        assert!((ins.speedup() - 120.0).abs() < 1e-9);
+        // The re-chase 'before' is shared by both ops of a workload.
+        assert_eq!(metrics[1].before_ms, 1.2);
+        assert_eq!(metrics[3].before_ms, 400.0);
     }
 
     #[test]

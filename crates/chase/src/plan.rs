@@ -23,6 +23,25 @@ use crate::tgd::Tgd;
 use gtgd_data::{obs, prov, GroundAtom, Instance, Predicate, Value};
 use gtgd_query::{CompiledQuery, Term};
 
+/// One argument of a compiled body atom template.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum BodyArg {
+    /// A constant from the TGD body.
+    Const(Value),
+    /// A body variable: read this slot of the body row.
+    Slot(u32),
+}
+
+/// A compiled body atom template: grounds one body atom from a trigger
+/// row. This is the trigger's *support set* — the atoms whose presence
+/// witnessed the firing — which restricted-chase level tracking and the
+/// maintenance dependency index both need to reconstruct per firing.
+#[derive(Debug, Clone)]
+pub(crate) struct BodyAtomPlan {
+    pub predicate: Predicate,
+    pub args: Vec<BodyArg>,
+}
+
 /// One argument of a compiled head atom.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum HeadArg {
@@ -49,6 +68,8 @@ pub(crate) struct TriggerPlan {
     pub index: usize,
     /// The compiled body (one slot per body variable).
     pub body: CompiledQuery,
+    /// Body atom templates in body order (see [`BodyAtomPlan`]).
+    pub body_atoms: Vec<BodyAtomPlan>,
     /// Body slots in ascending variable order — the legacy trigger-key
     /// order ([`Tgd::body_vars`]).
     pub key_slots: Vec<usize>,
@@ -73,6 +94,23 @@ impl TriggerPlan {
     /// Compiles one TGD; `index` is its position in the rule set.
     pub fn new(tgd: &Tgd, index: usize) -> TriggerPlan {
         let body = CompiledQuery::compile(&tgd.body);
+        let body_atoms = tgd
+            .body
+            .iter()
+            .map(|a| BodyAtomPlan {
+                predicate: a.predicate,
+                args: a
+                    .args
+                    .iter()
+                    .map(|t| match *t {
+                        Term::Const(c) => BodyArg::Const(c),
+                        Term::Var(v) => {
+                            BodyArg::Slot(body.slot_of(v).expect("body vars are interned") as u32)
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
         let body_vars = tgd.body_vars();
         let key_slots = body_vars
             .iter()
@@ -118,6 +156,7 @@ impl TriggerPlan {
         TriggerPlan {
             index,
             body,
+            body_atoms,
             key_slots,
             key_vars,
             exist_vars: exist.iter().map(|v| v.index() as u32).collect(),
@@ -184,6 +223,27 @@ impl TriggerPlan {
         }
     }
 
+    /// Grounds the body atoms witnessed by `row` — the firing's support
+    /// set. Restricted-chase level tracking reads derivation depth off
+    /// these, and maintenance records them as the firing's dependencies.
+    pub fn ground_body(&self, row: &[Value]) -> Vec<GroundAtom> {
+        self.body_atoms
+            .iter()
+            .map(|a| {
+                GroundAtom::new(
+                    a.predicate,
+                    a.args
+                        .iter()
+                        .map(|t| match *t {
+                            BodyArg::Const(c) => c,
+                            BodyArg::Slot(s) => row[s as usize],
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
     /// Whether the trigger's head is already satisfied in `instance`
     /// (restricted-chase activity check): does the compiled head query
     /// match with the frontier pinned to the body row's images?
@@ -235,6 +295,17 @@ mod tests {
             .map(|&u| row_y_x[plan.body.slot_of(u).unwrap()])
             .collect();
         assert_eq!(key, by_var);
+    }
+
+    #[test]
+    fn ground_body_reconstructs_the_witness_atoms() {
+        let tgds = parse_tgds("R(X,Y), S(Y, red) -> T(X)").unwrap();
+        let plan = TriggerPlan::new(&tgds[0], 0);
+        // Slot order is first-occurrence: X then Y.
+        let body = plan.ground_body(&[v("a"), v("b")]);
+        assert_eq!(body.len(), 2);
+        assert_eq!(body[0], GroundAtom::named("R", &["a", "b"]));
+        assert_eq!(body[1], GroundAtom::named("S", &["b", "red"]));
     }
 
     #[test]

@@ -26,7 +26,7 @@ use crate::engine::ChaseBudget;
 use crate::plan::TriggerPlan;
 use crate::tgd::Tgd;
 use gtgd_data::{obs, GroundAtom, Instance, Value};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::ops::ControlFlow;
 
 /// Result of a restricted chase run.
@@ -109,6 +109,17 @@ pub(crate) fn restricted_chase_impl(
         });
     }
 
+    // Per-atom derivation levels, tracked only under a level budget:
+    // database atoms are level 0; a firing's level is 1 + the maximum
+    // level of its body atoms, and its products inherit that level (the
+    // oblivious chase's level notion, applied per firing — not canonical
+    // for the restricted chase, but a sound derivation-depth bound).
+    let track_levels = budget.max_level.is_some();
+    let mut levels: HashMap<GroundAtom, usize> = HashMap::new();
+    if track_levels {
+        levels.extend(instance.iter().map(|a| (a.clone(), 0)));
+    }
+
     let mut new_atoms: Vec<GroundAtom> = Vec::new();
     while let Some((ti, row)) = queue.pop_front() {
         if let Some(max) = budget.max_atoms {
@@ -117,19 +128,30 @@ pub(crate) fn restricted_chase_impl(
                 break;
             }
         }
-        if let Some(max) = budget.max_level {
-            // Level is not canonical for the restricted chase; interpret the
-            // level budget as a trigger budget scaled by the rule count.
-            if fired >= max * tgds.len().max(1) * instance.len().max(1) {
-                complete = false;
-                break;
-            }
-        }
         // Satisfaction is monotone, so checking at pop time (against the
         // grown instance) only ever *skips* triggers the historical
-        // implementation would also have skipped.
+        // implementation would also have skipped. Checked before the level
+        // budget so a too-deep trigger that would not have fired anyway
+        // does not spuriously mark the run incomplete.
         if plans[ti].head_satisfied(&row, &instance) {
             continue;
+        }
+        let mut firing_level = 0usize;
+        if let Some(max) = budget.max_level {
+            firing_level = 1 + plans[ti]
+                .ground_body(&row)
+                .iter()
+                .map(|a| levels.get(a).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0);
+            if firing_level > max {
+                // This trigger is too deep, but shallower ones may still
+                // be queued behind it: skip it instead of stopping the
+                // whole frontier. A diverging chase drains because every
+                // derivation chain eventually exceeds the cap.
+                complete = false;
+                continue;
+            }
         }
         new_atoms.clear();
         plans[ti].fire_row(&row, &mut new_atoms);
@@ -139,7 +161,9 @@ pub(crate) fn restricted_chase_impl(
         let mut delta_start = instance.len();
         instance.reserve_additional(new_atoms.len());
         for a in &new_atoms {
-            instance.insert(a.clone());
+            if instance.insert(a.clone()) && track_levels {
+                levels.insert(a.clone(), firing_level);
+            }
         }
         // Discover triggers that use at least one delta atom.
         while delta_start < instance.len() {
@@ -281,6 +305,96 @@ mod tests {
         assert!(r.complete);
         assert_eq!(r.instance.len(), 2);
         assert_eq!(r.fired, 1);
+    }
+
+    #[test]
+    fn levels_only_budget_halts_a_diverging_chase() {
+        // Person(x) → ∃y Parent(x,y), Person(y) with no loop diverges: the
+        // old level-budget interpretation (triggers scaled by instance
+        // size) never halted this, because the instance grows faster than
+        // the fired count. The real stopping edge cuts each derivation
+        // chain at depth `max`.
+        let tgds = parse_tgds("Person(X) -> Parent(X,Y), Person(Y)").unwrap();
+        let d = db(&[("Person", &["a"])]);
+        let r = restricted_chase(&d, &tgds, &ChaseBudget::levels(3));
+        assert!(!r.complete);
+        // Levels 1..3 each add Parent + Person; the level-4 trigger is
+        // skipped.
+        assert_eq!(r.instance.len(), 1 + 2 * 3);
+        assert_eq!(r.fired, 3);
+    }
+
+    #[test]
+    fn level_budget_edges_around_fixpoint() {
+        let tgds = parse_tgds("A(X) -> B(X). B(X) -> C(X).").unwrap();
+        let d = db(&[("A", &["a"])]);
+        // Below the chain depth: the level-2 trigger is skipped.
+        let under = restricted_chase(&d, &tgds, &ChaseBudget::levels(1));
+        assert!(!under.complete);
+        assert_eq!(under.fired, 1);
+        assert!(under.instance.contains(&GroundAtom::named("B", &["a"])));
+        assert!(!under.instance.contains(&GroundAtom::named("C", &["a"])));
+        // At the chain depth: every trigger fires and the drained frontier
+        // certifies the fixpoint (the frontier engine knows no deeper
+        // trigger exists, unlike the round-based oblivious engine).
+        let at = restricted_chase(&d, &tgds, &ChaseBudget::levels(2));
+        assert!(at.complete);
+        assert_eq!(at.fired, 2);
+        assert_eq!(at.instance.len(), 3);
+    }
+
+    #[test]
+    fn level_budget_skips_deep_triggers_but_keeps_shallow_ones() {
+        // Two independent chains of different depth share the frontier:
+        // the cap must prune only the deep chain's tail, not stop the
+        // whole run the moment one deep trigger is seen.
+        let tgds = parse_tgds("A(X) -> B(X). B(X) -> C(X). C(X) -> D(X). P(X) -> Q(X).").unwrap();
+        let d = db(&[("A", &["a"]), ("P", &["p"])]);
+        let r = restricted_chase(&d, &tgds, &ChaseBudget::levels(2));
+        assert!(!r.complete);
+        assert!(r.instance.contains(&GroundAtom::named("C", &["a"])));
+        assert!(!r.instance.contains(&GroundAtom::named("D", &["a"])));
+        assert!(r.instance.contains(&GroundAtom::named("Q", &["p"])));
+    }
+
+    #[test]
+    fn level_budget_ignores_satisfied_deep_triggers() {
+        // The level-2 trigger's head is already satisfied: it would never
+        // have fired, so skipping it must not cost completeness.
+        let tgds = parse_tgds("A(X) -> B(X). B(X) -> C(X).").unwrap();
+        let d = db(&[("A", &["a"]), ("C", &["a"])]);
+        let r = restricted_chase(&d, &tgds, &ChaseBudget::levels(1));
+        assert!(r.complete);
+        assert_eq!(r.fired, 1);
+    }
+
+    #[test]
+    fn both_budget_edges_compose() {
+        // A diverging chase under both caps stops at whichever edge bites
+        // first: a tight atom cap wins over a loose level cap and vice
+        // versa.
+        let tgds = parse_tgds("Person(X) -> Parent(X,Y), Person(Y)").unwrap();
+        let d = db(&[("Person", &["a"])]);
+        let atoms_first = restricted_chase(
+            &d,
+            &tgds,
+            &ChaseBudget {
+                max_level: Some(50),
+                max_atoms: Some(5),
+            },
+        );
+        assert!(!atoms_first.complete);
+        assert!(atoms_first.instance.len() >= 5 && atoms_first.instance.len() <= 7);
+        let levels_first = restricted_chase(
+            &d,
+            &tgds,
+            &ChaseBudget {
+                max_level: Some(2),
+                max_atoms: Some(1_000),
+            },
+        );
+        assert!(!levels_first.complete);
+        assert_eq!(levels_first.instance.len(), 1 + 2 * 2);
     }
 
     #[test]

@@ -200,6 +200,28 @@ impl<'a> ChaseRunner<'a> {
         }
     }
 
+    /// Builds a [`crate::MaintainedInstance`]: chases `db` to its fixpoint
+    /// once, then keeps the result live under
+    /// [`insert`](crate::MaintainedInstance::insert) /
+    /// [`retract`](crate::MaintainedInstance::retract) without re-chasing.
+    /// Maintenance has oblivious semantics regardless of the configured
+    /// variant (the restricted chase's fixpoint is order-dependent, so an
+    /// incrementally maintained result could legitimately diverge from a
+    /// re-chase — see the `maintain` module docs); the runner's budget is
+    /// honored, except that level caps are rejected there.
+    ///
+    /// # Panics
+    /// If the configured variant is [`ChaseVariant::Restricted`] or the
+    /// budget has a level cap.
+    pub fn maintain(&self, db: &Instance) -> crate::MaintainedInstance {
+        assert_eq!(
+            self.variant,
+            ChaseVariant::Oblivious,
+            "maintenance is oblivious-only: the restricted fixpoint is order-dependent"
+        );
+        crate::MaintainedInstance::new(db, self.tgds, self.budget)
+    }
+
     fn run_traced(&self, db: &Instance) -> ChaseOutcome {
         if self.trace {
             let (mut outcome, report) = obs::trace_run(|| self.run_now(db));

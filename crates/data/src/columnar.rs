@@ -155,6 +155,47 @@ impl Clone for SortedIndexCache {
 }
 
 impl SortedIndexCache {
+    /// Rewrites cached permutations after rows were removed from the
+    /// arenas. `row_maps` gives, per touched `(predicate, arity)`, the
+    /// old→new row-id mapping (`None` = the row was deleted); indexes of
+    /// untouched relations are kept as-is.
+    ///
+    /// Deleting rows from a sorted permutation is a *filter*: the
+    /// surviving subsequence is still sorted by `(key, old id)`, and
+    /// because survivors keep their relative order the old→new remap is
+    /// monotone — `(key, new id)` order is identical. So no re-sort is
+    /// ever needed; each touched index is rewritten in one `O(n)` pass.
+    /// An index whose filtered permutation comes out empty is dropped
+    /// entirely (empty permutations are deliberately uncached, so the
+    /// eventual rebuild is a `full_build`, not a bogus "merge").
+    ///
+    /// A cached permutation may be *stale* (cover only a prefix of the
+    /// pre-retraction rows). Filtering the covered prefix maps it exactly
+    /// onto the new-id prefix `0..k` — the monotone remap sends survivors
+    /// of old rows `0..len` to new ids `0..k` — so the later delta
+    /// merge-extend contract is untouched.
+    pub(crate) fn retract_remap(&self, row_maps: &HashMap<(Predicate, u16), Vec<Option<u32>>>) {
+        let mut map = self.map.write().expect("cache lock");
+        map.retain(|&(p, arity, _), cached| {
+            let Some(row_map) = row_maps.get(&(p, arity)) else {
+                return true; // untouched relation: index still valid
+            };
+            let filtered: Vec<u32> = cached
+                .perm()
+                .iter()
+                .filter_map(|&r| row_map[r as usize])
+                .collect();
+            if filtered.is_empty() {
+                return false;
+            }
+            *cached = Arc::new(SortedPermutation {
+                order: cached.order.clone(),
+                perm: filtered,
+            });
+            true
+        });
+    }
+
     /// Current counters.
     pub fn stats(&self) -> IndexStats {
         IndexStats {
@@ -371,6 +412,86 @@ mod tests {
         let sp = cache.get_or_build(Predicate::new("R"), 2, &[0], Some(&pc));
         // Sorting only by column 0 leaves all keys equal: ids decide.
         assert_eq!(sp.perm(), &[0, 1, 2]);
+    }
+
+    /// Removes the given row ids from a `PredColumns`, producing the
+    /// shrunk arena plus the old→new row map (test-side analogue of the
+    /// rebuild `Instance::retract_atoms` performs).
+    fn drop_rows(pc: &PredColumns, dead: &[u32]) -> (PredColumns, Vec<Option<u32>>) {
+        let mut out = PredColumns::default();
+        let mut map = Vec::with_capacity(pc.rows());
+        let mut next = 0u32;
+        for r in 0..pc.rows() as u32 {
+            if dead.contains(&r) {
+                map.push(None);
+            } else {
+                let args: Vec<Value> = (0..pc.cols.len()).map(|j| pc.col(j)[r as usize]).collect();
+                out.push(&args);
+                map.push(Some(next));
+                next += 1;
+            }
+        }
+        (out, map)
+    }
+
+    #[test]
+    fn retract_remap_filters_in_place_without_resort() {
+        let pc = columns(&[&["d"], &["b"], &["c"], &["a"], &["b"]]);
+        let cache = SortedIndexCache::default();
+        let p = Predicate::new("U");
+        cache.get_or_build(p, 1, &[0], Some(&pc));
+        let (shrunk, map) = drop_rows(&pc, &[1, 3]);
+        let maps: HashMap<(Predicate, u16), Vec<Option<u32>>> =
+            [((p, 1u16), map)].into_iter().collect();
+        cache.retract_remap(&maps);
+        let sp = cache.get_or_build(p, 1, &[0], Some(&shrunk));
+        assert_eq!(sp.perm(), naive_perm(&shrunk, &[0]));
+        // The remapped index is served as-is: still exactly one full build
+        // and zero merges.
+        let s = cache.stats();
+        assert_eq!(s.full_builds, 1);
+        assert_eq!(s.merge_extends, 0);
+    }
+
+    #[test]
+    fn retract_remap_drops_emptied_indexes_and_keeps_untouched_ones() {
+        let pc_u = columns(&[&["a"], &["b"]]);
+        let pc_w = columns(&[&["x"]]);
+        let cache = SortedIndexCache::default();
+        let (u, w) = (Predicate::new("U"), Predicate::new("W"));
+        cache.get_or_build(u, 1, &[0], Some(&pc_u));
+        cache.get_or_build(w, 1, &[0], Some(&pc_w));
+        let maps: HashMap<(Predicate, u16), Vec<Option<u32>>> =
+            [((u, 1u16), vec![None, None])].into_iter().collect();
+        cache.retract_remap(&maps);
+        // U's index is gone (empty permutations are uncached); W's
+        // survives untouched.
+        assert_eq!(cache.stats().indexes, 1);
+        let sp = cache.get_or_build(w, 1, &[0], Some(&pc_w));
+        assert_eq!(sp.len(), 1);
+        assert_eq!(cache.stats().full_builds, 2);
+    }
+
+    #[test]
+    fn retract_remap_of_stale_index_keeps_merge_contract() {
+        // Build over 2 rows, grow to 4, retract row 0 *without* refreshing
+        // the index: the stale cached perm must filter onto the new-id
+        // prefix so the later demand merges only the real delta.
+        let mut pc = columns(&[&["d"], &["b"]]);
+        let cache = SortedIndexCache::default();
+        let p = Predicate::new("U");
+        cache.get_or_build(p, 1, &[0], Some(&pc));
+        pc.push(&[v("c")]);
+        pc.push(&[v("a")]);
+        let (shrunk, map) = drop_rows(&pc, &[0]);
+        let maps: HashMap<(Predicate, u16), Vec<Option<u32>>> =
+            [((p, 1u16), map)].into_iter().collect();
+        cache.retract_remap(&maps);
+        let sp = cache.get_or_build(p, 1, &[0], Some(&shrunk));
+        assert_eq!(sp.perm(), naive_perm(&shrunk, &[0]));
+        let s = cache.stats();
+        assert_eq!(s.full_builds, 1);
+        assert_eq!(s.merge_extends, 1);
     }
 
     #[test]

@@ -257,6 +257,30 @@ impl Clone for DenseStore {
 }
 
 impl DenseStore {
+    /// Drops the encoded tables, tries, and canon entries of the touched
+    /// `(predicate, arity)` relations after rows were removed from their
+    /// arenas. The encoded mirrors are row-aligned and grow-only
+    /// (`snapshot` keys freshness on `trie.rows == arena.rows`), so a
+    /// shrunk relation cannot be patched in place — the next snapshot
+    /// rebuilds it from the surviving arena rows.
+    ///
+    /// The dictionary is retained: codes of surviving values are
+    /// unchanged, and an entry for a value no longer present is harmless —
+    /// it only means `Dict::code` answers `Some` for a value every seek
+    /// will miss anyway (the `None ⇒ absent` direction still holds).
+    /// Untouched relations keep their tries; canon aliases only ever link
+    /// column orders of one `(predicate, arity)`, so dropping by that key
+    /// can never leave a dangling alias.
+    pub(crate) fn invalidate_relations(&self, touched: &std::collections::HashSet<(Predicate, u16)>) {
+        if touched.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.write().expect("dense lock");
+        inner.tables.retain(|k, _| !touched.contains(k));
+        inner.tries.retain(|k, _| !touched.contains(&(k.0, k.1)));
+        inner.canon.retain(|k, _| !touched.contains(&(k.0, k.1)));
+    }
+
     /// Current counters.
     pub fn stats(&self) -> DenseStats {
         let inner = self.inner.read().expect("dense lock");
@@ -772,6 +796,57 @@ mod tests {
                 decoded_rows(&fdict, ftries[i].as_ref().unwrap())
             );
         }
+    }
+
+    #[test]
+    fn invalidated_relation_rebuilds_from_shrunk_arena() {
+        let mut cols = arena(&[&["b", "x"], &["a", "z"], &["c", "y"]]);
+        let store = DenseStore::default();
+        let p = Predicate::new("R");
+        let (dict1, _) = store.snapshot(&cols, &[(p, 2, &[0, 1])]);
+        // Shrink the arena (drop the middle row) and invalidate.
+        let mut shrunk = PredColumns::default();
+        for (a, b) in [("b", "x"), ("c", "y")] {
+            shrunk.push(&[v(a), v(b)]);
+        }
+        cols.insert((p, 2), shrunk);
+        let touched = [(p, 2u16)].into_iter().collect();
+        store.invalidate_relations(&touched);
+        assert_eq!(store.stats().tries, 0);
+        let (dict2, tries) = store.snapshot(&cols, &[(p, 2, &[0, 1])]);
+        let trie = tries[0].as_ref().unwrap();
+        assert_eq!(trie.rows(), 2);
+        // The dictionary survived: codes of surviving values are stable
+        // and the stale "a"/"z" entries are harmless.
+        assert_eq!(dict1.code(v("b")), dict2.code(v("b")));
+        assert!(dict2.code(v("a")).is_some());
+        assert_eq!(store.stats().remaps, 0);
+        let decoded = decoded_rows(&dict2, trie);
+        assert_eq!(decoded, vec![vec![v("b"), v("x")], vec![v("c"), v("y")]]);
+    }
+
+    #[test]
+    fn invalidation_spares_untouched_relations() {
+        let p = Predicate::new("R");
+        let q = Predicate::new("S");
+        let mut pr = PredColumns::default();
+        pr.push(&[v("a")]);
+        let mut qs = PredColumns::default();
+        qs.push(&[v("b")]);
+        let cols: HashMap<_, _> = [((p, 1u16), pr), ((q, 1u16), qs)].into_iter().collect();
+        let store = DenseStore::default();
+        let (_, before) = store.snapshot(&cols, &[(p, 1, &[0]), (q, 1, &[0])]);
+        store.invalidate_relations(&[(p, 1u16)].into_iter().collect());
+        assert_eq!(store.stats().tries, 1);
+        let (_, after) = store.snapshot(&cols, &[(p, 1, &[0]), (q, 1, &[0])]);
+        assert!(Arc::ptr_eq(
+            before[1].as_ref().unwrap(),
+            after[1].as_ref().unwrap()
+        ));
+        assert!(!Arc::ptr_eq(
+            before[0].as_ref().unwrap(),
+            after[0].as_ref().unwrap()
+        ));
     }
 
     #[test]

@@ -86,6 +86,84 @@ impl Instance {
         true
     }
 
+    /// Removes one atom; returns `true` if it was present. See
+    /// [`Instance::retract_atoms`] for the cost model — batch retractions
+    /// through that method when removing more than one atom.
+    pub fn retract(&mut self, atom: &GroundAtom) -> bool {
+        self.retract_atoms(std::slice::from_ref(atom)) == 1
+    }
+
+    /// Removes a batch of atoms; returns how many were actually present.
+    /// Atoms absent from the instance are ignored.
+    ///
+    /// Every store except the atom vector is append-only by design, so
+    /// retraction is a **rebuild, not a tombstone**: the primary stores
+    /// (dedup map, per-predicate and per-position indexes, domain,
+    /// columnar arenas) are reconstructed from the survivors in one pass
+    /// over the instance (`O(total cells)`), which keeps row ids dense and
+    /// every accessor exact — `dom()` contains precisely the values of
+    /// surviving atoms, with no tombstone filtering on any read path. The
+    /// lazy mirrors are cheaper to fix: sorted permutations are
+    /// filter+remapped in place (deletion preserves sort order — see
+    /// [`SortedIndexCache`]), and the dense store drops only the touched
+    /// `(predicate, arity)` relations while keeping the dictionary.
+    pub fn retract_atoms(&mut self, atoms: &[GroundAtom]) -> usize {
+        let doomed: HashSet<&GroundAtom> = atoms
+            .iter()
+            .filter(|a| self.index_of.contains_key(*a))
+            .collect();
+        if doomed.is_empty() {
+            return 0;
+        }
+        let removed = doomed.len();
+        // Relations that lose rows: their dense mirrors must be dropped
+        // and their sorted permutations remapped.
+        let touched: HashSet<(Predicate, u16)> = doomed
+            .iter()
+            .map(|a| {
+                let arity = u16::try_from(a.args.len()).expect("arity fits u16");
+                (a.predicate, arity)
+            })
+            .collect();
+        // One pass in insertion order: record, per touched relation, where
+        // each old row lands (arena row ids follow insertion order within
+        // a relation), and collect the survivors.
+        let old_atoms = std::mem::take(&mut self.atoms);
+        let mut row_maps: HashMap<(Predicate, u16), (Vec<Option<u32>>, u32)> = HashMap::new();
+        let mut survivors: Vec<GroundAtom> = Vec::with_capacity(old_atoms.len() - removed);
+        for a in old_atoms {
+            let arity = u16::try_from(a.args.len()).expect("arity fits u16");
+            let key = (a.predicate, arity);
+            let dead = doomed.contains(&a);
+            if touched.contains(&key) {
+                let (map, kept) = row_maps.entry(key).or_default();
+                map.push((!dead).then_some(*kept));
+                *kept += u32::from(!dead);
+            }
+            if !dead {
+                survivors.push(a);
+            }
+        }
+        let row_maps: HashMap<(Predicate, u16), Vec<Option<u32>>> = row_maps
+            .into_iter()
+            .map(|(k, (map, _))| (k, map))
+            .collect();
+        // Rebuild the primary stores from the survivors.
+        self.index_of.clear();
+        self.by_pred.clear();
+        self.by_pred_pos_val.clear();
+        self.dom.clear();
+        self.dom_set.clear();
+        self.columns.clear();
+        for a in survivors {
+            self.insert(a);
+        }
+        // Fix the lazy mirrors.
+        self.sorted.retract_remap(&row_maps);
+        self.dense.invalidate_relations(&touched);
+        removed
+    }
+
     /// Reserves capacity for `n` further atoms in the primary stores (the
     /// atom vector and the dedup map), so bulk loads — chase round
     /// materialization, [`Instance::extend_from`] — do not rehash/regrow
@@ -560,6 +638,135 @@ mod tests {
         assert_eq!(i.len(), 3);
         assert_eq!(i.pred_count(Predicate::new("R")), 2);
         assert_eq!(i.pred_count(Predicate::new("P")), 1);
+    }
+
+    #[test]
+    fn retract_rebuilds_every_index() {
+        let mut i = Instance::from_atoms([
+            GroundAtom::named("R", &["a", "b"]),
+            GroundAtom::named("R", &["b", "c"]),
+            GroundAtom::named("P", &["a"]),
+        ]);
+        assert!(i.retract(&GroundAtom::named("R", &["a", "b"])));
+        assert!(!i.retract(&GroundAtom::named("R", &["a", "b"])), "already gone");
+        assert_eq!(i.len(), 2);
+        assert!(!i.contains(&GroundAtom::named("R", &["a", "b"])));
+        let r = Predicate::new("R");
+        assert_eq!(i.pred_count(r), 1);
+        assert!(i.atoms_matching(r, 0, v("a")).is_empty());
+        assert_eq!(i.atoms_matching(r, 0, v("b")).len(), 1);
+        // dom() is exact: "a" survives through P(a), nothing else changes.
+        assert_eq!(i.dom(), &[v("b"), v("c"), v("a")]);
+        // Columnar arena shrank and re-densified.
+        let rc = i.columns(r, 2).unwrap();
+        assert_eq!(rc.rows(), 1);
+        assert_eq!(rc.col(0), &[v("b")]);
+    }
+
+    #[test]
+    fn retract_drops_values_no_atom_mentions() {
+        let mut i = Instance::from_atoms([
+            GroundAtom::named("R", &["a", "b"]),
+            GroundAtom::named("P", &["c"]),
+        ]);
+        assert_eq!(i.retract_atoms(&[GroundAtom::named("R", &["a", "b"])]), 1);
+        assert_eq!(i.dom(), &[v("c")]);
+        assert!(!i.dom_contains(v("a")));
+        assert!(!i.dom_contains(v("b")));
+    }
+
+    #[test]
+    fn retract_batch_counts_only_present_atoms() {
+        let mut i = Instance::from_atoms([
+            GroundAtom::named("R", &["a", "b"]),
+            GroundAtom::named("P", &["a"]),
+        ]);
+        let n = i.retract_atoms(&[
+            GroundAtom::named("R", &["a", "b"]),
+            GroundAtom::named("R", &["z", "z"]), // absent
+            GroundAtom::named("P", &["a"]),
+        ]);
+        assert_eq!(n, 2);
+        assert!(i.is_empty());
+        assert!(i.dom().is_empty());
+        assert_eq!(i.retract_atoms(&[GroundAtom::named("P", &["a"])]), 0);
+    }
+
+    #[test]
+    fn sorted_permutation_survives_retraction_without_resort() {
+        let mut i = Instance::new();
+        for (a, b) in [("d", "w"), ("b", "x"), ("c", "y"), ("a", "z")] {
+            i.insert(GroundAtom::named("E", &[a, b]));
+        }
+        let e = Predicate::new("E");
+        i.sorted_permutation(e, 2, &[0, 1]);
+        assert_eq!(i.index_stats().full_builds, 1);
+        i.retract(&GroundAtom::named("E", &["c", "y"]));
+        let sp = i.sorted_permutation(e, 2, &[0, 1]);
+        assert_eq!(sp.perm(), naive_perm(&i, e, 2, &[0, 1]));
+        // The remap was in place: no second full build, no merge.
+        let stats = i.index_stats();
+        assert_eq!(stats.full_builds, 1);
+        assert_eq!(stats.merge_extends, 0);
+        // And later growth still extends incrementally.
+        i.insert(GroundAtom::named("E", &["c", "q"]));
+        let sp2 = i.sorted_permutation(e, 2, &[0, 1]);
+        assert_eq!(sp2.perm(), naive_perm(&i, e, 2, &[0, 1]));
+        assert_eq!(i.index_stats().merge_extends, 1);
+    }
+
+    #[test]
+    fn retracting_a_whole_relation_uncaches_its_index() {
+        let mut i = Instance::new();
+        i.insert(GroundAtom::named("E", &["a", "b"]));
+        i.insert(GroundAtom::named("P", &["c"]));
+        let e = Predicate::new("E");
+        i.sorted_permutation(e, 2, &[0, 1]);
+        i.retract(&GroundAtom::named("E", &["a", "b"]));
+        // The only E-row is gone: its index is dropped, not left empty.
+        assert_eq!(i.index_stats().indexes, 0);
+        let sp = i.sorted_permutation(e, 2, &[0, 1]);
+        assert!(sp.is_empty());
+    }
+
+    #[test]
+    fn dense_snapshot_after_retraction_matches_fresh_build() {
+        let mut i = Instance::new();
+        for (a, b) in [("b", "x"), ("a", "z"), ("c", "y")] {
+            i.insert(GroundAtom::named("E", &[a, b]));
+        }
+        i.insert(GroundAtom::named("P", &["p"]));
+        let e = Predicate::new("E");
+        let p = Predicate::new("P");
+        let reqs: [(Predicate, usize, &[u16]); 2] = [(e, 2, &[0, 1]), (p, 1, &[0])];
+        let (_, before) = i.dense_snapshot(&reqs);
+        i.retract(&GroundAtom::named("E", &["a", "z"]));
+        let (dict, tries) = i.dense_snapshot(&reqs);
+        let fresh = Instance::from_atoms(i.iter().cloned());
+        let (fdict, ftries) = fresh.dense_snapshot(&reqs);
+        let decode = |d: &Dict, t: &DenseTrie, arity: usize| -> Vec<Vec<Value>> {
+            (0..t.rows())
+                .map(|r| (0..arity).map(|l| d.decode(t.level(l)[r])).collect())
+                .collect()
+        };
+        for (k, arity) in [(0, 2), (1, 1)] {
+            assert_eq!(
+                decode(&dict, tries[k].as_ref().unwrap(), arity),
+                decode(&fdict, ftries[k].as_ref().unwrap(), arity)
+            );
+        }
+        // Untouched relation P kept its trie through the invalidation; the
+        // dictionary may keep the stale "z" but never loses a surviving
+        // value.
+        assert!(Arc::ptr_eq(
+            before[1].as_ref().unwrap(),
+            tries[1].as_ref().unwrap()
+        ));
+        for a in i.iter() {
+            for &val in &a.args {
+                assert!(dict.code(val).is_some());
+            }
+        }
     }
 
     #[test]

@@ -109,11 +109,20 @@ pub enum Metric {
     /// Morsels claimed by a worker other than their round-robin home (the
     /// work-stealing rebalance count).
     WcojMorselsStolen,
+    /// Triggers fired by incremental maintenance (delta inserts and DRed
+    /// re-derivation runs), as opposed to from-scratch chases.
+    MaintTriggersFired,
+    /// Atoms placed in the DRed over-delete set during a retraction
+    /// (before re-derivation rescues survivors).
+    MaintAtomsOverdeleted,
+    /// Over-deleted atoms rescued by an alternative surviving derivation
+    /// during the DRed re-derive phase.
+    MaintAtomsRederived,
 }
 
 impl Metric {
     /// All metrics, in report order.
-    pub const ALL: [Metric; 21] = [
+    pub const ALL: [Metric; 24] = [
         Metric::ChaseRounds,
         Metric::TriggerFirings,
         Metric::NullsCreated,
@@ -135,6 +144,9 @@ impl Metric {
         Metric::DenseRemaps,
         Metric::WcojMorselsExecuted,
         Metric::WcojMorselsStolen,
+        Metric::MaintTriggersFired,
+        Metric::MaintAtomsOverdeleted,
+        Metric::MaintAtomsRederived,
     ];
 
     /// The metric's stable report name (a dotted static identifier; no
@@ -162,6 +174,9 @@ impl Metric {
             Metric::DenseRemaps => "dense.remaps",
             Metric::WcojMorselsExecuted => "wcoj.morsels_executed",
             Metric::WcojMorselsStolen => "wcoj.morsels_stolen",
+            Metric::MaintTriggersFired => "maint.triggers_fired",
+            Metric::MaintAtomsOverdeleted => "maint.atoms_overdeleted",
+            Metric::MaintAtomsRederived => "maint.atoms_rederived",
         }
     }
 }

@@ -73,6 +73,13 @@ impl Engine {
 /// A compiled query plus its execution configuration. Built by
 /// [`Engine::prepare`], evaluated by [`PreparedQuery::answers`] (or the
 /// decision-form helpers); reusable across instances.
+///
+/// Preparation depends only on the query — evaluation borrows the
+/// instance per call and captures nothing from it — so a prepared query
+/// stays valid across arbitrary instance evolution, including the
+/// insert/retract cycles of a maintained materialization
+/// (`gtgd_chase::MaintainedInstance`): prepare once, re-evaluate after
+/// every maintenance op.
 #[derive(Debug, Clone)]
 pub struct PreparedQuery {
     plan: CompiledQuery,

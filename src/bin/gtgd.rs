@@ -1,11 +1,18 @@
 //! `gtgd` — evaluate a query script open- or closed-world.
 //!
 //! ```text
-//! gtgd script.gtgd           # evaluate a script file
-//! gtgd -                     # read the script from stdin
-//! gtgd --trace script.gtgd   # also print the probe report (JSON, stderr)
-//! gtgd --certify script.gtgd # print answer certificates (JSON, stdout)
+//! gtgd script.gtgd            # evaluate a script file
+//! gtgd -                      # read the script from stdin
+//! gtgd --trace script.gtgd    # also print the probe report (JSON, stderr)
+//! gtgd --certify script.gtgd  # print answer certificates (JSON, stdout)
+//! gtgd --maintain script.gtgd # apply +atom / -atom ops incrementally
 //! ```
+//!
+//! With `--maintain` (open-world only), the `fact` base is chased once
+//! into a maintained materialization; each `+Atom(...)` line then runs a
+//! delta chase and each `-Atom(...)` a DRed retraction, printing one
+//! report line per op, before the query is answered over the final
+//! instance.
 //!
 //! With `--certify`, stdout carries *only* the certificate JSON — the
 //! human-readable answer summary moves to stderr — so the output pipes
@@ -19,22 +26,24 @@
 
 use gtgd::chase::certificates_to_json;
 use gtgd::data::obs;
-use gtgd::script::{certify_script, eval_script, parse_script, Mode};
+use gtgd::script::{certify_script, eval_script, parse_script, run_maintained, Mode};
 use std::io::Read;
 
 fn main() {
     let mut trace = false;
     let mut certify = false;
+    let mut maintain = false;
     let mut files: Vec<String> = Vec::new();
     for a in std::env::args().skip(1) {
         match a.as_str() {
             "--trace" => trace = true,
             "--certify" => certify = true,
+            "--maintain" => maintain = true,
             _ => files.push(a),
         }
     }
     let [arg] = files.as_slice() else {
-        eprintln!("usage: gtgd [--trace] [--certify] <script-file | ->");
+        eprintln!("usage: gtgd [--trace] [--certify] [--maintain] <script-file | ->");
         std::process::exit(2);
     };
     let src = if arg == "-" {
@@ -49,6 +58,42 @@ fn main() {
             std::process::exit(2);
         })
     };
+    if maintain {
+        let script = parse_script(&src).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        let run = || run_maintained(&script);
+        let (result, report) = if trace {
+            let (r, rep) = obs::trace_run(run);
+            (r, Some(rep))
+        } else {
+            (run(), None)
+        };
+        match result {
+            Ok(out) => {
+                for step in &out.steps {
+                    println!("{step}");
+                }
+                println!(
+                    "maintained (open-world); {} answer(s); exact = {}",
+                    out.answers.len(),
+                    out.exact
+                );
+                for a in &out.answers {
+                    println!("  ({a})");
+                }
+                if let Some(rep) = report {
+                    eprintln!("{}", rep.to_json());
+                }
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let (result, report) = if trace {
         let (r, rep) = obs::trace_run(|| eval_script(&src));
         (r, Some(rep))

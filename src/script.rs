@@ -15,10 +15,10 @@
 //! satisfy the TGDs (they are integrity constraints); in `open` mode the
 //! TGDs are an ontology.
 
-use gtgd_chase::{parse_tgd, Certificate, CertificateStore, ChaseRunner, Tgd};
+use gtgd_chase::{parse_tgd, Certificate, CertificateStore, ChaseBudget, ChaseRunner, Tgd};
 use gtgd_core::{evaluate_omq, Cqs, EvalConfig, Omq};
 use gtgd_data::{GroundAtom, Instance, Predicate, Value};
-use gtgd_query::{parse_cq, Cq, Strategy, Ucq};
+use gtgd_query::{parse_cq, Cq, Engine, Strategy, Ucq};
 
 /// Evaluation mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +28,17 @@ pub enum Mode {
     /// Closed-world: direct evaluation under the constraint promise
     /// (Section 3.2).
     Closed,
+}
+
+/// One maintenance operation of a `--maintain` script: a line `+Atom(...)`
+/// asserts a base fact, `-Atom(...)` retracts one. Operations apply in
+/// script order, after the initial `fact` base is chased.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaintOp {
+    /// `+Emp(ann).` — assert and incrementally chase.
+    Insert(GroundAtom),
+    /// `-Emp(ann).` — retract and DRed-repair.
+    Retract(GroundAtom),
 }
 
 /// A parsed script.
@@ -41,6 +52,8 @@ pub struct Script {
     pub queries: Vec<Cq>,
     /// Evaluation mode.
     pub mode: Mode,
+    /// Maintenance operations (`+atom` / `-atom` lines), in script order.
+    pub ops: Vec<MaintOp>,
 }
 
 /// Script errors.
@@ -98,10 +111,20 @@ pub fn parse_script(src: &str) -> Result<Script, ScriptError> {
     let mut tgds = Vec::new();
     let mut queries = Vec::new();
     let mut mode = Mode::Open;
+    let mut ops = Vec::new();
     for (i, raw) in src.lines().enumerate() {
         let line = i + 1;
         let text = raw.split('#').next().unwrap_or("").trim();
         if text.is_empty() {
+            continue;
+        }
+        // Maintenance ops: the sign is glued to the atom (`+Emp(ann).`).
+        if let Some(atom_src) = text.strip_prefix('+') {
+            ops.push(MaintOp::Insert(parse_fact(atom_src, line)?));
+            continue;
+        }
+        if let Some(atom_src) = text.strip_prefix('-') {
+            ops.push(MaintOp::Retract(parse_fact(atom_src, line)?));
             continue;
         }
         let (keyword, rest) = match text.split_once(char::is_whitespace) {
@@ -144,6 +167,7 @@ pub fn parse_script(src: &str) -> Result<Script, ScriptError> {
         tgds,
         queries,
         mode,
+        ops,
     })
 }
 
@@ -194,6 +218,77 @@ pub fn run_script(script: &Script) -> Result<ScriptOutput, Box<dyn std::error::E
 pub fn eval_script(src: &str) -> Result<ScriptOutput, Box<dyn std::error::Error>> {
     let script = parse_script(src)?;
     run_script(&script)
+}
+
+/// Output of a `--maintain` run: one rendered line per operation, then
+/// the final answers.
+#[derive(Debug, Clone)]
+pub struct MaintainOutput {
+    /// One line per `+`/`-` op: the op and its maintenance report.
+    pub steps: Vec<String>,
+    /// Sorted null-free answers over the final maintained instance.
+    pub answers: Vec<String>,
+    /// Whether the maintained instance is a true fixpoint (false only if
+    /// the safety atom cap truncated a diverging ontology).
+    pub exact: bool,
+}
+
+/// Runs a script's maintenance ops over a [`gtgd_chase::MaintainedInstance`]
+/// (the `gtgd --maintain` path, open-world only): chase the `fact` base
+/// once, apply each `+atom` / `-atom` incrementally, then evaluate the
+/// query disjuncts over the final materialization. Answers are the
+/// null-free tuples of the maintained oblivious fixpoint — the certain
+/// answers of the OMQ whenever the chase terminated (`exact`).
+pub fn run_maintained(script: &Script) -> Result<MaintainOutput, Box<dyn std::error::Error>> {
+    if script.mode == Mode::Closed {
+        return Err("maintain mode is open-world only (closed mode has no chase to maintain)"
+            .to_string()
+            .into());
+    }
+    // Levels are not maintainable, so the safety net against diverging
+    // ontologies is an atom cap instead of the default level budget.
+    let mut m = ChaseRunner::new(&script.tgds)
+        .budget(ChaseBudget::atoms(1_000_000))
+        .maintain(&script.facts);
+    let mut steps = Vec::new();
+    for op in &script.ops {
+        let line = match op {
+            MaintOp::Insert(a) => {
+                let rep = m.insert([a.clone()]);
+                format!("+{a}: fired={} added={}", rep.triggers_fired, rep.atoms_added)
+            }
+            MaintOp::Retract(a) => {
+                let rep = m.retract([a.clone()]);
+                format!(
+                    "-{a}: overdeleted={} rederived={} removed={} refired={}",
+                    rep.atoms_overdeleted,
+                    rep.atoms_rederived,
+                    rep.atoms_removed,
+                    rep.triggers_fired
+                )
+            }
+        };
+        steps.push(line);
+    }
+    let mut rendered: Vec<String> = script
+        .queries
+        .iter()
+        .flat_map(|q| Engine::prepare(q).answers(m.instance()))
+        .filter(|t| t.iter().all(|v| v.is_named()))
+        .map(|t| {
+            t.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    rendered.sort();
+    rendered.dedup();
+    Ok(MaintainOutput {
+        steps,
+        answers: rendered,
+        exact: m.complete(),
+    })
 }
 
 /// Builds proof-carrying certificates for a script's answers (the
@@ -288,6 +383,57 @@ mod tests {
         assert_eq!(e.line, 1);
         let e = parse_script("fact A(x).").unwrap_err();
         assert!(e.message.contains("no query"));
+    }
+
+    #[test]
+    fn maintain_ops_parse_in_order() {
+        let s = parse_script(
+            "fact Emp(ann).\n\
+             tgd Emp(X) -> WorksIn(X, D).\n\
+             +Emp(bob).\n\
+             -Emp(ann).  # retract the original\n\
+             query Q(X) :- WorksIn(X, D).\n",
+        )
+        .unwrap();
+        assert_eq!(
+            s.ops,
+            vec![
+                MaintOp::Insert(GroundAtom::named("Emp", &["bob"])),
+                MaintOp::Retract(GroundAtom::named("Emp", &["ann"])),
+            ]
+        );
+    }
+
+    #[test]
+    fn maintained_script_applies_ops_incrementally() {
+        let s = parse_script(
+            "fact Emp(ann).\n\
+             tgd Emp(X) -> WorksIn(X, D).\n\
+             tgd WorksIn(X, D) -> Dept(D).\n\
+             +Emp(bob).\n\
+             -Emp(ann).\n\
+             query Q(X) :- WorksIn(X, D), Dept(D).\n",
+        )
+        .unwrap();
+        let out = run_maintained(&s).unwrap();
+        assert!(out.exact);
+        assert_eq!(out.answers, vec!["bob"], "ann was retracted after bob joined");
+        assert_eq!(out.steps.len(), 2);
+        assert!(out.steps[0].starts_with("+Emp(bob): fired=2"), "{}", out.steps[0]);
+        assert!(
+            out.steps[1].starts_with("-Emp(ann): overdeleted=3"),
+            "{}",
+            out.steps[1]
+        );
+    }
+
+    #[test]
+    fn maintain_mode_rejects_closed_world() {
+        let s = parse_script(
+            "mode closed\nfact A(x).\n+A(y).\nquery Q(X) :- A(X).\n",
+        )
+        .unwrap();
+        assert!(run_maintained(&s).is_err());
     }
 
     #[test]

@@ -147,14 +147,10 @@ fn chase_runner_matches_legacy_engines() {
             );
             assert!(outcome.report.is_none(), "untraced run carries no report");
         }
-        // The restricted chase needs an atom cap: some rule subsets make it
-        // non-terminating, and its level-budget interpretation scales with
-        // the instance (so `levels` alone does not bound those runs).
-        let r_budget = if case % 2 == 0 {
-            ChaseBudget::atoms(200)
-        } else {
-            ChaseBudget::atoms((d.len() + 3).min(12))
-        };
+        // The restricted chase bounds derivation depth per-atom, so the
+        // same levels-or-atoms budget alternation bounds even the
+        // non-terminating rule subsets.
+        let r_budget = budget;
         let legacy_r = restricted_chase(&d, &sigma, &r_budget);
         let restricted = ChaseRunner::new(&sigma)
             .variant(ChaseVariant::Restricted)

@@ -81,14 +81,11 @@ fn engine_configs() -> Vec<(String, ChaseVariant, usize)> {
 fn every_answer_round_trips_through_an_accepted_certificate() {
     let pool = rule_pool();
     let queries = query_pool();
-    // Some rule subsets diverge, and the restricted chase's level-budget
-    // interpretation scales with the instance (see tests/api_facade.rs), so
-    // the levels cap is paired with an atom cap. Certification is sound
-    // over any budget-truncated prefix, so stopping early loses nothing.
-    let budget = ChaseBudget {
-        max_level: Some(4),
-        max_atoms: Some(2_000),
-    };
+    // Some rule subsets diverge; a levels cap bounds every engine — the
+    // restricted chase included, which tracks per-atom derivation depth.
+    // Certification is sound over any budget-truncated prefix, so stopping
+    // early loses nothing.
+    let budget = ChaseBudget::levels(4);
     let mut checked = 0usize;
     for case in 0u64..160 {
         let mask = (case % 128) as u8;

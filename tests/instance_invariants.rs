@@ -214,6 +214,115 @@ fn instance_invariants_under_random_interleavings() {
     }
 }
 
+/// The dense dictionary/trie view decodes to exactly the model's rows —
+/// sorted, deduplicated — for every predicate. After a retraction the
+/// touched tries are rebuilt from the shrunk arena while the dictionary
+/// keeps stale entries (harmless: absent values still probe to nothing).
+fn check_dense(inst: &Instance, model: &[GroundAtom], ctx: &str) {
+    for (p, k) in preds() {
+        let order: Vec<u16> = (0..k as u16).collect();
+        let reqs: [(Predicate, usize, &[u16]); 1] = [(p, k, order.as_slice())];
+        let (dict, tries) = inst.dense_snapshot(&reqs);
+        let mut expected: Vec<Vec<Value>> = model
+            .iter()
+            .filter(|a| a.predicate == p && a.args.len() == k)
+            .map(|a| a.args.clone())
+            .collect();
+        expected.sort();
+        match &tries[0] {
+            None => assert!(expected.is_empty(), "dense trie missing {ctx}"),
+            Some(t) => {
+                let rows: Vec<Vec<Value>> = (0..t.rows())
+                    .map(|i| (0..k).map(|j| dict.decode(t.level(j)[i])).collect())
+                    .collect();
+                assert_eq!(rows, expected, "dense rows {ctx}");
+            }
+        }
+    }
+}
+
+/// Random insert/retract interleavings: after every operation the whole
+/// invariant battery must hold — index round-trip in both directions,
+/// `dom()` exactness (a retraction that removes a value's last occurrence
+/// must remove it from `dom()`), columnar arena order, sorted-permutation
+/// agreement with a naive argsort, and dense dictionary/trie consistency.
+/// Batches mix present atoms, duplicates, and absent ghosts, and the
+/// reported removal count must equal the distinct present victims.
+#[test]
+fn instance_invariants_under_insert_retract_interleavings() {
+    let mut rng = Rng::seed(0xde1e_7e57);
+    for round in 0..24u32 {
+        let mut inst = Instance::new();
+        let mut model: Vec<GroundAtom> = Vec::new();
+        let n_ops = 8 + rng.below(14);
+        for op in 0..n_ops {
+            let ctx = format!("retract-round {round} op {op}");
+            if model.is_empty() || rng.chance(0.55) {
+                for _ in 0..rng.range(1, 4) {
+                    let a = arb_atom(&mut rng);
+                    inst.insert(a.clone());
+                    model_insert(&mut model, a);
+                }
+            } else {
+                let n = rng.range(1, 3.min(model.len()) + 1);
+                let mut victims: Vec<GroundAtom> = (0..n)
+                    .map(|_| model.remove(rng.range(0, model.len())))
+                    .collect();
+                let distinct = victims.len();
+                if rng.chance(0.4) {
+                    // A ghost never inserted: must not affect the count.
+                    victims.push(GroundAtom::new(
+                        Predicate::new("U"),
+                        vec![Value::named("ghost-victim")],
+                    ));
+                }
+                if rng.chance(0.3) {
+                    // A duplicate victim: counted once.
+                    victims.push(victims[0].clone());
+                }
+                assert_eq!(
+                    inst.retract_atoms(&victims),
+                    distinct,
+                    "removal count {ctx}"
+                );
+            }
+            check_invariants(&inst, &model, &ctx);
+            check_dense(&inst, &model, &ctx);
+        }
+    }
+}
+
+/// Retracting every atom of a predicate and re-inserting fresh ones must
+/// leave no stale index entries: the emptied sorted indexes are dropped,
+/// the rebuilt ones agree with a naive argsort, and `dom()` forgets the
+/// values that left with the atoms.
+#[test]
+fn retract_all_then_reinsert_rebuilds_clean_indexes() {
+    let d = dom_pool();
+    let e = Predicate::new("E");
+    let mut inst = Instance::new();
+    for (x, y) in [(0, 1), (1, 2), (2, 0)] {
+        inst.insert(GroundAtom::new(e, vec![d[x], d[y]]));
+    }
+    // Warm both column orders, then delete everything.
+    inst.sorted_permutation(e, 2, &[0, 1]);
+    inst.sorted_permutation(e, 2, &[1, 0]);
+    let all: Vec<GroundAtom> = inst.iter().cloned().collect();
+    assert_eq!(inst.retract_atoms(&all), 3);
+    assert_eq!(inst.len(), 0);
+    assert!(inst.dom().is_empty(), "dom forgets retracted values");
+    assert_eq!(inst.index_stats().indexes, 0, "emptied indexes are dropped");
+
+    let mut model = Vec::new();
+    for (x, y) in [(3, 4), (4, 5)] {
+        let a = GroundAtom::new(e, vec![d[x], d[y]]);
+        inst.insert(a.clone());
+        model_insert(&mut model, a);
+    }
+    check_invariants(&inst, &model, "post-reinsert");
+    check_dense(&inst, &model, "post-reinsert");
+}
+
 /// Requesting the same index twice without an intervening insert is a
 /// cache hit: neither counter moves. An insert followed by a request is a
 /// merge-extend, never a rebuild.

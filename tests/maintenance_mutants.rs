@@ -1,0 +1,231 @@
+//! Mutation-grade retraction tests: hand-built dependency shapes where
+//! every DRed phase outcome — how many atoms land in the over-delete set,
+//! how many are rescued, how many are physically removed, how many
+//! triggers re-fire — is computed by hand and asserted *exactly*. The
+//! differential suite proves end-state equivalence; this suite proves the
+//! algorithm takes the intended path to it. A maintenance engine that
+//! rescued too eagerly (support counting without over-delete) or too
+//! stingily (over-delete without re-derive) would still pass many
+//! end-state checks on acyclic data — but not these counts.
+
+use gtgd::chase::{chase, parse_tgds, ChaseBudget, ChaseRunner};
+use gtgd::data::{GroundAtom, Instance, Value};
+use gtgd::query::instance_isomorphic;
+
+fn db(atoms: &[(&str, &[&str])]) -> Instance {
+    Instance::from_atoms(atoms.iter().map(|(p, args)| GroundAtom::named(p, args)))
+}
+
+fn atom(p: &str, args: &[&str]) -> GroundAtom {
+    GroundAtom::named(p, args)
+}
+
+/// Diamond with two base roots: `B(a)` and `C(a)` each derive `D(a)`,
+/// which derives `E(a)`. Retracting one root must over-delete the shared
+/// cone below it — `D(a)` because one of its supports died, `E(a)`
+/// transitively — then rescue `D(a)` through the *other* root's alive
+/// firing, and re-derive `E(a)` by re-firing the purged `D -> E` trigger.
+#[test]
+fn diamond_rescues_shared_atom_and_refires_below_it() {
+    let sigma = parse_tgds("B(X) -> D(X). C(X) -> D(X). D(X) -> E(X)").unwrap();
+    let d = db(&[("B", &["a"]), ("C", &["a"])]);
+    let mut m = ChaseRunner::new(&sigma).maintain(&d);
+    assert_eq!(m.instance().len(), 4); // B, C, D, E
+
+    let rep = m.retract([atom("B", &["a"])]);
+    // Over-delete walks B(a) → D(a) → E(a).
+    assert_eq!(rep.atoms_overdeleted, 3);
+    // D(a) is rescued by the alive C-firing; E(a)'s only producer died.
+    assert_eq!(rep.atoms_rederived, 1);
+    // B(a) and E(a) are physically removed...
+    assert_eq!(rep.atoms_removed, 2);
+    // ...and E(a) comes back through exactly one re-fired trigger.
+    assert_eq!(rep.triggers_fired, 1);
+    assert_eq!(rep.atoms_added, 1);
+    assert!(m.instance().contains(&atom("D", &["a"])));
+    assert!(m.instance().contains(&atom("E", &["a"])));
+    assert!(!m.instance().contains(&atom("B", &["a"])));
+
+    // Retracting the second root kills the diamond for good: no rescuer
+    // remains, nothing re-fires.
+    let rep = m.retract([atom("C", &["a"])]);
+    assert_eq!(rep.atoms_overdeleted, 3); // C, D, E
+    assert_eq!(rep.atoms_rederived, 0);
+    assert_eq!(rep.atoms_removed, 3);
+    assert_eq!(rep.triggers_fired, 0);
+    assert_eq!(m.instance().len(), 0);
+}
+
+/// A pure self-supporting cycle: `A(x) -> B(x)`, `B(x) -> A(x)` with only
+/// `A(a)` asserted. After retracting `A(a)`, each derived atom still has
+/// a "support" — the other's firing — so naive support counting keeps the
+/// pair alive forever. DRed must over-delete the whole cycle (both
+/// firings die) and rescue nothing.
+#[test]
+fn self_supporting_cycle_does_not_rescue_itself() {
+    let sigma = parse_tgds("A(X) -> B(X). B(X) -> A(X)").unwrap();
+    let d = db(&[("A", &["a"])]);
+    let mut m = ChaseRunner::new(&sigma).maintain(&d);
+    assert_eq!(m.instance().len(), 2);
+
+    let rep = m.retract([atom("A", &["a"])]);
+    assert_eq!(rep.atoms_overdeleted, 2); // A(a), B(a)
+    assert_eq!(rep.atoms_rederived, 0, "a dead cycle must not rescue itself");
+    assert_eq!(rep.atoms_removed, 2);
+    assert_eq!(rep.triggers_fired, 0);
+    assert_eq!(m.instance().len(), 0);
+}
+
+/// The same cycle with an external anchor: `C(a)` also derives `A(a)`.
+/// Now the over-deleted `A(a)` has an alive support outside the cycle, so
+/// it is rescued — and the re-derive chase must re-fire *both* purged
+/// cycle triggers to bring `B(a)` back (the `B -> A` re-fire then
+/// produces an atom that already exists, adding nothing).
+#[test]
+fn cycle_with_external_anchor_is_fully_rederived() {
+    let sigma = parse_tgds("A(X) -> B(X). B(X) -> A(X). C(X) -> A(X)").unwrap();
+    let d = db(&[("A", &["a"]), ("C", &["a"])]);
+    let mut m = ChaseRunner::new(&sigma).maintain(&d);
+    assert_eq!(m.instance().len(), 3); // A, B, C
+
+    let rep = m.retract([atom("A", &["a"])]);
+    assert_eq!(rep.atoms_overdeleted, 2); // A(a), B(a)
+    assert_eq!(rep.atoms_rederived, 1); // A(a), via the alive C-firing
+    assert_eq!(rep.atoms_removed, 1); // B(a)
+    assert_eq!(rep.triggers_fired, 2); // A -> B and B -> A both re-fire
+    assert_eq!(rep.atoms_added, 1); // only B(a) is new again
+    assert!(m.instance().contains(&atom("A", &["a"])));
+    assert!(m.instance().contains(&atom("B", &["a"])));
+    assert!(!m.is_base(&atom("A", &["a"])), "A(a) is now derived-only");
+}
+
+/// Chained existentials: each `Emp` grows a private null chain
+/// `WorksIn(x, ⊥) → Dept(⊥) → Audited(⊥)`. Retracting one employee must
+/// remove exactly that employee's chain — nulls and all — and leave the
+/// other chain untouched; re-asserting the employee regrows the chain
+/// with *fresh* nulls, isomorphic to the original.
+#[test]
+fn chained_existentials_remove_and_regrow_their_null_cone() {
+    let sigma =
+        parse_tgds("Emp(X) -> WorksIn(X,D). WorksIn(X,D) -> Dept(D). Dept(D) -> Audited(D)")
+            .unwrap();
+    let d = db(&[("Emp", &["ann"]), ("Emp", &["bob"])]);
+    let mut m = ChaseRunner::new(&sigma).maintain(&d);
+    assert_eq!(m.instance().len(), 8); // 2 × (Emp + WorksIn + Dept + Audited)
+    let bob_null = m
+        .instance()
+        .iter()
+        .find(|a| a.predicate == gtgd::data::Predicate::new("WorksIn") && a.args[0] == Value::named("bob"))
+        .map(|a| a.args[1])
+        .expect("bob has a chain");
+
+    let rep = m.retract([atom("Emp", &["ann"])]);
+    assert_eq!(rep.atoms_overdeleted, 4, "exactly ann's chain");
+    assert_eq!(rep.atoms_rederived, 0);
+    assert_eq!(rep.atoms_removed, 4);
+    assert_eq!(rep.triggers_fired, 0);
+    assert_eq!(m.instance().len(), 4);
+    // Bob's chain survives bit-identically (same null, not an isomorph).
+    assert!(m
+        .instance()
+        .contains(&GroundAtom::new(gtgd::data::Predicate::new("Dept"), vec![bob_null])));
+
+    let rep = m.insert([atom("Emp", &["ann"])]);
+    assert_eq!(rep.triggers_fired, 3, "the chain regrows one rule at a time");
+    assert_eq!(rep.atoms_added, 4); // Emp + three fresh-null links
+    let scratch = chase(&d, &sigma, &ChaseBudget::unbounded());
+    assert!(instance_isomorphic(m.instance(), &scratch.instance));
+}
+
+/// A two-atom body whose supports die one at a time: `R(x,y), B(x) -> T(x,y)`.
+/// Retracting the guard `R` kills the firing even though `B` survives;
+/// re-asserting `R` re-fires it. The firing must also die when only the
+/// side atom `B` is retracted.
+#[test]
+fn multi_support_firing_dies_with_either_support() {
+    let sigma = parse_tgds("R(X,Y), B(X) -> T(X,Y)").unwrap();
+    let d = db(&[("R", &["a", "b"]), ("B", &["a"])]);
+    for victim in [atom("R", &["a", "b"]), atom("B", &["a"])] {
+        let mut m = ChaseRunner::new(&sigma).maintain(&d);
+        assert!(m.instance().contains(&atom("T", &["a", "b"])));
+        let rep = m.retract([victim.clone()]);
+        assert_eq!(rep.atoms_overdeleted, 2, "victim {victim:?}");
+        assert_eq!(rep.atoms_rederived, 0, "victim {victim:?}");
+        assert_eq!(rep.atoms_removed, 2, "victim {victim:?}");
+        assert!(!m.instance().contains(&atom("T", &["a", "b"])));
+        // Re-asserting the victim restores the fixpoint by re-firing.
+        let rep = m.insert([victim.clone()]);
+        assert_eq!(rep.triggers_fired, 1, "victim {victim:?}");
+        assert!(m.instance().contains(&atom("T", &["a", "b"])));
+    }
+}
+
+/// Retracting a batch whose members support each other's cones must not
+/// double-count: the over-delete set is a set, and rescue still works for
+/// atoms anchored outside the batch.
+#[test]
+fn batch_retraction_counts_each_atom_once() {
+    let sigma = parse_tgds("B(X) -> D(X). C(X) -> D(X). D(X) -> E(X)").unwrap();
+    let d = db(&[("B", &["a"]), ("C", &["a"])]);
+    let mut m = ChaseRunner::new(&sigma).maintain(&d);
+    // Retract both roots at once: the shared D(a)/E(a) cone appears in
+    // both roots' walks but must be counted once.
+    let rep = m.retract([atom("B", &["a"]), atom("C", &["a"])]);
+    assert_eq!(rep.atoms_overdeleted, 4); // B, C, D, E — each once
+    assert_eq!(rep.atoms_rederived, 0);
+    assert_eq!(rep.atoms_removed, 4);
+    assert_eq!(m.instance().len(), 0);
+}
+
+/// An atom that is both asserted and derived: base status alone must
+/// rescue it, and retracting it later (when it is no longer derived)
+/// must remove it.
+#[test]
+fn base_and_derived_atom_needs_both_retractions() {
+    let sigma = parse_tgds("A(X) -> B(X)").unwrap();
+    let d = db(&[("A", &["a"]), ("B", &["a"])]);
+    let mut m = ChaseRunner::new(&sigma).maintain(&d);
+    assert_eq!(m.instance().len(), 2);
+
+    // Retract the support: B(a) is over-deleted but rescued as a base fact.
+    let rep = m.retract([atom("A", &["a"])]);
+    assert_eq!(
+        (rep.atoms_overdeleted, rep.atoms_rederived, rep.atoms_removed),
+        (2, 1, 1)
+    );
+    assert!(m.instance().contains(&atom("B", &["a"])));
+
+    // Now B(a) is base-only; retracting it empties the instance.
+    let rep = m.retract([atom("B", &["a"])]);
+    assert_eq!(
+        (rep.atoms_overdeleted, rep.atoms_rederived, rep.atoms_removed),
+        (1, 0, 1)
+    );
+    assert_eq!(m.instance().len(), 0);
+}
+
+/// Rescue must be transitive: a deep chain anchored both under the victim
+/// and under a survivor keeps its entire tail, with no spurious re-fires
+/// of still-alive firings.
+#[test]
+fn deep_chain_with_mid_rescue_keeps_its_tail() {
+    // Two roots feed F; below F hangs a 3-link chain.
+    let sigma =
+        parse_tgds("B(X) -> F(X). C(X) -> F(X). F(X) -> G(X). G(X) -> H(X). H(X) -> K(X)")
+            .unwrap();
+    let d = db(&[("B", &["a"]), ("C", &["a"])]);
+    let mut m = ChaseRunner::new(&sigma).maintain(&d);
+    assert_eq!(m.instance().len(), 6); // B, C, F, G, H, K
+
+    let rep = m.retract([atom("B", &["a"])]);
+    // The walk reaches B, F, G, H, K; F is rescued via C's firing; the
+    // tail G, H, K is removed and then re-derived link by link.
+    assert_eq!(rep.atoms_overdeleted, 5);
+    assert_eq!(rep.atoms_rederived, 1);
+    assert_eq!(rep.atoms_removed, 4); // B, G, H, K
+    assert_eq!(rep.triggers_fired, 3); // F->G, G->H, H->K
+    assert_eq!(rep.atoms_added, 3);
+    assert_eq!(m.instance().len(), 5);
+    let scratch = chase(&db(&[("C", &["a"])]), &sigma, &ChaseBudget::unbounded());
+    assert!(instance_isomorphic(m.instance(), &scratch.instance));
+}
