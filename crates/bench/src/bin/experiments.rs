@@ -8,6 +8,7 @@
 //! experiments --jobs 4           # run independent series concurrently
 //! experiments --kernel-json BENCH_kernel.json   # kernel before/after only
 //! experiments --wcoj-json BENCH_wcoj.json       # WCOJ vs backtracker only
+//! experiments --serve-json BENCH_serve.json     # snapshot + serve amortization only
 //! experiments --trace-json TRACE.json           # traced E9/E10/E15 probe reports
 //! experiments --obs-smoke                       # disabled-probe overhead check
 //! experiments --certify-sample                  # emit + independently check certificates
@@ -21,8 +22,8 @@
 //! regeneration fast on developer machines.
 
 use gtgd_bench::{
-    kernel_benchmark, kernel_json, run_experiment, tables_to_json, trace_all, trace_json,
-    wcoj_benchmark, wcoj_json, ExperimentTable,
+    kernel_benchmark, kernel_json, run_experiment, serve_benchmark, serve_json, tables_to_json,
+    trace_all, trace_json, wcoj_benchmark, wcoj_json, ExperimentTable,
 };
 use gtgd_data::Pool;
 use std::io::Write;
@@ -33,6 +34,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut kernel_path: Option<String> = None;
     let mut wcoj_path: Option<String> = None;
+    let mut serve_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut obs_smoke = false;
     let mut certify_sample = false;
@@ -52,6 +54,10 @@ fn main() {
             }
             "--wcoj-json" => {
                 wcoj_path = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--serve-json" => {
+                serve_path = args.get(i + 1).cloned();
                 i += 2;
             }
             "--trace-json" => {
@@ -168,7 +174,10 @@ fn main() {
                 let row: Vec<String> = m
                     .scaling
                     .iter()
-                    .map(|&(w, ms)| format!("w={w} {ms:.3} ms"))
+                    .map(|&(w, ms)| match ms {
+                        Some(ms) => format!("w={w} {ms:.3} ms"),
+                        None => format!("w={w} skipped (single-core)"),
+                    })
                     .collect();
                 println!("{:<38} morsel scaling: {}", "", row.join("  "));
             }
@@ -176,6 +185,33 @@ fn main() {
         let mut f = std::fs::File::create(&path).expect("create wcoj json output");
         f.write_all(wcoj_json(&metrics).as_bytes())
             .expect("write wcoj json");
+        eprintln!("wrote {path}");
+        return;
+    }
+    if let Some(path) = serve_path {
+        // Serve mode: measure snapshot load vs re-chase and warm daemon
+        // queries vs cold process runs; skips the suite.
+        let metrics = serve_benchmark();
+        for m in &metrics {
+            println!(
+                "{:<10} atoms {:>6}  cold {:>9.3} ms ({})  warm {:>7.3} ms  \
+                 cold/warm {:>7.0}x  re-chase {:>9.3} ms  load {:>7.3} ms  \
+                 load-speedup {:>5.0}x  agree {}",
+                m.workload,
+                m.atoms,
+                m.cold_ms,
+                m.cold_source,
+                m.warm_query_ms,
+                m.cold_over_warm(),
+                m.rechase_ms,
+                m.load_ms,
+                m.load_speedup(),
+                m.answers_agree
+            );
+        }
+        let mut f = std::fs::File::create(&path).expect("create serve json output");
+        f.write_all(serve_json(&metrics).as_bytes())
+            .expect("write serve json");
         eprintln!("wrote {path}");
         return;
     }

@@ -1030,25 +1030,26 @@ pub fn e16_incremental_maintenance() -> ExperimentTable {
     let tc = tc_ontology();
     let budget = ChaseBudget::unbounded();
     // (row key, ontology, base, the fact to insert/retract)
-    let cases: Vec<(String, &[gtgd_chase::Tgd], Instance, gtgd_data::GroundAtom)> = [100usize, 200, 400]
-        .iter()
-        .map(|&n| {
-            (
-                format!("org/{n}"),
-                org_sigma.as_slice(),
-                org_db(n),
-                gtgd_data::GroundAtom::named("Emp", &["e_new"]),
-            )
-        })
-        .chain([60usize, 120].iter().map(|&n| {
-            (
-                format!("tc/{n}"),
-                tc.as_slice(),
-                path_db(n),
-                gtgd_data::GroundAtom::named("E", &["n_new", "n0"]),
-            )
-        }))
-        .collect();
+    let cases: Vec<(String, &[gtgd_chase::Tgd], Instance, gtgd_data::GroundAtom)> =
+        [100usize, 200, 400]
+            .iter()
+            .map(|&n| {
+                (
+                    format!("org/{n}"),
+                    org_sigma.as_slice(),
+                    org_db(n),
+                    gtgd_data::GroundAtom::named("Emp", &["e_new"]),
+                )
+            })
+            .chain([60usize, 120].iter().map(|&n| {
+                (
+                    format!("tc/{n}"),
+                    tc.as_slice(),
+                    path_db(n),
+                    gtgd_data::GroundAtom::named("E", &["n_new", "n0"]),
+                )
+            }))
+            .collect();
     let mut rows = Vec::new();
     for (key, sigma, db, fact) in cases {
         let mut grown = db.clone();
@@ -1117,6 +1118,60 @@ pub fn e16_incremental_maintenance() -> ExperimentTable {
     }
 }
 
+/// E17 — snapshot + serve amortization (see `crate::serve` for the full
+/// measurement and `BENCH_serve.json` for the published numbers): warm
+/// daemon query round-trips vs a full cold `gtgd` process run, and
+/// snapshot load vs re-chase, on the org and transitive-closure
+/// workloads.
+pub fn e17_serve_amortization() -> ExperimentTable {
+    let rows = crate::serve::serve_benchmark()
+        .iter()
+        .map(|m| {
+            vec![
+                m.workload.clone(),
+                m.atoms.to_string(),
+                m.answers.to_string(),
+                fmt_ms(m.cold_ms),
+                fmt_ms(m.warm_query_ms),
+                format!("{:.0}", m.cold_over_warm()),
+                fmt_ms(m.rechase_ms),
+                fmt_ms(m.load_ms),
+                format!("{:.0}", m.load_speedup()),
+                m.answers_agree.to_string(),
+            ]
+        })
+        .collect();
+    ExperimentTable {
+        id: "E17".into(),
+        title: "Snapshot + serve amortization".into(),
+        claim: "DESIGN §14: persisting the fixpoint moves chase, index \
+                build, and plan compilation off the query hot path"
+            .into(),
+        columns: vec![
+            "workload/n".into(),
+            "atoms".into(),
+            "answers".into(),
+            "cold run ms".into(),
+            "warm query ms".into(),
+            "cold/warm".into(),
+            "re-chase ms".into(),
+            "load ms".into(),
+            "load speedup".into(),
+            "agree".into(),
+        ],
+        rows,
+        notes: "cold spawns the real gtgd binary when one is built next \
+                to this executable (the published BENCH_serve.json always \
+                does) and otherwise re-chases in-process; warm is one \
+                line-delimited-JSON round-trip against the daemon with a \
+                hot plan cache. load re-reads the snapshot to query-ready: \
+                sequential decode + validated index install — no joins, \
+                no re-sorting; the fired-set rebuild (hashing) is \
+                deferred to the first write (thaw_ms in the JSON)."
+            .into(),
+    }
+}
+
 /// All experiments in order.
 pub fn all_experiments() -> Vec<fn() -> ExperimentTable> {
     vec![
@@ -1136,10 +1191,11 @@ pub fn all_experiments() -> Vec<fn() -> ExperimentTable> {
         e14_planner,
         e15_parallel_shootout,
         e16_incremental_maintenance,
+        e17_serve_amortization,
     ]
 }
 
-/// Runs one experiment by id (`"E1"`…`"E16"`).
+/// Runs one experiment by id (`"E1"`…`"E17"`).
 pub fn run_experiment(id: &str) -> Option<ExperimentTable> {
     let table = match id {
         "E1" => e1_bounded_tw_eval(),
@@ -1158,6 +1214,7 @@ pub fn run_experiment(id: &str) -> Option<ExperimentTable> {
         "E14" => e14_planner(),
         "E15" => e15_parallel_shootout(),
         "E16" => e16_incremental_maintenance(),
+        "E17" => e17_serve_amortization(),
         _ => return None,
     };
     Some(table)

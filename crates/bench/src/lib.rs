@@ -6,6 +6,7 @@ pub mod experiments;
 pub mod harness;
 pub mod json;
 pub mod kernel;
+pub mod serve;
 pub mod trace;
 pub mod wcoj;
 pub mod workloads;
@@ -13,5 +14,6 @@ pub mod workloads;
 pub use experiments::{all_experiments, run_experiment, ExperimentTable};
 pub use json::tables_to_json;
 pub use kernel::{kernel_benchmark, kernel_json, KernelMetric};
+pub use serve::{serve_benchmark, serve_json, ServeMetric};
 pub use trace::{trace_all, trace_json, TracedExperiment};
 pub use wcoj::{wcoj_benchmark, wcoj_json, WcojMetric};

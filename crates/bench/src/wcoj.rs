@@ -53,9 +53,24 @@ pub struct WcojMetric {
     /// metric names (`index.cached`, `index.full_builds`,
     /// `index.merge_extends`).
     pub index: Vec<(&'static str, u64)>,
-    /// Morsel-parallel dense enumeration: `(workers, ms)` per width.
-    /// Empty for workloads measured through an aggregate (E4).
-    pub scaling: Vec<(usize, f64)>,
+    /// Morsel-parallel dense enumeration per width: `(workers, Some(ms))`
+    /// when measured, `(workers, None)` when skipped because the host has
+    /// one core (widths > 1 would time-slice a single CPU and report
+    /// scheduling overhead as a slowdown). Empty for workloads measured
+    /// through an aggregate (E4).
+    pub scaling: Vec<(usize, Option<f64>)>,
+}
+
+/// Which scaling widths actually measure on a host with `cores` CPUs:
+/// `(width, measured)`. Width 1 always runs; wider morsel teams are
+/// meaningless on a single core — the numbers would read as parallel
+/// slowdowns while measuring nothing but the scheduler — so they are
+/// skipped, and [`wcoj_json`] records the reason instead of a bogus time.
+pub fn scaling_plan(cores: usize) -> Vec<(usize, bool)> {
+    SCALING_WIDTHS
+        .iter()
+        .map(|&w| (w, w == 1 || cores > 1))
+        .collect()
 }
 
 impl WcojMetric {
@@ -99,13 +114,16 @@ fn measure(workload: String, plan: &CompiledQuery, db: &Instance) -> WcojMetric 
     let n_bt = count(Strategy::Backtrack, Repr::Auto);
     let n_wc = count(Strategy::Wcoj, Repr::Generic);
     let n_dn = count(Strategy::Wcoj, Repr::Dense);
-    let scaling = SCALING_WIDTHS
-        .iter()
-        .map(|&w| {
-            let ms = bench_ms(|| {
-                let t = plan.search(db).strategy(Strategy::Wcoj).par_table(w);
-                assert_eq!(t.len(), n_dn, "parallel row count at width {w}");
-                t.len()
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let scaling = scaling_plan(cores)
+        .into_iter()
+        .map(|(w, run)| {
+            let ms = run.then(|| {
+                bench_ms(|| {
+                    let t = plan.search(db).strategy(Strategy::Wcoj).par_table(w);
+                    assert_eq!(t.len(), n_dn, "parallel row count at width {w}");
+                    t.len()
+                })
             });
             (w, ms)
         })
@@ -231,10 +249,11 @@ pub fn wcoj_json(metrics: &[WcojMetric]) -> String {
              executor on the same compiled plan ('wcoj' = generic Value \
              keys, 'dense' = dictionary-coded u32 keys, the default); \
              'planner' is what Strategy::Auto picks. 'scaling' rows time \
-             the morsel-driven parallel dense path per worker width — \
-             interpret them against 'available_parallelism': on a 1-core \
-             container every width time-slices one CPU and widths > 1 \
-             only pay scheduling overhead."
+             the morsel-driven parallel dense path per worker width; on a \
+             1-core host (see 'available_parallelism') widths > 1 would \
+             time-slice one CPU and report scheduling overhead as a \
+             slowdown, so those rows carry 'skipped': 'single-core' \
+             instead of a time."
         )
     ));
     out.push_str(&format!(
@@ -253,7 +272,10 @@ pub fn wcoj_json(metrics: &[WcojMetric]) -> String {
             let scaling: Vec<String> = m
                 .scaling
                 .iter()
-                .map(|&(w, ms)| format!("{{\"workers\": {w}, \"ms\": {ms:.3}}}"))
+                .map(|&(w, ms)| match ms {
+                    Some(ms) => format!("{{\"workers\": {w}, \"ms\": {ms:.3}}}"),
+                    None => format!("{{\"workers\": {w}, \"skipped\": \"single-core\"}}"),
+                })
                 .collect();
             format!(
                 "    {{\n      \"workload\": \"{}\",\n      \"backtrack_ms\": {:.3},\n      \
@@ -291,6 +313,32 @@ mod tests {
         assert!(m.answers_agree, "executors disagree: {m:?}");
         assert_eq!(m.planner, "wcoj", "the triangle is cyclic");
         assert!(m.answers > 0, "a 96-vertex p=0.15 graph has triangles");
+        // The measured scaling rows follow the host's plan exactly: width
+        // 1 always has a time; wider rows have one iff the host does.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let plan = scaling_plan(cores);
+        assert_eq!(m.scaling.len(), plan.len());
+        for (&(w, ms), &(pw, run)) in m.scaling.iter().zip(&plan) {
+            assert_eq!(w, pw);
+            assert_eq!(ms.is_some(), run, "width {w} measured-ness");
+        }
+    }
+
+    #[test]
+    fn single_core_skips_wide_scaling_rows() {
+        // On one core only width 1 measures; every wider width is skipped
+        // rather than reported as a bogus slowdown.
+        assert_eq!(
+            scaling_plan(1),
+            vec![(1, true), (2, false), (4, false), (8, false)]
+        );
+        // With real parallelism every width measures.
+        for cores in [2, 4, 8, 64] {
+            assert!(
+                scaling_plan(cores).iter().all(|&(_, run)| run),
+                "{cores} cores"
+            );
+        }
     }
 
     #[test]
@@ -326,7 +374,7 @@ mod tests {
                 answers: 120,
                 answers_agree: true,
                 index: vec![("index.cached", 2), ("index.full_builds", 2)],
-                scaling: vec![(1, 0.25), (2, 0.26), (4, 0.27), (8, 0.3)],
+                scaling: vec![(1, Some(0.25)), (2, Some(0.26)), (4, Some(0.27)), (8, None)],
             },
             WcojMetric {
                 workload: "triangle".into(),
@@ -348,6 +396,8 @@ mod tests {
         assert!(json.contains("\"dense_ms\": 0.250"));
         assert!(json.contains("\"dense_speedup\": 4.00"));
         assert!(json.contains("{\"workers\": 4, \"ms\": 0.270}"));
+        assert!(json.contains("{\"workers\": 8, \"skipped\": \"single-core\"}"));
+        assert!(!json.contains("\"workers\": 8, \"ms\""));
         assert!(json.contains("\"scaling\": []"));
         assert!(json.contains("\"available_parallelism\": "));
         assert!(json.contains("\"answers_agree\": true"));

@@ -43,7 +43,7 @@ pub use cert::{certificates_to_json, Certificate, CertificateStore};
 pub use dl::{abox_consistent, parse_dl_ontology, parse_tbox, tbox_to_tgds, Axiom, Concept, Role};
 pub use engine::{chase, ChaseBudget, ChaseResult};
 pub use linearize::{linearize, Linearization};
-pub use maintain::{MaintainedInstance, MaintenanceReport};
+pub use maintain::{FiringExport, MaintainExport, MaintainedInstance, MaintenanceReport};
 pub use par_engine::{par_chase, par_ground_saturation};
 pub use restricted::{restricted_chase, RestrictedChaseResult};
 pub use rewrite::linear_rewrite;

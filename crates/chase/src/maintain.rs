@@ -7,7 +7,7 @@
 //! * [`insert`](MaintainedInstance::insert) runs a *delta chase*: the FIFO
 //!   trigger frontier (the restricted engine's discovery machinery) is
 //!   seeded from the inserted atoms only — never the whole instance — and
-//!   the warm [`TriggerPlan`](crate::plan::TriggerPlan) caches are reused,
+//!   the warm `TriggerPlan` caches are reused,
 //!   so a single-fact insert costs a handful of pinned index probes
 //!   instead of a full re-chase. A *persistent* fired set (keyed like the
 //!   oblivious engine's, by `(TGD, trigger key)`) carries the oblivious
@@ -64,6 +64,41 @@ pub struct MaintenanceReport {
     pub atoms_rederived: usize,
     /// Retract only: atoms physically removed from the instance.
     pub atoms_removed: usize,
+}
+
+/// One *alive* firing in portable form, as persisted by snapshots: the
+/// `(TGD index, trigger key)` pair plus the produced head atoms. The
+/// firing's body atoms are **not** stored — the key is the full body
+/// valuation in ascending-variable order, so the body is reconstructed at
+/// load via `TriggerPlan::row_from_key` +
+/// `ground_body`. Dead (tombstoned) firings are compacted away at export:
+/// they exist only to keep in-memory ids stable, which a rebuild
+/// renumbers anyway.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiringExport {
+    /// TGD index in the rule set.
+    pub tgd: usize,
+    /// The oblivious trigger key (body-variable images, ascending
+    /// variable order).
+    pub key: Vec<Value>,
+    /// The head atoms the firing produced.
+    pub products: Vec<GroundAtom>,
+}
+
+/// Portable snapshot of a [`MaintainedInstance`]'s chase state — everything
+/// *except* the instance itself (persisted separately as atoms + index
+/// sections) and the TGDs (the caller owns the rule set and must supply the
+/// same rules, in the same order, at import).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaintainExport {
+    /// Base (user-asserted) facts, in instance insertion order.
+    pub base: Vec<GroundAtom>,
+    /// Alive firings in firing-id order.
+    pub firings: Vec<FiringExport>,
+    /// Whether the maintained instance is the true fixpoint.
+    pub complete: bool,
+    /// The atom cap of the maintenance budget, if any.
+    pub max_atoms: Option<usize>,
 }
 
 /// One recorded trigger firing: the dependency-graph edge set DRed walks.
@@ -186,10 +221,8 @@ impl MaintainedInstance {
         let mut report = MaintenanceReport::default();
         // Phase 0: drop base status. Only atoms that actually were base
         // facts seed the over-delete.
-        let mut worklist: VecDeque<GroundAtom> = atoms
-            .into_iter()
-            .filter(|a| self.base.remove(a))
-            .collect();
+        let mut worklist: VecDeque<GroundAtom> =
+            atoms.into_iter().filter(|a| self.base.remove(a)).collect();
         if worklist.is_empty() {
             return report;
         }
@@ -252,6 +285,126 @@ impl MaintainedInstance {
         // too eagerly.
         self.delta_chase(&rescued, &mut report);
         report
+    }
+
+    /// Exports the chase state in portable form: base facts in insertion
+    /// order, alive firings only (tombstones compacted), the completeness
+    /// flag, and the budget's atom cap. Pair with the instance's own
+    /// export to persist the whole maintained fixpoint.
+    pub fn export_state(&self) -> MaintainExport {
+        MaintainExport {
+            base: self
+                .instance
+                .iter()
+                .filter(|a| self.base.contains(*a))
+                .cloned()
+                .collect(),
+            firings: self
+                .firings
+                .iter()
+                .filter(|f| f.alive)
+                .map(|f| FiringExport {
+                    tgd: f.tgd,
+                    key: f.key.clone(),
+                    products: f.products.clone(),
+                })
+                .collect(),
+            complete: self.complete,
+            max_atoms: self.budget.max_atoms,
+        }
+    }
+
+    /// Reassembles a maintained instance from an exported chase state and
+    /// an already-rebuilt `instance` (atoms restored in insertion order,
+    /// index sections optionally installed). `tgds` must be the rule set
+    /// the export was created under, in the same order — firing records
+    /// name rules by index.
+    ///
+    /// The dependency index (`supports`/`uses`) is rebuilt from the
+    /// exported firings: each firing's body row is reconstructed from its
+    /// trigger key (`TriggerPlan::row_from_key`), and its
+    /// body and products are checked against the instance — any
+    /// inconsistency (dangling atom, out-of-range rule index, key arity
+    /// mismatch) fails the whole import with a description rather than
+    /// producing a silently wrong fixpoint. **No chase runs**: import cost
+    /// is hashing the firing records, which is what makes snapshot load
+    /// re-chase-free.
+    pub fn from_parts(
+        tgds: &[Tgd],
+        export: &MaintainExport,
+        instance: Instance,
+    ) -> Result<MaintainedInstance, String> {
+        let plans = TriggerPlan::compile_all(tgds);
+        let mut m = MaintainedInstance {
+            plans,
+            budget: ChaseBudget {
+                max_level: None,
+                max_atoms: export.max_atoms,
+            },
+            instance,
+            base: HashSet::new(),
+            fired: HashSet::new(),
+            firings: Vec::with_capacity(export.firings.len()),
+            supports: HashMap::new(),
+            uses: HashMap::new(),
+            complete: export.complete,
+        };
+        for a in &export.base {
+            if !m.instance.contains(a) {
+                return Err(format!("base fact {a} missing from the instance"));
+            }
+            m.base.insert(a.clone());
+        }
+        for f in &export.firings {
+            let Some(plan) = m.plans.get(f.tgd) else {
+                return Err(format!(
+                    "firing names rule {} but only {} rules were supplied",
+                    f.tgd,
+                    m.plans.len()
+                ));
+            };
+            if f.key.len() != plan.key_slots.len() {
+                return Err(format!(
+                    "firing of rule {} has a {}-ary key, expected {}",
+                    f.tgd,
+                    f.key.len(),
+                    plan.key_slots.len()
+                ));
+            }
+            if !m.fired.insert((f.tgd, f.key.clone())) {
+                return Err(format!("duplicate firing of rule {}", f.tgd));
+            }
+            let row = plan.row_from_key(&f.key);
+            let fid = m.firings.len();
+            for b in plan.ground_body(&row) {
+                if !m.instance.contains(&b) {
+                    return Err(format!("firing body atom {b} missing from the instance"));
+                }
+                m.uses.entry(b).or_default().push(fid);
+            }
+            for p in &f.products {
+                if !m.instance.contains(p) {
+                    return Err(format!("firing product {p} missing from the instance"));
+                }
+                m.supports.entry(p.clone()).or_default().push(fid);
+            }
+            m.firings.push(Firing {
+                tgd: f.tgd,
+                key: f.key.clone(),
+                products: f.products.clone(),
+                alive: true,
+            });
+        }
+        // Every non-base atom must have a support: otherwise a later
+        // retraction would "rescue" atoms that nothing derives.
+        for a in m.instance.iter() {
+            if !m.base.contains(a) && !m.supports.contains_key(a) {
+                return Err(format!(
+                    "atom {a} is neither base nor derived by any firing"
+                ));
+            }
+        }
+        Ok(m)
     }
 
     /// Whether any firing in `fids` is alive.
@@ -421,7 +574,10 @@ mod tests {
         let d = db(&[("A", &["a"])]);
         let mut m = MaintainedInstance::new(&d, &tgds, ChaseBudget::unbounded());
         // B(a) is derived, not base; Z(q) is absent entirely.
-        let rep = m.retract([GroundAtom::named("B", &["a"]), GroundAtom::named("Z", &["q"])]);
+        let rep = m.retract([
+            GroundAtom::named("B", &["a"]),
+            GroundAtom::named("Z", &["q"]),
+        ]);
         assert_eq!(rep, MaintenanceReport::default());
         assert_eq!(m.instance().len(), 2);
     }
@@ -450,6 +606,81 @@ mod tests {
         assert_eq!(rep.atoms_removed, 1);
         assert!(m.instance().contains(&GroundAtom::named("B", &["a"])));
         assert!(!m.instance().contains(&GroundAtom::named("A", &["a"])));
+    }
+
+    #[test]
+    fn export_from_parts_round_trips_and_keeps_maintaining() {
+        let tgds =
+            parse_tgds("Emp(X) -> WorksIn(X,D). WorksIn(X,D) -> Dept(D). Dept(D) -> Audited(D)")
+                .unwrap();
+        let d = db(&[("Emp", &["ann"]), ("Emp", &["bob"])]);
+        let mut m = MaintainedInstance::new(&d, &tgds, ChaseBudget::unbounded());
+        let export = m.export_state();
+        assert!(export.complete);
+        assert_eq!(export.base.len(), 2);
+        assert_eq!(export.firings.len(), 6); // 3 rules × 2 employees
+
+        // Rebuild the instance the way a snapshot load does: re-insert the
+        // atoms in insertion order.
+        let rebuilt = Instance::from_atoms(m.instance().iter().cloned());
+        let mut r = MaintainedInstance::from_parts(&tgds, &export, rebuilt).unwrap();
+        assert!(r.complete());
+        assert_eq!(r.instance(), m.instance());
+
+        // The restored fixpoint keeps maintaining: the same mutations on
+        // both sides stay isomorphic (null labels differ — the delta
+        // chases mint their own).
+        for mi in [&mut m, &mut r] {
+            mi.retract([GroundAtom::named("Emp", &["ann"])]);
+            mi.insert([GroundAtom::named("Emp", &["carol"])]);
+        }
+        assert!(instance_isomorphic(m.instance(), r.instance()));
+        // And neither re-fires persisted triggers: inserting an existing
+        // base fact is still a no-op after the round trip.
+        assert_eq!(
+            r.insert([GroundAtom::named("Emp", &["bob"])]),
+            MaintenanceReport::default()
+        );
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_exports() {
+        let tgds = parse_tgds("A(X) -> B(X)").unwrap();
+        let m = MaintainedInstance::new(&db(&[("A", &["a"])]), &tgds, ChaseBudget::unbounded());
+        let good = m.export_state();
+        let rebuilt = || Instance::from_atoms(m.instance().iter().cloned());
+
+        let mut missing_base = good.clone();
+        missing_base.base.push(GroundAtom::named("A", &["ghost"]));
+        assert!(
+            MaintainedInstance::from_parts(&tgds, &missing_base, rebuilt())
+                .unwrap_err()
+                .contains("base fact")
+        );
+
+        let mut bad_rule = good.clone();
+        bad_rule.firings[0].tgd = 7;
+        assert!(MaintainedInstance::from_parts(&tgds, &bad_rule, rebuilt())
+            .unwrap_err()
+            .contains("rules were supplied"));
+
+        let mut bad_key = good.clone();
+        bad_key.firings[0].key.push(Value::named("extra"));
+        assert!(MaintainedInstance::from_parts(&tgds, &bad_key, rebuilt())
+            .unwrap_err()
+            .contains("key"));
+
+        let mut orphan = good.clone();
+        orphan.firings.clear();
+        assert!(MaintainedInstance::from_parts(&tgds, &orphan, rebuilt())
+            .unwrap_err()
+            .contains("neither base nor derived"));
+
+        // Dropping the derived atom's product from the firing must also
+        // fail (the product list no longer covers the instance).
+        let mut no_product = good.clone();
+        no_product.firings[0].products.clear();
+        assert!(MaintainedInstance::from_parts(&tgds, &no_product, rebuilt()).is_err());
     }
 
     #[test]

@@ -181,6 +181,21 @@ impl TriggerPlan {
         self.key_slots.iter().map(|&s| row[s]).collect()
     }
 
+    /// Inverts [`TriggerPlan::trigger_key`]: reconstructs the full body
+    /// row from a trigger key. `key_slots` maps ascending-variable order
+    /// to body slots and covers every slot exactly once (each body
+    /// variable has one slot), so the key *is* the row, permuted — this is
+    /// what lets snapshot persistence store only `(tgd, key)` per firing
+    /// and still rebuild the firing's body atoms on load.
+    pub fn row_from_key(&self, key: &[Value]) -> Vec<Value> {
+        debug_assert_eq!(key.len(), self.key_slots.len());
+        let mut row = vec![Value::Null(0); self.key_slots.len()];
+        for (&s, &v) in self.key_slots.iter().zip(key) {
+            row[s] = v;
+        }
+        row
+    }
+
     /// Fires the trigger witnessed by `row`: instantiates the head with
     /// fresh nulls for the existential variables (allocated in ascending
     /// variable order, like the legacy engine) and appends the atoms to
@@ -295,6 +310,17 @@ mod tests {
             .map(|&u| row_y_x[plan.body.slot_of(u).unwrap()])
             .collect();
         assert_eq!(key, by_var);
+    }
+
+    #[test]
+    fn row_from_key_inverts_trigger_key() {
+        // Out-of-order body variables: slot order (first occurrence) is
+        // Y, X while key order (ascending var) is X, Y.
+        let tgds = parse_tgds("R(Y,X), S(X,Z) -> T(X)").unwrap();
+        let plan = TriggerPlan::new(&tgds[0], 0);
+        let row = vec![v("a"), v("b"), v("c")];
+        let key = plan.trigger_key(&row);
+        assert_eq!(plan.row_from_key(&key), row);
     }
 
     #[test]

@@ -132,6 +132,21 @@ impl IndexStats {
     }
 }
 
+/// One cached sorted index in portable form, as exported for (and
+/// re-installed from) a persistent snapshot: the cache key plus the sorted
+/// row-id permutation. Produced by [`crate::Instance::export_sorted_indexes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexExport {
+    /// The indexed predicate.
+    pub predicate: Predicate,
+    /// The indexed arity.
+    pub arity: u16,
+    /// The column order the permutation is sorted by.
+    pub order: Vec<u16>,
+    /// Row ids sorted lexicographically by `order`, ties by id.
+    pub perm: Vec<u32>,
+}
+
 /// Cache key: `(predicate, arity, column order)`.
 type IndexKey = (Predicate, u16, Vec<u16>);
 
@@ -194,6 +209,90 @@ impl SortedIndexCache {
             });
             true
         });
+    }
+
+    /// Exports every cached index in portable form, deterministically
+    /// ordered by `(predicate name, arity, column order)` so snapshot bytes
+    /// are stable across runs (the cache map itself has hash order).
+    pub(crate) fn export_entries(&self) -> Vec<IndexExport> {
+        let map = self.map.read().expect("cache lock");
+        let mut out: Vec<IndexExport> = map
+            .iter()
+            .map(|(&(p, arity, ref order), sp)| IndexExport {
+                predicate: p,
+                arity,
+                order: order.clone(),
+                perm: sp.perm().to_vec(),
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            (a.predicate.name(), a.arity, &a.order).cmp(&(b.predicate.name(), b.arity, &b.order))
+        });
+        out
+    }
+
+    /// Re-installs exported indexes, validating each against the live
+    /// arenas. An entry is installed only if it covers exactly the arena's
+    /// rows, is a permutation of them, and is actually sorted under *this
+    /// process's* value order — a snapshot written by a process with a
+    /// different symbol-interning order can carry permutations that are no
+    /// longer sorted here, and those are silently skipped (the cache just
+    /// rebuilds them lazily on first demand, which is the normal cold
+    /// path). Returns how many entries were installed.
+    ///
+    /// Installed entries count as `full_builds`: after a round trip the
+    /// cache behaves — observably, via [`IndexStats`] — exactly like the
+    /// cache that was saved, whose entries were each built once.
+    pub(crate) fn install_entries(
+        &self,
+        entries: &[IndexExport],
+        columns: &HashMap<(Predicate, u16), PredColumns>,
+    ) -> usize {
+        let mut installed = 0usize;
+        let mut map = self.map.write().expect("cache lock");
+        for e in entries {
+            let Some(cols) = columns.get(&(e.predicate, e.arity)) else {
+                continue;
+            };
+            let rows = cols.rows();
+            if e.perm.len() != rows || rows == 0 {
+                continue; // stale or empty (empty perms are never cached)
+            }
+            if e.order.iter().any(|&j| j as usize >= cols.cols.len()) {
+                continue;
+            }
+            let mut seen = vec![false; rows];
+            if !e.perm.iter().all(|&r| {
+                let ok = (r as usize) < rows && !seen[r as usize];
+                if ok {
+                    seen[r as usize] = true;
+                }
+                ok
+            }) {
+                continue; // not a permutation of the arena's rows
+            }
+            let key_of = |r: u32| -> (Vec<Value>, u32) {
+                let key = e
+                    .order
+                    .iter()
+                    .map(|&j| cols.col(j as usize)[r as usize])
+                    .collect();
+                (key, r)
+            };
+            if !e.perm.windows(2).all(|w| key_of(w[0]) <= key_of(w[1])) {
+                continue; // sorted under the writer's order, not ours
+            }
+            map.insert(
+                (e.predicate, e.arity, e.order.clone()),
+                Arc::new(SortedPermutation {
+                    order: e.order.clone(),
+                    perm: e.perm.clone(),
+                }),
+            );
+            self.full_builds.fetch_add(1, AtomicOrdering::Relaxed);
+            installed += 1;
+        }
+        installed
     }
 
     /// Current counters.
@@ -492,6 +591,40 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.full_builds, 1);
         assert_eq!(s.merge_extends, 1);
+    }
+
+    #[test]
+    fn export_install_round_trips_and_rejects_unsorted() {
+        let pc = columns(&[&["d"], &["b"], &["c"]]);
+        let p = Predicate::new("U");
+        let cache = SortedIndexCache::default();
+        cache.get_or_build(p, 1, &[0], Some(&pc));
+        let exported = cache.export_entries();
+        assert_eq!(exported.len(), 1);
+        let arenas: HashMap<(Predicate, u16), PredColumns> =
+            [((p, 1u16), pc.clone())].into_iter().collect();
+
+        // A fresh cache accepts the valid export and serves it as a hit.
+        let fresh = SortedIndexCache::default();
+        assert_eq!(fresh.install_entries(&exported, &arenas), 1);
+        let sp = fresh.get_or_build(p, 1, &[0], Some(&pc));
+        assert_eq!(sp.perm(), naive_perm(&pc, &[0]));
+        let s = fresh.stats();
+        assert_eq!((s.indexes, s.full_builds, s.merge_extends), (1, 1, 0));
+
+        // Tampered permutations (wrong sort order, wrong length, not a
+        // permutation) are skipped, never installed.
+        let mut unsorted = exported.clone();
+        unsorted[0].perm.reverse();
+        let mut short = exported.clone();
+        short[0].perm.pop();
+        let mut dup = exported.clone();
+        dup[0].perm[1] = dup[0].perm[0];
+        let reject = SortedIndexCache::default();
+        assert_eq!(reject.install_entries(&unsorted, &arenas), 0);
+        assert_eq!(reject.install_entries(&short, &arenas), 0);
+        assert_eq!(reject.install_entries(&dup, &arenas), 0);
+        assert_eq!(reject.stats().indexes, 0);
     }
 
     #[test]

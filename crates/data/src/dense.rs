@@ -202,6 +202,54 @@ pub struct DenseStats {
     pub tries: usize,
 }
 
+/// One encoded table in portable form: `cols[j][r]` is the dictionary
+/// code of argument `j` of arena row `r`. Part of [`DenseExport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseTableExport {
+    /// The encoded predicate.
+    pub predicate: Predicate,
+    /// The encoded arity.
+    pub arity: u16,
+    /// Code columns, row-aligned with the predicate's arena.
+    pub cols: Vec<Vec<u32>>,
+}
+
+/// One dense trie in portable form: only the sorted permutation is
+/// persisted — the flat level arrays and the CSR skeleton are linear-time
+/// gathers from the encoded table, so re-deriving them at load keeps the
+/// snapshot small without paying any sort. Part of [`DenseExport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseTrieExport {
+    /// The predicate the trie covers.
+    pub predicate: Predicate,
+    /// The covered arity.
+    pub arity: u16,
+    /// The trie's column order.
+    pub order: Vec<u16>,
+    /// Row ids sorted lex by encoded key, ties by row id.
+    pub perm: Vec<u32>,
+}
+
+/// Portable snapshot of a [`DenseStore`]: the global dictionary (in code
+/// order), every encoded table and trie, and the growth counters.
+/// Produced by [`crate::Instance::export_dense`], re-installed by
+/// [`crate::Instance::install_dense`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DenseExport {
+    /// All dictionary values, ascending (a value's code is its index).
+    pub dict: Vec<Value>,
+    /// Encoded tables, ordered by `(predicate name, arity)`.
+    pub tables: Vec<DenseTableExport>,
+    /// Dense tries, ordered by `(predicate name, arity, column order)`.
+    pub tries: Vec<DenseTrieExport>,
+    /// Persisted `dict_hits` counter.
+    pub dict_hits: usize,
+    /// Persisted `dict_misses` counter.
+    pub dict_misses: usize,
+    /// Persisted `remaps` counter.
+    pub remaps: usize,
+}
+
 /// Trie key: `(predicate, arity, column order)` — same vocabulary as the
 /// sorted-permutation cache.
 type TrieKey = (Predicate, u16, Vec<u16>);
@@ -271,7 +319,10 @@ impl DenseStore {
     /// Untouched relations keep their tries; canon aliases only ever link
     /// column orders of one `(predicate, arity)`, so dropping by that key
     /// can never leave a dangling alias.
-    pub(crate) fn invalidate_relations(&self, touched: &std::collections::HashSet<(Predicate, u16)>) {
+    pub(crate) fn invalidate_relations(
+        &self,
+        touched: &std::collections::HashSet<(Predicate, u16)>,
+    ) {
         if touched.is_empty() {
             return;
         }
@@ -279,6 +330,186 @@ impl DenseStore {
         inner.tables.retain(|k, _| !touched.contains(k));
         inner.tries.retain(|k, _| !touched.contains(&(k.0, k.1)));
         inner.canon.retain(|k, _| !touched.contains(&(k.0, k.1)));
+    }
+
+    /// Exports the store in portable form (one read-lock hold), with
+    /// tables and tries deterministically ordered so snapshot bytes are
+    /// stable across runs.
+    pub(crate) fn export_state(&self) -> DenseExport {
+        let inner = self.inner.read().expect("dense lock");
+        let mut tables: Vec<DenseTableExport> = inner
+            .tables
+            .iter()
+            .map(|(&(p, arity), t)| DenseTableExport {
+                predicate: p,
+                arity,
+                cols: t.cols.clone(),
+            })
+            .collect();
+        tables.sort_by_key(|t| (t.predicate.name(), t.arity));
+        let mut tries: Vec<DenseTrieExport> = inner
+            .tries
+            .iter()
+            .map(|(&(p, arity, ref order), t)| DenseTrieExport {
+                predicate: p,
+                arity,
+                order: order.clone(),
+                perm: t.perm.clone(),
+            })
+            .collect();
+        tries.sort_by(|a, b| {
+            (a.predicate.name(), a.arity, &a.order).cmp(&(b.predicate.name(), b.arity, &b.order))
+        });
+        DenseExport {
+            dict: inner.dict.sorted.clone(),
+            tables,
+            tries,
+            dict_hits: self.dict_hits.load(AtomicOrdering::Relaxed),
+            dict_misses: self.dict_misses.load(AtomicOrdering::Relaxed),
+            remaps: self.remaps.load(AtomicOrdering::Relaxed),
+        }
+    }
+
+    /// Re-installs an exported store, validating every section against
+    /// the live arenas; invalid sections are skipped (they rebuild lazily
+    /// on the next `snapshot`, the normal cold path), never trusted.
+    ///
+    /// * The dictionary must be strictly ascending under **this
+    ///   process's** value order — a snapshot written under a different
+    ///   symbol-interning order fails here and the whole import becomes a
+    ///   no-op (codes are meaningless without the dictionary).
+    /// * A table must be row- and cell-exact: every code must decode to
+    ///   the arena's value. One linear pass — cheaper than re-encoding
+    ///   (no hashing), and it proves the codes rather than assuming them.
+    /// * A trie needs its table installed and its permutation sorted by
+    ///   encoded key (ties by row id); levels and the CSR skeleton are
+    ///   re-gathered in `O(rows × depth)` with **no sort** — this is the
+    ///   "sidecar rehydration" that keeps load sequential-read dominated.
+    ///
+    /// Returns `(tables installed, tries installed)`.
+    pub(crate) fn install_state(
+        &self,
+        export: &DenseExport,
+        columns: &HashMap<(Predicate, u16), PredColumns>,
+    ) -> (usize, usize) {
+        if !export.dict.windows(2).all(|w| w[0] < w[1]) {
+            return (0, 0);
+        }
+        let dict = Arc::new(Dict {
+            sorted: export.dict.clone(),
+            code_of: export
+                .dict
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i as u32))
+                .collect(),
+        });
+        let mut inner = self.inner.write().expect("dense lock");
+        if !inner.tables.is_empty() || !inner.tries.is_empty() {
+            return (0, 0); // only a pristine store accepts an import
+        }
+        let mut tables_in = 0usize;
+        for t in &export.tables {
+            let Some(pc) = columns.get(&(t.predicate, t.arity)) else {
+                continue;
+            };
+            let rows = pc.rows();
+            let exact = t.cols.len() == t.arity as usize
+                && t.cols.iter().all(|c| c.len() == rows)
+                && (0..t.arity as usize).all(|j| {
+                    t.cols[j].iter().zip(pc.col(j)).all(|(&code, &v)| {
+                        (code as usize) < dict.sorted.len() && dict.sorted[code as usize] == v
+                    })
+                });
+            if !exact {
+                continue;
+            }
+            inner.tables.insert(
+                (t.predicate, t.arity),
+                EncodedTable {
+                    cols: t.cols.clone(),
+                    rows,
+                },
+            );
+            tables_in += 1;
+        }
+        let mut tries_in = 0usize;
+        for te in &export.tries {
+            let Some(table) = inner.tables.get(&(te.predicate, te.arity)) else {
+                continue;
+            };
+            let rows = table.rows;
+            if te.perm.len() != rows
+                || rows == 0
+                || te.order.iter().any(|&j| j as usize >= table.cols.len())
+            {
+                continue;
+            }
+            let mut seen = vec![false; rows];
+            if !te.perm.iter().all(|&r| {
+                let ok = (r as usize) < rows && !seen[r as usize];
+                if ok {
+                    seen[r as usize] = true;
+                }
+                ok
+            }) {
+                continue;
+            }
+            let key_of = |r: u32| -> (Vec<u32>, u32) {
+                let key = te
+                    .order
+                    .iter()
+                    .map(|&j| table.cols[j as usize][r as usize])
+                    .collect();
+                (key, r)
+            };
+            if !te.perm.windows(2).all(|w| key_of(w[0]) <= key_of(w[1])) {
+                continue;
+            }
+            let levels: Vec<Vec<u32>> = te
+                .order
+                .iter()
+                .map(|&j| {
+                    let col = &table.cols[j as usize];
+                    te.perm.iter().map(|&r| col[r as usize]).collect()
+                })
+                .collect();
+            let (entries, child) = DenseTrie::build_csr(&levels, rows);
+            inner.tries.insert(
+                (te.predicate, te.arity, te.order.clone()),
+                Arc::new(DenseTrie {
+                    perm: te.perm.clone(),
+                    levels,
+                    rows,
+                    entries,
+                    child,
+                }),
+            );
+            tries_in += 1;
+        }
+        // Re-derive the canon aliasing (identical-content siblings share
+        // one Arc) exactly as `ensure_trie` would have.
+        let keys: Vec<TrieKey> = inner.tries.keys().cloned().collect();
+        for key in keys {
+            let arc = Arc::clone(&inner.tries[&key]);
+            let shared = inner
+                .canon
+                .iter()
+                .find(|(k2, t2)| {
+                    k2.0 == key.0 && k2.1 == key.1 && k2.2 != key.2 && t2.levels == arc.levels
+                })
+                .map(|(_, t2)| Arc::clone(t2));
+            inner.canon.insert(key, shared.unwrap_or(arc));
+        }
+        if tables_in > 0 || !export.dict.is_empty() {
+            inner.dict = dict;
+        }
+        self.dict_hits
+            .store(export.dict_hits, AtomicOrdering::Relaxed);
+        self.dict_misses
+            .store(export.dict_misses, AtomicOrdering::Relaxed);
+        self.remaps.store(export.remaps, AtomicOrdering::Relaxed);
+        (tables_in, tries_in)
     }
 
     /// Current counters.
@@ -847,6 +1078,71 @@ mod tests {
             before[0].as_ref().unwrap(),
             after[0].as_ref().unwrap()
         ));
+    }
+
+    #[test]
+    fn export_install_round_trips_without_new_dict_work() {
+        let cols = arena(&[&["b", "x"], &["a", "z"], &["a", "y"], &["c", "w"]]);
+        let store = DenseStore::default();
+        let p = Predicate::new("R");
+        let (dict, tries) = store.snapshot(&cols, &[(p, 2, &[0, 1]), (p, 2, &[1, 0])]);
+        let export = store.export_state();
+
+        let fresh = DenseStore::default();
+        let (tables_in, tries_in) = fresh.install_state(&export, &cols);
+        assert_eq!((tables_in, tries_in), (1, 2));
+        // The installed store serves the same snapshot as the saved one —
+        // same decoded rows, same permutations — and does so without a
+        // single new dictionary lookup (everything is already warm).
+        let before = fresh.stats();
+        let (fdict, ftries) = fresh.snapshot(&cols, &[(p, 2, &[0, 1]), (p, 2, &[1, 0])]);
+        let after = fresh.stats();
+        assert_eq!(fdict.values(), dict.values());
+        for i in 0..2 {
+            assert_eq!(
+                decoded_rows(&fdict, ftries[i].as_ref().unwrap()),
+                decoded_rows(&dict, tries[i].as_ref().unwrap())
+            );
+            assert_eq!(
+                ftries[i].as_ref().unwrap().perm(),
+                tries[i].as_ref().unwrap().perm()
+            );
+        }
+        assert_eq!(after.dict_hits, before.dict_hits);
+        assert_eq!(after.dict_misses, before.dict_misses);
+        assert_eq!(after, store.stats());
+    }
+
+    #[test]
+    fn install_rejects_corrupt_sections() {
+        let cols = arena(&[&["b"], &["a"], &["c"]]);
+        let store = DenseStore::default();
+        let p = Predicate::new("R");
+        store.snapshot(&cols, &[(p, 1, &[0])]);
+        let good = store.export_state();
+
+        // An unsorted dictionary poisons the whole import.
+        let mut bad_dict = good.clone();
+        bad_dict.dict.reverse();
+        assert_eq!(
+            DenseStore::default().install_state(&bad_dict, &cols),
+            (0, 0)
+        );
+
+        // A cell that decodes to the wrong value drops the table and its
+        // dependent trie, but the valid dictionary still installs.
+        let mut bad_cell = good.clone();
+        bad_cell.tables[0].cols[0][0] ^= 1;
+        let s = DenseStore::default();
+        assert_eq!(s.install_state(&bad_cell, &cols), (0, 0));
+
+        // An unsorted permutation drops only the trie.
+        let mut bad_perm = good.clone();
+        bad_perm.tries[0].perm.reverse();
+        assert_eq!(
+            DenseStore::default().install_state(&bad_perm, &cols),
+            (1, 0)
+        );
     }
 
     #[test]

@@ -1,13 +1,13 @@
 //! Instances and databases: indexed sets of ground atoms.
 
 use crate::atom::GroundAtom;
-use crate::columnar::{IndexStats, PredColumns, SortedIndexCache, SortedPermutation};
-use crate::dense::{DenseStats, DenseStore, DenseTrie, Dict};
+use crate::columnar::{IndexExport, IndexStats, PredColumns, SortedIndexCache, SortedPermutation};
+use crate::dense::{DenseExport, DenseStats, DenseStore, DenseTrie, Dict};
 use crate::schema::{Predicate, Schema};
 use crate::value::Value;
 use gtgd_treewidth::Graph;
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Shared static-empty candidate list: the miss path of every index
 /// accessor returns this without touching (or hashing into) any map.
@@ -21,18 +21,21 @@ const EMPTY_IDS: &[usize] = &[];
 /// value)` so homomorphism search and chase trigger matching get selective
 /// candidate lists. Insertion order is preserved and deduplicated, so
 /// iteration is deterministic.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Instance {
     atoms: Vec<GroundAtom>,
-    index_of: HashMap<GroundAtom, usize>,
-    by_pred: HashMap<Predicate, Vec<usize>>,
-    by_pred_pos_val: HashMap<(Predicate, u16, Value), Vec<usize>>,
-    dom: Vec<Value>,
-    dom_set: HashSet<Value>,
+    /// Row-level hash indexes (dedup map, per-predicate and per-position
+    /// candidate lists, domain), built lazily from `atoms` on first
+    /// demand. Bulk construction ([`Instance::from_unique_atoms`] — the
+    /// snapshot load path) skips them entirely; the first lookup or
+    /// mutation pays one linear build. Interior mutability like `sorted`
+    /// and `dense` below: reads go through `&Instance`.
+    rows: OnceLock<RowIndexes>,
     /// Columnar mirror of the tuples, per `(predicate, arity)` — the
     /// storage the worst-case-optimal join path scans (see
-    /// [`crate::columnar`]).
-    columns: HashMap<(Predicate, u16), PredColumns>,
+    /// [`crate::columnar`]). Lazily mirrored from `atoms` on first
+    /// demand, like `rows`.
+    columns: OnceLock<ColumnMap>,
     /// Lazily built sorted permutation indexes over `columns`. Interior
     /// mutability: indexes are built on demand through `&Instance` (query
     /// execution never holds `&mut`).
@@ -44,7 +47,122 @@ pub struct Instance {
     dense: DenseStore,
 }
 
+/// The columnar arenas keyed by `(predicate, arity)`.
+type ColumnMap = HashMap<(Predicate, u16), PredColumns>;
+
+/// Per-relation old-row → new-row maps accumulated during retraction,
+/// alongside the running count of surviving rows.
+type RowRemapBuild = HashMap<(Predicate, u16), (Vec<Option<u32>>, u32)>;
+
+/// Clones a lazily-built cell, preserving built-ness.
+fn clone_cell<T: Clone>(cell: &OnceLock<T>) -> OnceLock<T> {
+    match cell.get() {
+        Some(v) => OnceLock::from(v.clone()),
+        None => OnceLock::new(),
+    }
+}
+
+impl Clone for Instance {
+    fn clone(&self) -> Instance {
+        Instance {
+            atoms: self.atoms.clone(),
+            rows: clone_cell(&self.rows),
+            columns: clone_cell(&self.columns),
+            sorted: self.sorted.clone(),
+            dense: self.dense.clone(),
+        }
+    }
+}
+
+/// The row-level hash indexes of an [`Instance`]: the dedup map, the
+/// per-predicate and per-`(predicate, position, value)` candidate lists,
+/// and the first-occurrence domain. Kept together so they can be built
+/// lazily in one pass over the atom vector.
+#[derive(Debug, Clone, Default)]
+struct RowIndexes {
+    index_of: HashMap<GroundAtom, usize>,
+    by_pred: HashMap<Predicate, Vec<usize>>,
+    by_pred_pos_val: HashMap<(Predicate, u16, Value), Vec<usize>>,
+    dom: Vec<Value>,
+    dom_set: HashSet<Value>,
+}
+
+impl RowIndexes {
+    /// Indexes one atom already appended to the atom vector at `idx`.
+    /// Shared by the lazy one-pass build and incremental insertion.
+    fn note(&mut self, atom: &GroundAtom, idx: usize) {
+        self.by_pred.entry(atom.predicate).or_default().push(idx);
+        for (pos, &v) in atom.args.iter().enumerate() {
+            let pos = u16::try_from(pos).expect("arity fits u16");
+            self.by_pred_pos_val
+                .entry((atom.predicate, pos, v))
+                .or_default()
+                .push(idx);
+            if self.dom_set.insert(v) {
+                self.dom.push(v);
+            }
+        }
+        self.index_of.insert(atom.clone(), idx);
+    }
+
+    /// One-pass build over a deduplicated atom vector, pre-sized so the
+    /// maps do not regrow once per atom.
+    fn build(atoms: &[GroundAtom]) -> RowIndexes {
+        let cells: usize = atoms.iter().map(|a| a.args.len()).sum();
+        let mut r = RowIndexes {
+            index_of: HashMap::with_capacity(atoms.len()),
+            by_pred_pos_val: HashMap::with_capacity(cells),
+            ..RowIndexes::default()
+        };
+        for (idx, a) in atoms.iter().enumerate() {
+            r.note(a, idx);
+        }
+        r
+    }
+}
+
 impl Instance {
+    /// The row indexes, built on first demand.
+    fn rows(&self) -> &RowIndexes {
+        self.rows.get_or_init(|| RowIndexes::build(&self.atoms))
+    }
+
+    /// The row indexes for mutation: builds first if still deferred.
+    fn rows_mut(&mut self) -> &mut RowIndexes {
+        if self.rows.get().is_none() {
+            let built = RowIndexes::build(&self.atoms);
+            let _ = self.rows.set(built);
+        }
+        self.rows.get_mut().expect("row indexes just built")
+    }
+
+    /// The columnar arenas, mirrored from the atom vector on first demand.
+    fn columns_map(&self) -> &ColumnMap {
+        self.columns
+            .get_or_init(|| Self::build_columns(&self.atoms))
+    }
+
+    /// The columnar arenas for mutation: builds first if still deferred.
+    fn columns_mut(&mut self) -> &mut ColumnMap {
+        if self.columns.get().is_none() {
+            let built = Self::build_columns(&self.atoms);
+            let _ = self.columns.set(built);
+        }
+        self.columns.get_mut().expect("columns just built")
+    }
+
+    /// One sequential pass appending every tuple into its arena.
+    fn build_columns(atoms: &[GroundAtom]) -> ColumnMap {
+        let mut m = ColumnMap::new();
+        for atom in atoms {
+            let arity = u16::try_from(atom.args.len()).expect("arity fits u16");
+            m.entry((atom.predicate, arity))
+                .or_default()
+                .push(&atom.args);
+        }
+        m
+    }
+
     /// The empty instance.
     pub fn new() -> Instance {
         Instance::default()
@@ -59,29 +177,33 @@ impl Instance {
         i
     }
 
+    /// Builds an instance from atoms the caller guarantees are already
+    /// distinct — the snapshot load path, whose atom section was written
+    /// from an instance and is therefore duplicate-free. Only the atom
+    /// vector is materialized; the row-level hash indexes and the
+    /// columnar arenas stay deferred until first demand, off the load
+    /// path. Feeding duplicates violates the contract and leaves lookups
+    /// over-counting.
+    pub fn from_unique_atoms(atoms: Vec<GroundAtom>) -> Instance {
+        Instance {
+            atoms,
+            ..Instance::new()
+        }
+    }
+
     /// Inserts an atom; returns `true` if it was new.
     pub fn insert(&mut self, atom: GroundAtom) -> bool {
-        if self.index_of.contains_key(&atom) {
+        let idx = self.atoms.len();
+        let rows = self.rows_mut();
+        if rows.index_of.contains_key(&atom) {
             return false;
         }
-        let idx = self.atoms.len();
-        self.by_pred.entry(atom.predicate).or_default().push(idx);
-        for (pos, &v) in atom.args.iter().enumerate() {
-            let pos = u16::try_from(pos).expect("arity fits u16");
-            self.by_pred_pos_val
-                .entry((atom.predicate, pos, v))
-                .or_default()
-                .push(idx);
-            if self.dom_set.insert(v) {
-                self.dom.push(v);
-            }
-        }
+        rows.note(&atom, idx);
         let arity = u16::try_from(atom.args.len()).expect("arity fits u16");
-        self.columns
+        self.columns_mut()
             .entry((atom.predicate, arity))
             .or_default()
             .push(&atom.args);
-        self.index_of.insert(atom.clone(), idx);
         self.atoms.push(atom);
         true
     }
@@ -108,10 +230,9 @@ impl Instance {
     /// [`SortedIndexCache`]), and the dense store drops only the touched
     /// `(predicate, arity)` relations while keeping the dictionary.
     pub fn retract_atoms(&mut self, atoms: &[GroundAtom]) -> usize {
-        let doomed: HashSet<&GroundAtom> = atoms
-            .iter()
-            .filter(|a| self.index_of.contains_key(*a))
-            .collect();
+        let present = &self.rows().index_of;
+        let doomed: HashSet<&GroundAtom> =
+            atoms.iter().filter(|a| present.contains_key(*a)).collect();
         if doomed.is_empty() {
             return 0;
         }
@@ -129,7 +250,7 @@ impl Instance {
         // each old row lands (arena row ids follow insertion order within
         // a relation), and collect the survivors.
         let old_atoms = std::mem::take(&mut self.atoms);
-        let mut row_maps: HashMap<(Predicate, u16), (Vec<Option<u32>>, u32)> = HashMap::new();
+        let mut row_maps: RowRemapBuild = HashMap::new();
         let mut survivors: Vec<GroundAtom> = Vec::with_capacity(old_atoms.len() - removed);
         for a in old_atoms {
             let arity = u16::try_from(a.args.len()).expect("arity fits u16");
@@ -144,17 +265,11 @@ impl Instance {
                 survivors.push(a);
             }
         }
-        let row_maps: HashMap<(Predicate, u16), Vec<Option<u32>>> = row_maps
-            .into_iter()
-            .map(|(k, (map, _))| (k, map))
-            .collect();
+        let row_maps: HashMap<(Predicate, u16), Vec<Option<u32>>> =
+            row_maps.into_iter().map(|(k, (map, _))| (k, map)).collect();
         // Rebuild the primary stores from the survivors.
-        self.index_of.clear();
-        self.by_pred.clear();
-        self.by_pred_pos_val.clear();
-        self.dom.clear();
-        self.dom_set.clear();
-        self.columns.clear();
+        self.rows = OnceLock::new();
+        self.columns = OnceLock::new();
         for a in survivors {
             self.insert(a);
         }
@@ -170,12 +285,12 @@ impl Instance {
     /// once per atom.
     pub fn reserve_additional(&mut self, n: usize) {
         self.atoms.reserve(n);
-        self.index_of.reserve(n);
+        self.rows_mut().index_of.reserve(n);
     }
 
     /// Whether the atom is present.
     pub fn contains(&self, atom: &GroundAtom) -> bool {
-        self.index_of.contains_key(atom)
+        self.rows().index_of.contains_key(atom)
     }
 
     /// Number of atoms.
@@ -208,47 +323,50 @@ impl Instance {
     /// Selectivity of predicate `p`: how many atoms carry it. Equivalent
     /// to `atoms_with_pred(p).len()` without touching the slice.
     pub fn pred_count(&self, p: Predicate) -> usize {
-        self.by_pred.get(&p).map_or(0, |v| v.len())
+        self.rows().by_pred.get(&p).map_or(0, |v| v.len())
     }
 
     /// Selectivity of the `(p, pos, v)` index probed by the compiled
     /// kernel: how many atoms with predicate `p` have value `v` at
     /// argument position `pos`.
     pub fn index_count(&self, p: Predicate, pos: usize, v: Value) -> usize {
-        if self.by_pred_pos_val.is_empty() {
+        let rows = self.rows();
+        if rows.by_pred_pos_val.is_empty() {
             return 0;
         }
         let pos = u16::try_from(pos).expect("arity fits u16");
-        self.by_pred_pos_val
+        rows.by_pred_pos_val
             .get(&(p, pos, v))
             .map_or(0, |ids| ids.len())
     }
 
     /// `dom(I)`: distinct constants in first-occurrence order.
     pub fn dom(&self) -> &[Value] {
-        &self.dom
+        &self.rows().dom
     }
 
     /// Whether `v ∈ dom(I)`.
     pub fn dom_contains(&self, v: Value) -> bool {
-        self.dom_set.contains(&v)
+        self.rows().dom_set.contains(&v)
     }
 
     /// Indexes of atoms with the given predicate.
     pub fn atoms_with_pred(&self, p: Predicate) -> &[usize] {
-        if self.by_pred.is_empty() {
+        let rows = self.rows();
+        if rows.by_pred.is_empty() {
             return EMPTY_IDS;
         }
-        self.by_pred.get(&p).map_or(EMPTY_IDS, |v| v.as_slice())
+        rows.by_pred.get(&p).map_or(EMPTY_IDS, |v| v.as_slice())
     }
 
     /// Indexes of atoms with predicate `p` whose argument at `pos` is `v`.
     pub fn atoms_matching(&self, p: Predicate, pos: usize, v: Value) -> &[usize] {
-        if self.by_pred_pos_val.is_empty() {
+        let rows = self.rows();
+        if rows.by_pred_pos_val.is_empty() {
             return EMPTY_IDS;
         }
         let pos = u16::try_from(pos).expect("arity fits u16");
-        self.by_pred_pos_val
+        rows.by_pred_pos_val
             .get(&(p, pos, v))
             .map_or(EMPTY_IDS, |ids| ids.as_slice())
     }
@@ -257,7 +375,7 @@ impl Instance {
     /// any tuple was inserted (see [`crate::columnar::PredColumns`]).
     pub fn columns(&self, p: Predicate, arity: usize) -> Option<&PredColumns> {
         let arity = u16::try_from(arity).expect("arity fits u16");
-        self.columns.get(&(p, arity))
+        self.columns_map().get(&(p, arity))
     }
 
     /// The sorted permutation index of `p`'s tuples (at `arity`) under the
@@ -296,7 +414,7 @@ impl Instance {
             .iter()
             .map(|&(p, a, o)| (p, u16::try_from(a).expect("arity fits u16"), o))
             .collect();
-        self.dense.snapshot(&self.columns, &reqs16)
+        self.dense.snapshot(self.columns_map(), &reqs16)
     }
 
     /// Counters of the dense store (the append-mostly growth contract:
@@ -304,6 +422,42 @@ impl Instance {
     /// chase-invented null — sorts after the existing maximum).
     pub fn dense_stats(&self) -> DenseStats {
         self.dense.stats()
+    }
+
+    /// Exports every cached sorted index in portable form, for snapshot
+    /// persistence (see [`crate::columnar::IndexExport`]).
+    pub fn export_sorted_indexes(&self) -> Vec<IndexExport> {
+        self.sorted.export_entries()
+    }
+
+    /// Re-installs exported sorted indexes, skipping any entry that is
+    /// stale or not actually sorted under this process's value order
+    /// (skipped entries rebuild lazily on first demand). Returns how many
+    /// were installed. Interior mutability: callable through `&self`, like
+    /// every other cache operation.
+    pub fn install_sorted_indexes(&self, entries: &[IndexExport]) -> usize {
+        if entries.is_empty() {
+            return 0;
+        }
+        self.sorted.install_entries(entries, self.columns_map())
+    }
+
+    /// Exports the dense-encoded store in portable form, for snapshot
+    /// persistence (see [`crate::dense::DenseExport`]).
+    pub fn export_dense(&self) -> DenseExport {
+        self.dense.export_state()
+    }
+
+    /// Re-installs an exported dense store after validating the dictionary
+    /// order and every encoded cell against the live arenas; invalid
+    /// sections are skipped and rebuild lazily. Only a pristine (never
+    /// dense-queried) instance accepts the import. Returns
+    /// `(tables installed, tries installed)`.
+    pub fn install_dense(&self, export: &DenseExport) -> (usize, usize) {
+        if export.dict.is_empty() && export.tables.is_empty() && export.tries.is_empty() {
+            return (0, 0);
+        }
+        self.dense.install_state(export, self.columns_map())
     }
 
     /// The distinct predicates appearing in the instance, in first-use order.
@@ -359,8 +513,9 @@ impl Instance {
     /// regrow them once per atom.
     pub fn extend_from(&mut self, other: &Instance) {
         self.reserve_additional(other.len());
-        for (p, ids) in &other.by_pred {
-            self.by_pred.entry(*p).or_default().reserve(ids.len());
+        let mine = self.rows_mut();
+        for (p, ids) in &other.rows().by_pred {
+            mine.by_pred.entry(*p).or_default().reserve(ids.len());
         }
         for a in other.iter() {
             self.insert(a.clone());
@@ -409,11 +564,12 @@ impl Instance {
     /// edges join constants co-occurring in an atom. Returns the graph and
     /// the vertex-id → value mapping.
     pub fn gaifman(&self) -> (Graph, Vec<Value>) {
+        let dom = &self.rows().dom;
         let mut id_of: HashMap<Value, usize> = HashMap::new();
-        for (i, &v) in self.dom.iter().enumerate() {
+        for (i, &v) in dom.iter().enumerate() {
             id_of.insert(v, i);
         }
-        let mut g = Graph::new(self.dom.len());
+        let mut g = Graph::new(dom.len());
         for a in &self.atoms {
             let d = a.dom();
             for (i, &u) in d.iter().enumerate() {
@@ -422,7 +578,7 @@ impl Instance {
                 }
             }
         }
-        (g, self.dom.clone())
+        (g, dom.clone())
     }
 
     /// A constant is *isolated* if exactly one atom mentions it
@@ -648,7 +804,10 @@ mod tests {
             GroundAtom::named("P", &["a"]),
         ]);
         assert!(i.retract(&GroundAtom::named("R", &["a", "b"])));
-        assert!(!i.retract(&GroundAtom::named("R", &["a", "b"])), "already gone");
+        assert!(
+            !i.retract(&GroundAtom::named("R", &["a", "b"])),
+            "already gone"
+        );
         assert_eq!(i.len(), 2);
         assert!(!i.contains(&GroundAtom::named("R", &["a", "b"])));
         let r = Predicate::new("R");

@@ -41,8 +41,8 @@ pub mod text;
 pub mod value;
 
 pub use atom::GroundAtom;
-pub use columnar::{IndexStats, PredColumns, SortedPermutation};
-pub use dense::{DenseStats, DenseTrie, Dict};
+pub use columnar::{IndexExport, IndexStats, PredColumns, SortedPermutation};
+pub use dense::{DenseExport, DenseStats, DenseTableExport, DenseTrie, DenseTrieExport, Dict};
 pub use homomorphism::{is_homomorphism, Valuation};
 pub use instance::Instance;
 pub use obs::RunReport;

@@ -118,11 +118,17 @@ pub enum Metric {
     /// Over-deleted atoms rescued by an alternative surviving derivation
     /// during the DRed re-derive phase.
     MaintAtomsRederived,
+    /// Serve-mode prepared-query cache hits (query answered off a warm
+    /// compiled plan, skipping parse + compile).
+    ServePlanHits,
+    /// Serve-mode prepared-query cache misses (query parsed and compiled,
+    /// then cached for the rest of the daemon's lifetime).
+    ServePlanMisses,
 }
 
 impl Metric {
     /// All metrics, in report order.
-    pub const ALL: [Metric; 24] = [
+    pub const ALL: [Metric; 26] = [
         Metric::ChaseRounds,
         Metric::TriggerFirings,
         Metric::NullsCreated,
@@ -147,6 +153,8 @@ impl Metric {
         Metric::MaintTriggersFired,
         Metric::MaintAtomsOverdeleted,
         Metric::MaintAtomsRederived,
+        Metric::ServePlanHits,
+        Metric::ServePlanMisses,
     ];
 
     /// The metric's stable report name (a dotted static identifier; no
@@ -177,6 +185,8 @@ impl Metric {
             Metric::MaintTriggersFired => "maint.triggers_fired",
             Metric::MaintAtomsOverdeleted => "maint.atoms_overdeleted",
             Metric::MaintAtomsRederived => "maint.atoms_rederived",
+            Metric::ServePlanHits => "serve.plan_hits",
+            Metric::ServePlanMisses => "serve.plan_misses",
         }
     }
 }

@@ -32,6 +32,18 @@ impl Value {
         Value::Null(NEXT_NULL.fetch_add(1, Ordering::Relaxed))
     }
 
+    /// Advances the fresh-null counter so that every future
+    /// [`Value::fresh_null`] gets a label strictly greater than `max_label`.
+    ///
+    /// Snapshot loading calls this with the largest null label appearing in
+    /// the persisted instance: labels are only process-unique, so an instance
+    /// deserialized into a fresh process must fence off the labels it carries
+    /// before the chase invents new ones. Monotone (`fetch_max`), so calling
+    /// with a stale bound is harmless.
+    pub fn reserve_null_labels(max_label: u64) {
+        NEXT_NULL.fetch_max(max_label.saturating_add(1), Ordering::Relaxed);
+    }
+
     /// Whether this is a labelled null.
     pub fn is_null(self) -> bool {
         matches!(self, Value::Null(_))
@@ -79,6 +91,21 @@ mod tests {
     #[test]
     fn nulls_never_equal_named() {
         assert_ne!(Value::fresh_null(), Value::named("x"));
+    }
+
+    #[test]
+    fn reserved_labels_are_never_reissued() {
+        Value::reserve_null_labels(1_000_000);
+        match Value::fresh_null() {
+            Value::Null(n) => assert!(n > 1_000_000),
+            v => panic!("fresh_null returned {v:?}"),
+        }
+        // Stale (smaller) reservations must not rewind the counter.
+        Value::reserve_null_labels(10);
+        match Value::fresh_null() {
+            Value::Null(n) => assert!(n > 1_000_000),
+            v => panic!("fresh_null returned {v:?}"),
+        }
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod eval;
 pub mod hom;
 pub mod iso;
 pub mod parser;
+pub mod plan_cache;
 pub mod semantic;
 pub mod tw;
 mod wcoj;
@@ -56,6 +57,7 @@ pub use hom::{
 };
 pub use iso::{cq_isomorphic, dedup_isomorphic, instance_isomorphic};
 pub use parser::{parse_cq, parse_ucq, ParseError};
+pub use plan_cache::{normalize_query_text, PlanCache};
 pub use semantic::{
     cq_semantic_treewidth, is_cq_semantically_at_most, is_ucq_semantically_at_most,
     ucq_semantic_rewriting,

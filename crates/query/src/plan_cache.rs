@@ -1,0 +1,137 @@
+//! Warm prepared-query cache for long-lived serving: parse + compile once
+//! per distinct query text, then every later arrival of the same query is
+//! a map hit returning the shared [`PreparedQuery`].
+//!
+//! Preparation depends only on the query (never on instance contents), so
+//! a cached plan stays valid across arbitrary instance evolution — the
+//! serve daemon's write path never invalidates this cache. Keys are
+//! *normalized* query text (whitespace collapsed), so trivial formatting
+//! differences between clients don't defeat the cache. Hits and misses
+//! are observable through the `serve.plan_hits` / `serve.plan_misses`
+//! metrics and through [`PlanCache::stats`].
+
+use crate::engine::{Engine, PreparedQuery};
+use crate::parser::{parse_cq, ParseError};
+use gtgd_data::obs;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Normalizes query text for cache keying: leading/trailing whitespace
+/// trimmed, every internal whitespace run collapsed to one space. The
+/// grammar treats all whitespace alike, so normal forms parse identically
+/// to their originals.
+pub fn normalize_query_text(text: &str) -> String {
+    text.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// A concurrent cache of compiled query plans keyed by normalized query
+/// text. Cheap to share: readers hold the lock only for the map probe;
+/// compilation happens outside it.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    map: RwLock<HashMap<String, Arc<PreparedQuery>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// The prepared plan for `text`, parsing and compiling on first
+    /// sight. Parse errors are returned (and not cached — the next
+    /// attempt re-parses, so a transiently garbled client doesn't poison
+    /// the key). Two threads racing on one fresh key both compile; one
+    /// winner is kept.
+    pub fn get_or_prepare(&self, text: &str) -> Result<Arc<PreparedQuery>, ParseError> {
+        let key = normalize_query_text(text);
+        if let Some(hit) = self.map.read().expect("plan cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            obs::count(obs::Metric::ServePlanHits, 1);
+            return Ok(Arc::clone(hit));
+        }
+        let cq = parse_cq(&key)?;
+        let prepared = Arc::new(Engine::prepare(&cq));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        obs::count(obs::Metric::ServePlanMisses, 1);
+        let mut map = self.map.write().expect("plan cache lock");
+        Ok(Arc::clone(map.entry(key).or_insert(prepared)))
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("plan cache lock").len()
+    }
+
+    /// Whether no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (usize, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtgd_data::{GroundAtom, Instance};
+
+    #[test]
+    fn second_arrival_is_a_hit_even_with_different_whitespace() {
+        let cache = PlanCache::new();
+        let db = Instance::from_atoms([
+            GroundAtom::named("R", &["a", "b"]),
+            GroundAtom::named("R", &["b", "c"]),
+        ]);
+        let p1 = cache.get_or_prepare("Q(X) :- R(X,Y)").unwrap();
+        let p2 = cache.get_or_prepare("  Q(X)   :-   R(X,Y)  ").unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "normalized texts share one plan");
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(p1.answers(&db).len(), 2);
+    }
+
+    #[test]
+    fn distinct_queries_get_distinct_plans() {
+        let cache = PlanCache::new();
+        cache.get_or_prepare("Q(X) :- R(X,Y)").unwrap();
+        cache.get_or_prepare("Q(Y) :- R(X,Y)").unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats(), (0, 2));
+    }
+
+    #[test]
+    fn parse_errors_are_returned_not_cached() {
+        let cache = PlanCache::new();
+        assert!(cache.get_or_prepare("this is not a query").is_err());
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), (0, 0));
+    }
+
+    #[test]
+    fn concurrent_demands_converge_on_one_plan() {
+        let cache = PlanCache::new();
+        let plans: Vec<Arc<PreparedQuery>> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| s.spawn(|| cache.get_or_prepare("Q(X) :- R(X,Y), S(Y)").unwrap()))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(cache.len(), 1);
+        // `or_insert` hands every caller the cached winner, so all eight
+        // returned plans alias one allocation.
+        let winner = cache.get_or_prepare("Q(X) :- R(X,Y), S(Y)").unwrap();
+        assert!(plans.iter().all(|p| Arc::ptr_eq(p, &winner)));
+    }
+}

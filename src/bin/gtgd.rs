@@ -6,7 +6,17 @@
 //! gtgd --trace script.gtgd    # also print the probe report (JSON, stderr)
 //! gtgd --certify script.gtgd  # print answer certificates (JSON, stdout)
 //! gtgd --maintain script.gtgd # apply +atom / -atom ops incrementally
+//! gtgd snapshot script.gtgd org.gsnap       # chase once, persist the fixpoint
+//! gtgd serve org.gsnap [--addr HOST:PORT]   # serve a snapshot (default 127.0.0.1:7411)
 //! ```
+//!
+//! `snapshot` chases an open-world script's base (applying any `+`/`-`
+//! ops), then writes the maintained fixpoint — instance, indexes, fired
+//! set — as one binary snapshot file. `serve` loads a snapshot and
+//! answers line-delimited JSON requests over TCP with no chase, index
+//! build, or plan compilation on the query hot path; writes run the
+//! incremental chase and atomically rewrite the snapshot. See
+//! `gtgd_storage` for the format and protocol.
 //!
 //! With `--maintain` (open-world only), the `fact` base is chased once
 //! into a maintained materialization; each `+Atom(...)` line then runs a
@@ -25,28 +35,16 @@
 //! See `gtgd::script` for the script format.
 
 use gtgd::chase::certificates_to_json;
+use gtgd::chase::{ChaseBudget, ChaseRunner};
 use gtgd::data::obs;
-use gtgd::script::{certify_script, eval_script, parse_script, run_maintained, Mode};
+use gtgd::script::{certify_script, eval_script, parse_script, run_maintained, MaintOp, Mode};
+use gtgd::storage::{save_snapshot, Server};
 use std::io::Read;
+use std::path::PathBuf;
 
-fn main() {
-    let mut trace = false;
-    let mut certify = false;
-    let mut maintain = false;
-    let mut files: Vec<String> = Vec::new();
-    for a in std::env::args().skip(1) {
-        match a.as_str() {
-            "--trace" => trace = true,
-            "--certify" => certify = true,
-            "--maintain" => maintain = true,
-            _ => files.push(a),
-        }
-    }
-    let [arg] = files.as_slice() else {
-        eprintln!("usage: gtgd [--trace] [--certify] [--maintain] <script-file | ->");
-        std::process::exit(2);
-    };
-    let src = if arg == "-" {
+/// Reads a script from a file or (with `-`) stdin.
+fn read_source(arg: &str) -> String {
+    if arg == "-" {
         let mut buf = String::new();
         std::io::stdin()
             .read_to_string(&mut buf)
@@ -57,7 +55,117 @@ fn main() {
             eprintln!("cannot read {arg}: {e}");
             std::process::exit(2);
         })
+    }
+}
+
+/// `gtgd snapshot <script> <out>`: chase once (applying any maintenance
+/// ops), persist the maintained fixpoint.
+fn cmd_snapshot(args: &[String]) -> ! {
+    let [script_arg, out] = args else {
+        eprintln!("usage: gtgd snapshot <script-file | -> <out.gsnap>");
+        std::process::exit(2);
     };
+    let script = parse_script(&read_source(script_arg)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    if script.mode == Mode::Closed {
+        eprintln!("error: snapshots are open-world only (closed mode has no chase to persist)");
+        std::process::exit(1);
+    }
+    // Same budget discipline as `--maintain`: an atom cap, never levels.
+    let mut m = ChaseRunner::new(&script.tgds)
+        .budget(ChaseBudget::atoms(1_000_000))
+        .maintain(&script.facts);
+    for op in &script.ops {
+        match op {
+            MaintOp::Insert(a) => {
+                m.insert([a.clone()]);
+            }
+            MaintOp::Retract(a) => {
+                m.retract([a.clone()]);
+            }
+        }
+    }
+    match save_snapshot(out.as_ref(), &script.tgds, &m) {
+        Ok(()) => {
+            println!(
+                "snapshot {out}: {} atom(s), {} rule(s), complete = {}",
+                m.instance().len(),
+                script.tgds.len(),
+                m.complete()
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `gtgd serve <snapshot> [--addr HOST:PORT]`: load once, serve forever.
+fn cmd_serve(args: &[String]) -> ! {
+    let mut addr = "127.0.0.1:7411".to_owned();
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--addr" {
+            match it.next() {
+                Some(v) => addr = v.clone(),
+                None => {
+                    eprintln!("--addr needs a HOST:PORT value");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            files.push(a.clone());
+        }
+    }
+    let [snap] = files.as_slice() else {
+        eprintln!("usage: gtgd serve <snapshot.gsnap> [--addr HOST:PORT]");
+        std::process::exit(2);
+    };
+    let server = Server::start(PathBuf::from(snap), &addr).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    println!("serving {snap} on {}", server.local_addr());
+    match server.run() {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("snapshot") => cmd_snapshot(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        _ => {}
+    }
+    let mut trace = false;
+    let mut certify = false;
+    let mut maintain = false;
+    let mut files: Vec<String> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--trace" => trace = true,
+            "--certify" => certify = true,
+            "--maintain" => maintain = true,
+            _ => files.push(a),
+        }
+    }
+    let [arg] = files.as_slice() else {
+        eprintln!(
+            "usage: gtgd [--trace] [--certify] [--maintain] <script-file | ->\n       gtgd snapshot <script-file | -> <out.gsnap>\n       gtgd serve <snapshot.gsnap> [--addr HOST:PORT]"
+        );
+        std::process::exit(2);
+    };
+    let src = read_source(arg);
     if maintain {
         let script = parse_script(&src).unwrap_or_else(|e| {
             eprintln!("error: {e}");

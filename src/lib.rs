@@ -11,4 +11,5 @@ pub use gtgd_chase as chase;
 pub use gtgd_core as omq;
 pub use gtgd_data as data;
 pub use gtgd_query as query;
+pub use gtgd_storage as storage;
 pub use gtgd_treewidth as treewidth;

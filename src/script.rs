@@ -241,9 +241,11 @@ pub struct MaintainOutput {
 /// answers of the OMQ whenever the chase terminated (`exact`).
 pub fn run_maintained(script: &Script) -> Result<MaintainOutput, Box<dyn std::error::Error>> {
     if script.mode == Mode::Closed {
-        return Err("maintain mode is open-world only (closed mode has no chase to maintain)"
-            .to_string()
-            .into());
+        return Err(
+            "maintain mode is open-world only (closed mode has no chase to maintain)"
+                .to_string()
+                .into(),
+        );
     }
     // Levels are not maintainable, so the safety net against diverging
     // ontologies is an atom cap instead of the default level budget.
@@ -255,7 +257,10 @@ pub fn run_maintained(script: &Script) -> Result<MaintainOutput, Box<dyn std::er
         let line = match op {
             MaintOp::Insert(a) => {
                 let rep = m.insert([a.clone()]);
-                format!("+{a}: fired={} added={}", rep.triggers_fired, rep.atoms_added)
+                format!(
+                    "+{a}: fired={} added={}",
+                    rep.triggers_fired, rep.atoms_added
+                )
             }
             MaintOp::Retract(a) => {
                 let rep = m.retract([a.clone()]);
@@ -417,9 +422,17 @@ mod tests {
         .unwrap();
         let out = run_maintained(&s).unwrap();
         assert!(out.exact);
-        assert_eq!(out.answers, vec!["bob"], "ann was retracted after bob joined");
+        assert_eq!(
+            out.answers,
+            vec!["bob"],
+            "ann was retracted after bob joined"
+        );
         assert_eq!(out.steps.len(), 2);
-        assert!(out.steps[0].starts_with("+Emp(bob): fired=2"), "{}", out.steps[0]);
+        assert!(
+            out.steps[0].starts_with("+Emp(bob): fired=2"),
+            "{}",
+            out.steps[0]
+        );
         assert!(
             out.steps[1].starts_with("-Emp(ann): overdeleted=3"),
             "{}",
@@ -429,10 +442,7 @@ mod tests {
 
     #[test]
     fn maintain_mode_rejects_closed_world() {
-        let s = parse_script(
-            "mode closed\nfact A(x).\n+A(y).\nquery Q(X) :- A(X).\n",
-        )
-        .unwrap();
+        let s = parse_script("mode closed\nfact A(x).\n+A(y).\nquery Q(X) :- A(X).\n").unwrap();
         assert!(run_maintained(&s).is_err());
     }
 

@@ -64,12 +64,8 @@ fn prepared_queries() -> Vec<(String, PreparedQuery)> {
     .iter()
     .flat_map(|src| {
         let q = parse_cq(src).unwrap();
-        [Strategy::Backtrack, Strategy::Wcoj].map(|s| {
-            (
-                format!("{src} {s:?}"),
-                Engine::prepare(&q).strategy(s),
-            )
-        })
+        [Strategy::Backtrack, Strategy::Wcoj]
+            .map(|s| (format!("{src} {s:?}"), Engine::prepare(&q).strategy(s)))
     })
     .collect()
 }
@@ -198,7 +194,11 @@ fn maintained_scripts_match_from_scratch_rechase() {
                 check_equiv(&m, &base, &sigma, &queries, &ctx(0));
                 let mut step = 1;
                 while base.len() > 1 {
-                    let n = if base.len() > 2 && rng.chance(0.4) { 2 } else { 1 };
+                    let n = if base.len() > 2 && rng.chance(0.4) {
+                        2
+                    } else {
+                        1
+                    };
                     let victims: Vec<GroundAtom> = (0..n)
                         .map(|_| base.swap_remove(rng.range(0, base.len())))
                         .collect();

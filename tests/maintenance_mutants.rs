@@ -70,7 +70,10 @@ fn self_supporting_cycle_does_not_rescue_itself() {
 
     let rep = m.retract([atom("A", &["a"])]);
     assert_eq!(rep.atoms_overdeleted, 2); // A(a), B(a)
-    assert_eq!(rep.atoms_rederived, 0, "a dead cycle must not rescue itself");
+    assert_eq!(
+        rep.atoms_rederived, 0,
+        "a dead cycle must not rescue itself"
+    );
     assert_eq!(rep.atoms_removed, 2);
     assert_eq!(rep.triggers_fired, 0);
     assert_eq!(m.instance().len(), 0);
@@ -115,7 +118,9 @@ fn chained_existentials_remove_and_regrow_their_null_cone() {
     let bob_null = m
         .instance()
         .iter()
-        .find(|a| a.predicate == gtgd::data::Predicate::new("WorksIn") && a.args[0] == Value::named("bob"))
+        .find(|a| {
+            a.predicate == gtgd::data::Predicate::new("WorksIn") && a.args[0] == Value::named("bob")
+        })
         .map(|a| a.args[1])
         .expect("bob has a chain");
 
@@ -126,12 +131,16 @@ fn chained_existentials_remove_and_regrow_their_null_cone() {
     assert_eq!(rep.triggers_fired, 0);
     assert_eq!(m.instance().len(), 4);
     // Bob's chain survives bit-identically (same null, not an isomorph).
-    assert!(m
-        .instance()
-        .contains(&GroundAtom::new(gtgd::data::Predicate::new("Dept"), vec![bob_null])));
+    assert!(m.instance().contains(&GroundAtom::new(
+        gtgd::data::Predicate::new("Dept"),
+        vec![bob_null]
+    )));
 
     let rep = m.insert([atom("Emp", &["ann"])]);
-    assert_eq!(rep.triggers_fired, 3, "the chain regrows one rule at a time");
+    assert_eq!(
+        rep.triggers_fired, 3,
+        "the chain regrows one rule at a time"
+    );
     assert_eq!(rep.atoms_added, 4); // Emp + three fresh-null links
     let scratch = chase(&d, &sigma, &ChaseBudget::unbounded());
     assert!(instance_isomorphic(m.instance(), &scratch.instance));
@@ -190,7 +199,11 @@ fn base_and_derived_atom_needs_both_retractions() {
     // Retract the support: B(a) is over-deleted but rescued as a base fact.
     let rep = m.retract([atom("A", &["a"])]);
     assert_eq!(
-        (rep.atoms_overdeleted, rep.atoms_rederived, rep.atoms_removed),
+        (
+            rep.atoms_overdeleted,
+            rep.atoms_rederived,
+            rep.atoms_removed
+        ),
         (2, 1, 1)
     );
     assert!(m.instance().contains(&atom("B", &["a"])));
@@ -198,7 +211,11 @@ fn base_and_derived_atom_needs_both_retractions() {
     // Now B(a) is base-only; retracting it empties the instance.
     let rep = m.retract([atom("B", &["a"])]);
     assert_eq!(
-        (rep.atoms_overdeleted, rep.atoms_rederived, rep.atoms_removed),
+        (
+            rep.atoms_overdeleted,
+            rep.atoms_rederived,
+            rep.atoms_removed
+        ),
         (1, 0, 1)
     );
     assert_eq!(m.instance().len(), 0);
@@ -211,8 +228,7 @@ fn base_and_derived_atom_needs_both_retractions() {
 fn deep_chain_with_mid_rescue_keeps_its_tail() {
     // Two roots feed F; below F hangs a 3-link chain.
     let sigma =
-        parse_tgds("B(X) -> F(X). C(X) -> F(X). F(X) -> G(X). G(X) -> H(X). H(X) -> K(X)")
-            .unwrap();
+        parse_tgds("B(X) -> F(X). C(X) -> F(X). F(X) -> G(X). G(X) -> H(X). H(X) -> K(X)").unwrap();
     let d = db(&[("B", &["a"]), ("C", &["a"])]);
     let mut m = ChaseRunner::new(&sigma).maintain(&d);
     assert_eq!(m.instance().len(), 6); // B, C, F, G, H, K

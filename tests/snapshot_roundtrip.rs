@@ -1,0 +1,197 @@
+//! Snapshot round-trip properties (seeded, many instances): a maintained
+//! fixpoint saved and loaded back must be isomorphic to the original,
+//! answer prepared queries identically under both join strategies, and
+//! re-serve its persisted indexes from cache instead of rebuilding them.
+//! Damaged files must fail closed with the precise error for the damage.
+
+use gtgd::chase::{parse_tgds, ChaseBudget, ChaseRunner, MaintainedInstance, Tgd};
+use gtgd::data::{GroundAtom, Predicate, Rng, Symbol, Value};
+use gtgd::query::{instance_isomorphic, parse_cq, Engine, Strategy};
+use gtgd::storage::{load_snapshot, save_snapshot, SnapshotError, SNAPSHOT_VERSION};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn temp_path(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "gtgd-roundtrip-{}-{}-{tag}.gsnap",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// An org-style workload: guarded rules with one existential, a seeded
+/// base, and a seeded burst of inserts and retractions so the persisted
+/// state includes DRed-compacted fired sets, not just a fresh chase.
+fn seeded_fixture(seed: u64) -> (Vec<Tgd>, MaintainedInstance) {
+    // Terminating rules: the existentials bottom out (nulls never
+    // re-trigger `Emp`), so the fixpoint stays small and retraction fast.
+    let tgds =
+        parse_tgds("Emp(X) -> WorksIn(X,D). WorksIn(X,D) -> Dept(D). Dept(D) -> HasHead(D,H)")
+            .unwrap();
+    let mut rng = Rng::seed(seed);
+    let n = rng.range(4, 12);
+    let mut atoms = Vec::new();
+    for i in 0..n {
+        atoms.push(GroundAtom::named("Emp", &[&format!("rt{seed}_e{i}")]));
+        if rng.chance(0.5) {
+            atoms.push(GroundAtom::named(
+                "WorksIn",
+                &[&format!("rt{seed}_e{i}"), &format!("rt{seed}_d{}", i % 3)],
+            ));
+        }
+    }
+    let mut m = ChaseRunner::new(&tgds)
+        .budget(ChaseBudget::atoms(100_000))
+        .maintain(&gtgd::data::Instance::from_atoms(atoms));
+    // Mutate: some inserts, some retractions of existing base facts.
+    for i in 0..rng.range(2, 6) {
+        m.insert([GroundAtom::named("Emp", &[&format!("rt{seed}_x{i}")])]);
+    }
+    for i in 0..rng.range(1, 4) {
+        m.retract([GroundAtom::named("Emp", &[&format!("rt{seed}_e{i}")])]);
+    }
+    (tgds, m)
+}
+
+/// Saves, loads back, and checks every round-trip property for one
+/// fixture. Queries are evaluated with *both* join strategies on both
+/// sides; in-process ids are stable, so answers must be bit-identical.
+fn assert_round_trips(tag: &str, tgds: &[Tgd], m: &MaintainedInstance) {
+    let queries = [
+        "Q(X) :- Emp(X)",
+        "Q(X, D) :- Emp(X), WorksIn(X, D)",
+        "Q(D, H) :- Dept(D), HasHead(D, H)",
+    ];
+    // Warm a sorted index so the snapshot has a permutation section.
+    let worksin = Predicate(Symbol::new("WorksIn"));
+    m.instance().sorted_permutation(worksin, 2, &[1, 0]);
+    let stats_before = m.instance().index_stats();
+
+    let path = temp_path(tag);
+    save_snapshot(&path, tgds, m).unwrap();
+    let loaded = load_snapshot(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert!(
+        instance_isomorphic(m.instance(), loaded.instance()),
+        "{tag}: loaded instance must be isomorphic"
+    );
+    for q in queries {
+        let cq = parse_cq(q).unwrap();
+        for s in [Strategy::Backtrack, Strategy::Wcoj] {
+            let orig = Engine::prepare(&cq).strategy(s).answers(m.instance());
+            let back = Engine::prepare(&cq).strategy(s).answers(loaded.instance());
+            assert_eq!(orig, back, "{tag}: answers differ for {q} under {s:?}");
+        }
+    }
+    // Index rebuild behavior: every persisted permutation installed (same
+    // process → same interning order → validation passes), and demanding
+    // the persisted order again is a cache hit, not a rebuild.
+    assert_eq!(
+        loaded.indexes_installed, stats_before.indexes,
+        "{tag}: all persisted indexes install"
+    );
+    let after_load = loaded.instance().index_stats();
+    assert_eq!(after_load.full_builds, loaded.indexes_installed);
+    loaded.instance().sorted_permutation(worksin, 2, &[1, 0]);
+    let after_demand = loaded.instance().index_stats();
+    assert_eq!(
+        after_demand.full_builds, after_load.full_builds,
+        "{tag}: re-demanding a persisted index must not rebuild it"
+    );
+    assert_eq!(after_demand.merge_extends, after_load.merge_extends);
+    // Thawing for writes validates the persisted fired set and yields the
+    // same (isomorphic) maintainable state.
+    let thawed = loaded.into_maintained().unwrap();
+    assert!(
+        instance_isomorphic(m.instance(), thawed.instance()),
+        "{tag}: thawed instance must be isomorphic"
+    );
+}
+
+#[test]
+fn seeded_fixtures_round_trip() {
+    for seed in [1, 2, 3, 4, 5] {
+        let (tgds, m) = seeded_fixture(seed);
+        assert_round_trips(&format!("seed{seed}"), &tgds, &m);
+    }
+}
+
+#[test]
+fn post_remap_dense_state_round_trips() {
+    // Force an order-preserving dictionary remap: intern a symbol *early*
+    // (low id), build the dense dictionary without it, then insert a fact
+    // mentioning it — the fresh dict entry sorts before existing ones.
+    let early = Value::named("remap_aa_early");
+    let tgds = parse_tgds("Edge(X,Y) -> Node(X), Node(Y)").unwrap();
+    let mut m = ChaseRunner::new(&tgds)
+        .budget(ChaseBudget::atoms(100_000))
+        .maintain(&gtgd::data::Instance::from_atoms([GroundAtom::named(
+            "Edge",
+            &["remap_zz1", "remap_zz2"],
+        )]));
+    let edge = Predicate(Symbol::new("Edge"));
+    m.instance().dense_snapshot(&[(edge, 2, &[0, 1])]);
+    assert_eq!(m.instance().dense_stats().remaps, 0);
+    m.insert([GroundAtom::new(
+        edge,
+        vec![early, Value::named("remap_zz3")],
+    )]);
+    m.instance().dense_snapshot(&[(edge, 2, &[0, 1])]);
+    let stats = m.instance().dense_stats();
+    assert!(stats.remaps >= 1, "fixture must actually remap");
+
+    let path = temp_path("remap");
+    save_snapshot(&path, &tgds, &m).unwrap();
+    let loaded = load_snapshot(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    // The remapped dense state is still strictly ascending, so it
+    // installs, counters included.
+    assert!(loaded.dense_tables_installed >= 1);
+    assert_eq!(loaded.dense_tries_installed, 1);
+    assert_eq!(loaded.instance().dense_stats().remaps, stats.remaps);
+    assert!(instance_isomorphic(m.instance(), loaded.instance()));
+}
+
+#[test]
+fn damaged_files_fail_closed_with_precise_errors() {
+    let (tgds, m) = seeded_fixture(99);
+    let path = temp_path("damage");
+    save_snapshot(&path, &tgds, &m).unwrap();
+    let good = std::fs::read(&path).unwrap();
+
+    // Truncated: cut the file mid-payload.
+    std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+    assert!(matches!(
+        load_snapshot(&path),
+        Err(SnapshotError::Truncated)
+    ));
+
+    // Corrupt: flip one payload byte; the checksum catches it.
+    let mut corrupt = good.clone();
+    let mid = 28 + (corrupt.len() - 28) / 2;
+    corrupt[mid] ^= 0x40;
+    std::fs::write(&path, &corrupt).unwrap();
+    assert!(matches!(
+        load_snapshot(&path),
+        Err(SnapshotError::ChecksumMismatch)
+    ));
+
+    // Version bump: reported as unsupported, not as corruption.
+    let mut bumped = good.clone();
+    bumped[8] = bumped[8].wrapping_add(3);
+    std::fs::write(&path, &bumped).unwrap();
+    assert!(matches!(
+        load_snapshot(&path),
+        Err(SnapshotError::UnsupportedVersion(v)) if v == SNAPSHOT_VERSION + 3
+    ));
+
+    // Not a snapshot at all.
+    std::fs::write(&path, b"mode open.\nfact Emp(ann).\n").unwrap();
+    assert!(matches!(load_snapshot(&path), Err(SnapshotError::BadMagic)));
+
+    // Missing file surfaces the io error.
+    std::fs::remove_file(&path).ok();
+    assert!(matches!(load_snapshot(&path), Err(SnapshotError::Io(_))));
+}
