@@ -9,6 +9,8 @@
 //! experiments --kernel-json BENCH_kernel.json   # kernel before/after only
 //! experiments --wcoj-json BENCH_wcoj.json       # WCOJ vs backtracker only
 //! experiments --serve-json BENCH_serve.json     # snapshot + serve amortization only
+//! experiments --ingest-json BENCH_ingest.json   # E18 ingestion-at-scale sweep (to ~10^6 atoms)
+//! experiments --ingest-smoke                    # E18 small scales with an enforced time bar
 //! experiments --trace-json TRACE.json           # traced E9/E10/E15 probe reports
 //! experiments --obs-smoke                       # disabled-probe overhead check
 //! experiments --certify-sample                  # emit + independently check certificates
@@ -22,8 +24,9 @@
 //! regeneration fast on developer machines.
 
 use gtgd_bench::{
-    kernel_benchmark, kernel_json, run_experiment, serve_benchmark, serve_json, tables_to_json,
-    trace_all, trace_json, wcoj_benchmark, wcoj_json, ExperimentTable,
+    ingest_benchmark, ingest_json, ingest_smoke, kernel_benchmark, kernel_json, run_experiment,
+    serve_benchmark, serve_json, tables_to_json, trace_all, trace_json, wcoj_benchmark, wcoj_json,
+    ExperimentTable, IngestMetric,
 };
 use gtgd_data::Pool;
 use std::io::Write;
@@ -35,6 +38,8 @@ fn main() {
     let mut kernel_path: Option<String> = None;
     let mut wcoj_path: Option<String> = None;
     let mut serve_path: Option<String> = None;
+    let mut ingest_path: Option<String> = None;
+    let mut do_ingest_smoke = false;
     let mut trace_path: Option<String> = None;
     let mut obs_smoke = false;
     let mut certify_sample = false;
@@ -59,6 +64,14 @@ fn main() {
             "--serve-json" => {
                 serve_path = args.get(i + 1).cloned();
                 i += 2;
+            }
+            "--ingest-json" => {
+                ingest_path = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--ingest-smoke" => {
+                do_ingest_smoke = true;
+                i += 1;
             }
             "--trace-json" => {
                 trace_path = args.get(i + 1).cloned();
@@ -215,6 +228,22 @@ fn main() {
         eprintln!("wrote {path}");
         return;
     }
+    if let Some(path) = ingest_path {
+        // Ingest mode: run the full E18 sweep (~10^3 to ~10^6 base atoms
+        // through the Source pipeline) and emit BENCH_ingest.json; skips
+        // the suite. The top scale takes minutes — that is the point.
+        let metrics = ingest_benchmark();
+        print_ingest_rows(&metrics);
+        let mut f = std::fs::File::create(&path).expect("create ingest json output");
+        f.write_all(ingest_json(&metrics).as_bytes())
+            .expect("write ingest json");
+        eprintln!("wrote {path}");
+        return;
+    }
+    if do_ingest_smoke {
+        run_ingest_smoke();
+        return;
+    }
     if ids.is_empty() {
         ids = (1..=15).map(|i| format!("E{i}")).collect();
     }
@@ -236,6 +265,66 @@ fn main() {
             .expect("write json");
         eprintln!("wrote {path}");
     }
+}
+
+fn print_ingest_rows(metrics: &[IngestMetric]) {
+    for m in metrics {
+        println!(
+            "univ {:>4}  base {:>8}  ingest {:>9.1} ms  chase {:>10.1} ms  \
+             fixpoint {:>8} ({})  query {:>8.3} ms  answers {:>6}  \
+             maintain-build {:>10.1} ms  snap save {:>8.1} ms / load {:>8.1} ms \
+             ({} B)  1-fact insert {:>7.3} ms",
+            m.universities,
+            m.base_atoms,
+            m.ingest_ms,
+            m.chase_ms,
+            m.fixpoint_atoms,
+            if m.chase_complete { "complete" } else { "CUT" },
+            m.query_ms,
+            m.answers,
+            m.maintain_build_ms,
+            m.snapshot_save_ms,
+            m.snapshot_load_ms,
+            m.snapshot_bytes,
+            m.maintain_insert_ms,
+        );
+    }
+}
+
+fn run_ingest_smoke() {
+    // CI smoke for E18: the two small scales (~10^3 and ~10^4 base atoms),
+    // each with an enforced wall-clock bar on the whole measured pipeline
+    // (ingest + chase + maintain build + snapshot round-trip). The bars
+    // are ~20x over measured dev-machine times so they only trip on a
+    // gross regression (e.g. batching accidentally bypassed), not on
+    // shared-container noise.
+    let metrics = ingest_smoke();
+    print_ingest_rows(&metrics);
+    let bars_ms = [4_000.0, 30_000.0];
+    let mut ok = true;
+    for (m, bar) in metrics.iter().zip(bars_ms) {
+        let total =
+            m.ingest_ms + m.chase_ms + m.maintain_build_ms + m.snapshot_save_ms + m.snapshot_load_ms;
+        if !m.chase_complete {
+            eprintln!("ingest smoke FAILED: univ={} chase hit the budget", m.universities);
+            ok = false;
+        }
+        if m.answers == 0 {
+            eprintln!("ingest smoke FAILED: univ={} query returned no answers", m.universities);
+            ok = false;
+        }
+        if total > bar {
+            eprintln!(
+                "ingest smoke FAILED: univ={} pipeline took {total:.0} ms (bar {bar:.0} ms)",
+                m.universities
+            );
+            ok = false;
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("ingest smoke OK");
 }
 
 /// Ratio of total paired wall times `sum(b)/sum(a)` over `rounds`

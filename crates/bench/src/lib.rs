@@ -4,6 +4,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod ingest;
 pub mod json;
 pub mod kernel;
 pub mod serve;
@@ -12,6 +13,7 @@ pub mod wcoj;
 pub mod workloads;
 
 pub use experiments::{all_experiments, run_experiment, ExperimentTable};
+pub use ingest::{ingest_benchmark, ingest_json, ingest_smoke, IngestMetric};
 pub use json::tables_to_json;
 pub use kernel::{kernel_benchmark, kernel_json, KernelMetric};
 pub use serve::{serve_benchmark, serve_json, ServeMetric};

@@ -74,6 +74,30 @@ impl std::fmt::Display for DlParseError {
 
 impl std::error::Error for DlParseError {}
 
+/// An axiom that parses but does not land in the guarded-TGD fragment this
+/// module targets (e.g. `⊤` on a left-hand side, which would need an
+/// unguarded domain rule). Produced by [`try_tbox_to_tgds`]; ingestion
+/// frontends surface it as a described rejection instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FragmentError {
+    /// A rendering of the offending (sub-)axiom.
+    pub axiom: String,
+    /// Why the translation cannot stay guarded.
+    pub reason: String,
+}
+
+impl std::fmt::Display for FragmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "axiom outside the guarded fragment: {} ({})",
+            self.axiom, self.reason
+        )
+    }
+}
+
+impl std::error::Error for FragmentError {}
+
 /// Parses one axiom: `lhs < rhs`. Both sides are concepts unless both are
 /// bare role names occurring after `exists` nowhere — then it is a role
 /// inclusion. To force a role inclusion, write `role r < s`.
@@ -232,14 +256,14 @@ impl Translator {
         x: Var,
         next: &mut u32,
         names: &mut Vec<String>,
-    ) -> Vec<QAtom> {
-        match c {
+    ) -> Result<Vec<QAtom>, FragmentError> {
+        Ok(match c {
             Concept::Top => Vec::new(),
             Concept::Bottom => vec![QAtom::new(bottom_predicate(), vec![Term::Var(x)])],
             Concept::Atomic(a) => vec![QAtom::new(Predicate::new(a), vec![Term::Var(x)])],
             Concept::And(l, r) => {
-                let mut out = self.lhs_atoms(l, x, next, names);
-                out.extend(self.lhs_atoms(r, x, next, names));
+                let mut out = self.lhs_atoms(l, x, next, names)?;
+                out.extend(self.lhs_atoms(r, x, next, names)?);
                 out
             }
             Concept::Exists(role, filler) => {
@@ -252,13 +276,13 @@ impl Translator {
                 } else {
                     // filler ⊑ F, then use F(y): keeps this body one-hop.
                     let name = self.fresh_name();
-                    self.emit_inclusion(filler, &Concept::Atomic(name.clone()));
+                    self.emit_inclusion(filler, &Concept::Atomic(name.clone()))?;
                     Concept::Atomic(name)
                 };
                 out.extend(self.flat_atoms(&flat_filler, y));
                 out
             }
-        }
+        })
     }
 
     /// Atoms for a flat concept over one variable.
@@ -278,42 +302,43 @@ impl Translator {
 
     /// Reduces a right-hand-side concept to an atomic name (or Top/Bottom),
     /// emitting definitional TGDs for complex fillers.
-    fn rhs_name(&mut self, c: &Concept) -> Concept {
+    fn rhs_name(&mut self, c: &Concept) -> Result<Concept, FragmentError> {
         match c {
-            Concept::Top | Concept::Bottom | Concept::Atomic(_) => c.clone(),
+            Concept::Top | Concept::Bottom | Concept::Atomic(_) => Ok(c.clone()),
             _ => {
                 let name = self.fresh_name();
                 // __Ci ⊑ c, i.e. a TGD __Ci(x) → atoms(c).
-                self.emit_inclusion(&Concept::Atomic(name.clone()), c);
-                Concept::Atomic(name)
+                self.emit_inclusion(&Concept::Atomic(name.clone()), c)?;
+                Ok(Concept::Atomic(name))
             }
         }
     }
 
-    /// Emits TGDs for `lhs ⊑ rhs`.
-    fn emit_inclusion(&mut self, lhs: &Concept, rhs: &Concept) {
+    /// Emits TGDs for `lhs ⊑ rhs`, or reports why the inclusion falls
+    /// outside the guarded fragment.
+    fn emit_inclusion(&mut self, lhs: &Concept, rhs: &Concept) -> Result<(), FragmentError> {
         // Body: flatten lhs over x.
         let mut names = vec!["x".to_string()];
         let x = Var(0);
         let mut next = 1u32;
-        let body = self.lhs_atoms(lhs, x, &mut next, &mut names);
+        let body = self.lhs_atoms(lhs, x, &mut next, &mut names)?;
         // Head: by rhs shape.
         match rhs {
             Concept::Top => {} // trivial, no TGD
             Concept::Bottom => {
                 let head = vec![QAtom::new(bottom_predicate(), vec![Term::Var(x)])];
-                self.push_tgd(names, body, head, lhs);
+                self.push_tgd(names, body, head, lhs)?;
             }
             Concept::Atomic(a) => {
                 let head = vec![QAtom::new(Predicate::new(a), vec![Term::Var(x)])];
-                self.push_tgd(names, body, head, lhs);
+                self.push_tgd(names, body, head, lhs)?;
             }
             Concept::And(l, r) => {
-                self.emit_inclusion(lhs, l);
-                self.emit_inclusion(lhs, r);
+                self.emit_inclusion(lhs, l)?;
+                self.emit_inclusion(lhs, r)?;
             }
             Concept::Exists(role, filler) => {
-                let filler_name = self.rhs_name(filler);
+                let filler_name = self.rhs_name(filler)?;
                 let mut names2 = names.clone();
                 names2.push(format!("y{next}"));
                 let y = Var(next);
@@ -328,21 +353,32 @@ impl Translator {
                     }
                     _ => unreachable!("rhs_name returns atomic-like concepts"),
                 }
-                self.push_tgd(names2, body, head, lhs);
+                self.push_tgd(names2, body, head, lhs)?;
             }
         }
+        Ok(())
     }
 
-    fn push_tgd(&mut self, names: Vec<String>, body: Vec<QAtom>, head: Vec<QAtom>, lhs: &Concept) {
+    fn push_tgd(
+        &mut self,
+        names: Vec<String>,
+        body: Vec<QAtom>,
+        head: Vec<QAtom>,
+        lhs: &Concept,
+    ) -> Result<(), FragmentError> {
         // An empty body arises from ⊤ ⊑ …, which is not expressible as a
         // safe guarded TGD over unary/binary signatures unless we guard by
         // a domain predicate; require a nonempty lhs instead.
-        assert!(
-            !body.is_empty(),
-            "⊤ on the left-hand side is unsupported (lhs = {lhs:?}); \
-             guard it with an atomic concept"
-        );
+        if body.is_empty() {
+            return Err(FragmentError {
+                axiom: format!("{lhs:?}"),
+                reason: "⊤ on the left-hand side is unsupported; \
+                         guard it with an atomic concept"
+                    .into(),
+            });
+        }
         self.tgds.push(Tgd::new(names, body, head));
+        Ok(())
     }
 }
 
@@ -354,6 +390,17 @@ impl Translator {
 /// the role atom incident to `x` acting as guard for binary rules and the
 /// concept atom for unary ones. (Asserted in tests.)
 pub fn tbox_to_tgds(axioms: &[Axiom]) -> Vec<Tgd> {
+    match try_tbox_to_tgds(axioms) {
+        Ok(tgds) => tgds,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Translates an ELHI⊥ TBox into guarded TGDs, reporting (instead of
+/// panicking on) axioms that fall outside the guarded fragment. The
+/// fallible twin of [`tbox_to_tgds`]; the ingestion frontends route
+/// through this so an out-of-fragment ontology is a described error.
+pub fn try_tbox_to_tgds(axioms: &[Axiom]) -> Result<Vec<Tgd>, FragmentError> {
     let mut tr = Translator {
         tgds: Vec::new(),
         fresh: 0,
@@ -364,7 +411,7 @@ pub fn tbox_to_tgds(axioms: &[Axiom]) -> Vec<Tgd> {
                 // Normalize deep existentials on the left: ∃r.(∃s.C) bodies
                 // flatten directly (lhs_atoms handles nesting), so no fresh
                 // names are needed there.
-                tr.emit_inclusion(l, r);
+                tr.emit_inclusion(l, r)?;
             }
             Axiom::RoleInclusion(r, s) => {
                 let names = vec!["x".to_string(), "y".to_string()];
@@ -375,7 +422,7 @@ pub fn tbox_to_tgds(axioms: &[Axiom]) -> Vec<Tgd> {
             }
         }
     }
-    tr.tgds
+    Ok(tr.tgds)
 }
 
 /// Parses a TBox and translates it in one step.
@@ -537,5 +584,15 @@ mod tests {
     #[should_panic(expected = "⊤ on the left-hand side")]
     fn top_lhs_rejected() {
         parse_dl_ontology("top < A").unwrap();
+    }
+
+    #[test]
+    fn fallible_lowering_describes_out_of_fragment_axioms() {
+        let axioms = parse_tbox("top < A").unwrap();
+        let e = try_tbox_to_tgds(&axioms).unwrap_err();
+        assert!(e.to_string().contains("⊤ on the left-hand side"), "{e}");
+        // A nested ⊤-lhs inside a definitional expansion is caught too.
+        let ok = parse_tbox("A < exists r. (B & C); exists s. top < D").unwrap();
+        assert!(try_tbox_to_tgds(&ok).is_ok());
     }
 }

@@ -40,7 +40,10 @@ pub mod witness;
 
 pub use acyclicity::is_weakly_acyclic;
 pub use cert::{certificates_to_json, Certificate, CertificateStore};
-pub use dl::{abox_consistent, parse_dl_ontology, parse_tbox, tbox_to_tgds, Axiom, Concept, Role};
+pub use dl::{
+    abox_consistent, parse_dl_ontology, parse_tbox, tbox_to_tgds, try_tbox_to_tgds, Axiom, Concept,
+    FragmentError, Role,
+};
 pub use engine::{chase, ChaseBudget, ChaseResult};
 pub use linearize::{linearize, Linearization};
 pub use maintain::{FiringExport, MaintainExport, MaintainedInstance, MaintenanceReport};

@@ -56,6 +56,15 @@ impl PredColumns {
         &self.cols[j]
     }
 
+    /// Reserves capacity for `n` further rows in every column, so a bulk
+    /// load ([`crate::Instance::insert_batch`]) grows each column vector
+    /// once instead of once per appended tuple.
+    pub(crate) fn reserve(&mut self, n: usize) {
+        for c in &mut self.cols {
+            c.reserve(n);
+        }
+    }
+
     /// Appends one tuple. All tuples must share one arity (the caller keys
     /// arenas by `(predicate, arity)`).
     pub(crate) fn push(&mut self, args: &[Value]) {

@@ -208,6 +208,58 @@ impl Instance {
         true
     }
 
+    /// Inserts a batch of atoms, deduplicating; returns how many were new.
+    ///
+    /// The bulk-load counterpart of [`Instance::insert`]: the primary
+    /// stores (atom vector, dedup map, per-predicate and per-position
+    /// candidate lists) are reserved once for the whole batch and the
+    /// columnar arenas are grown per relation, so a 10⁶-atom ingest pays
+    /// amortized map growth instead of a rehash/regrow cadence driven by
+    /// per-atom inserts. The lazy mirrors (sorted permutations, dense
+    /// dictionary/tries) are untouched until the *next demand after* the
+    /// batch — one delta-extend over the whole batch, never one per row.
+    /// Ingestion sinks and the CLI bulk loaders feed this; the snapshot
+    /// load path goes further and skips index construction entirely via
+    /// [`Instance::from_unique_atoms`].
+    pub fn insert_batch(&mut self, atoms: impl IntoIterator<Item = GroundAtom>) -> usize {
+        let batch: Vec<GroundAtom> = atoms.into_iter().collect();
+        if batch.is_empty() {
+            return 0;
+        }
+        self.atoms.reserve(batch.len());
+        let cells: usize = batch.iter().map(|a| a.args.len()).sum();
+        {
+            let rows = self.rows_mut();
+            rows.index_of.reserve(batch.len());
+            rows.by_pred_pos_val.reserve(cells);
+        }
+        // Pre-size each touched relation's arena and candidate list once.
+        let mut per_rel: HashMap<(Predicate, u16), usize> = HashMap::new();
+        for a in &batch {
+            let arity = u16::try_from(a.args.len()).expect("arity fits u16");
+            *per_rel.entry((a.predicate, arity)).or_default() += 1;
+        }
+        {
+            let cols = self.columns_mut();
+            for (&(p, ar), &n) in &per_rel {
+                if let Some(pc) = cols.get_mut(&(p, ar)) {
+                    pc.reserve(n);
+                }
+            }
+        }
+        {
+            let rows = self.rows_mut();
+            for (&(p, _), &n) in &per_rel {
+                rows.by_pred.entry(p).or_default().reserve(n);
+            }
+        }
+        let mut added = 0;
+        for a in batch {
+            added += usize::from(self.insert(a));
+        }
+        added
+    }
+
     /// Removes one atom; returns `true` if it was present. See
     /// [`Instance::retract_atoms`] for the cost model — batch retractions
     /// through that method when removing more than one atom.
@@ -778,6 +830,67 @@ mod tests {
         // The clone extended its own cache; the original is untouched.
         assert_eq!(j.index_stats().merge_extends, 1);
         assert_eq!(i.index_stats().merge_extends, 0);
+    }
+
+    #[test]
+    fn insert_batch_matches_per_atom_insert() {
+        use crate::rng::Rng;
+        let mut rng = Rng::seed(0xba7c4);
+        for case in 0..20 {
+            let n = rng.range(0, 60);
+            let atoms: Vec<GroundAtom> = (0..n)
+                .map(|_| {
+                    let p = ["R", "S", "T"][rng.range(0, 3)];
+                    let arity = rng.range(0, 4);
+                    let args: Vec<&str> = (0..arity)
+                        .map(|_| ["a", "b", "c", "d"][rng.range(0, 4)])
+                        .collect();
+                    GroundAtom::named(p, &args)
+                })
+                .collect();
+            let mut batched = Instance::new();
+            // Split the batch so one call lands on a non-empty instance.
+            let mid = atoms.len() / 2;
+            let added_1 = batched.insert_batch(atoms[..mid].iter().cloned());
+            let added_2 = batched.insert_batch(atoms[mid..].iter().cloned());
+            let mut serial = Instance::new();
+            let mut added_serial = 0;
+            for a in &atoms {
+                added_serial += usize::from(serial.insert(a.clone()));
+            }
+            assert_eq!(added_1 + added_2, added_serial, "case {case}");
+            assert_eq!(batched, serial, "case {case}");
+            assert_eq!(batched.dom(), serial.dom(), "case {case}");
+            // Insertion order (hence row ids) is identical.
+            assert!(batched.iter().eq(serial.iter()), "case {case}");
+            for p in ["R", "S", "T"].map(Predicate::new) {
+                assert_eq!(batched.pred_count(p), serial.pred_count(p));
+            }
+        }
+    }
+
+    #[test]
+    fn insert_batch_extends_built_indexes_once() {
+        let mut i = Instance::new();
+        i.insert_batch([
+            GroundAtom::named("E", &["c", "x"]),
+            GroundAtom::named("E", &["a", "y"]),
+        ]);
+        let e = Predicate::new("E");
+        i.sorted_permutation(e, 2, &[0, 1]);
+        assert_eq!(i.index_stats().full_builds, 1);
+        // A whole batch lands before the next demand: exactly one
+        // merge-extend, not one per row.
+        i.insert_batch([
+            GroundAtom::named("E", &["b", "z"]),
+            GroundAtom::named("E", &["d", "w"]),
+            GroundAtom::named("E", &["a", "q"]),
+        ]);
+        let sp = i.sorted_permutation(e, 2, &[0, 1]);
+        assert_eq!(sp.perm(), naive_perm(&i, e, 2, &[0, 1]));
+        let stats = i.index_stats();
+        assert_eq!(stats.full_builds, 1);
+        assert_eq!(stats.merge_extends, 1);
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! The toolkit-level error type: every CLI surface funnels failures into
+//! [`GtgdError`], which carries a described message and a **stable exit
+//! code** per failure class. Scripts and CI can branch on the code; the
+//! message is for humans. No code path panics on user input.
+
+use gtgd_ingest::IngestError;
+
+/// Exit codes, one per failure class. Stable across releases:
+///
+/// | code | class | meaning |
+/// |------|-------|---------|
+/// | 0 | — | success |
+/// | 1 | [`GtgdError::Eval`] | evaluation failed (chase budget, query, maintenance) |
+/// | 2 | [`GtgdError::Usage`] | bad command line (unknown flag, missing argument) |
+/// | 3 | [`GtgdError::Script`] | script file did not parse |
+/// | 4 | [`GtgdError::Ingest`] | ingestion input rejected (RDF/OWL/CSV/fragment) |
+/// | 5 | [`GtgdError::Storage`] | snapshot save/load failed |
+/// | 6 | [`GtgdError::Serve`] | server startup or protocol failure |
+/// | 7 | [`GtgdError::Io`] | file I/O outside the classes above |
+#[derive(Debug)]
+pub enum GtgdError {
+    /// Bad command line: unknown flag, missing value, wrong arity.
+    Usage(String),
+    /// Evaluation failed: budget exhausted where exactness was required,
+    /// bad query against the schema, maintenance misuse.
+    Eval(String),
+    /// A `.gtgd` script failed to parse.
+    Script(String),
+    /// An ingestion frontend rejected its input.
+    Ingest(IngestError),
+    /// Snapshot persistence failed (save, load, verify).
+    Storage(String),
+    /// The server failed to start or run.
+    Serve(String),
+    /// File I/O failure not attributable to a more specific class.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The rendered OS error.
+        message: String,
+    },
+}
+
+impl GtgdError {
+    /// The stable process exit code for this failure class.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            GtgdError::Eval(_) => 1,
+            GtgdError::Usage(_) => 2,
+            GtgdError::Script(_) => 3,
+            GtgdError::Ingest(_) => 4,
+            GtgdError::Storage(_) => 5,
+            GtgdError::Serve(_) => 6,
+            GtgdError::Io { .. } => 7,
+        }
+    }
+}
+
+impl std::fmt::Display for GtgdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GtgdError::Usage(m) => write!(f, "usage: {m}"),
+            GtgdError::Eval(m) => write!(f, "{m}"),
+            GtgdError::Script(m) => write!(f, "script: {m}"),
+            GtgdError::Ingest(e) => write!(f, "ingest: {e}"),
+            GtgdError::Storage(m) => write!(f, "storage: {m}"),
+            GtgdError::Serve(m) => write!(f, "serve: {m}"),
+            GtgdError::Io { path, message } => write!(f, "io: {path}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GtgdError {}
+
+impl From<IngestError> for GtgdError {
+    fn from(e: IngestError) -> GtgdError {
+        // I/O failures inside a frontend keep the ingest class: the
+        // actionable context (which manifest referenced the file) lives
+        // in the ingest error.
+        GtgdError::Ingest(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_stable_and_distinct() {
+        let all = [
+            GtgdError::Eval("e".into()),
+            GtgdError::Usage("u".into()),
+            GtgdError::Script("s".into()),
+            GtgdError::Ingest(IngestError::Schema {
+                message: "m".into(),
+            }),
+            GtgdError::Storage("st".into()),
+            GtgdError::Serve("sv".into()),
+            GtgdError::Io {
+                path: "p".into(),
+                message: "m".into(),
+            },
+        ];
+        let codes: Vec<i32> = all.iter().map(GtgdError::exit_code).collect();
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7]);
+        for e in &all {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

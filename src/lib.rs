@@ -5,11 +5,16 @@
 //! dependency. See the README for a tour and DESIGN.md for the system
 //! inventory.
 
+pub mod cli;
+pub mod error;
 pub mod script;
 
 pub use gtgd_chase as chase;
 pub use gtgd_core as omq;
 pub use gtgd_data as data;
+pub use gtgd_ingest as ingest;
 pub use gtgd_query as query;
 pub use gtgd_storage as storage;
 pub use gtgd_treewidth as treewidth;
+
+pub use error::GtgdError;
